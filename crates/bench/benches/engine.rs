@@ -1,0 +1,184 @@
+//! Criterion benchmarks for the verification substrate: simulator
+//! throughput, unrolling construction, and property evaluation on the core
+//! vs the cache (the §VII-B3 modularity comparison in benchmark form).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mc::{Checker, McConfig};
+use mupath::{build_harness, ContextMode, HarnessConfig};
+use sim::Simulator;
+use uarch::{build_core, build_tiny, CoreConfig};
+
+fn bench_simulator(c: &mut Criterion) {
+    let design = build_core(&CoreConfig::default());
+    let program = isa::assemble(
+        "addi r1, r0, 7\naddi r2, r0, 3\nmul r3, r1, r2\nsw r0, r3, 1\nlw r2, r0, 1\n",
+    )
+    .unwrap();
+    c.bench_function("simulate_minicva6_200_cycles", |b| {
+        b.iter(|| {
+            let mut s = Simulator::new(&design.netlist);
+            for _ in 0..200 {
+                let pc = s.value(design.pc) as usize;
+                let word = program
+                    .get(pc)
+                    .copied()
+                    .unwrap_or_else(isa::Instr::nop)
+                    .encode();
+                s.set_input(design.fetch_instr_input, word as u64);
+                s.set_input(design.fetch_valid_input, 1);
+                s.step();
+            }
+            s.value_of("arf3")
+        })
+    });
+}
+
+fn bench_unrolling(c: &mut Criterion) {
+    let design = build_core(&CoreConfig::default());
+    let h = build_harness(
+        &design,
+        &HarnessConfig {
+            opcode: isa::Opcode::Add,
+            fetch_slot: 0,
+            context: ContextMode::Solo,
+        },
+    );
+    c.bench_function("unroll_core_16_frames", |b| {
+        b.iter(|| {
+            Checker::new(
+                &h.netlist,
+                McConfig {
+                    bound: 16,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+}
+
+fn bench_property_core_vs_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("property_eval");
+    g.sample_size(10);
+
+    let tiny = build_tiny();
+    let h_tiny = build_harness(
+        &tiny,
+        &HarnessConfig {
+            opcode: isa::Opcode::Add,
+            fetch_slot: 0,
+            context: ContextMode::Any,
+        },
+    );
+    g.bench_function("tinycore_cover", |b| {
+        b.iter(|| {
+            let mut chk = Checker::new(
+                &h_tiny.netlist,
+                McConfig {
+                    bound: 10,
+                    ..Default::default()
+                },
+            );
+            chk.check_cover(h_tiny.iuv_done, &h_tiny.assumes).is_reachable()
+        })
+    });
+
+    let cache = uarch::cache::build_cache();
+    let h_cache = build_harness(
+        &cache,
+        &HarnessConfig {
+            opcode: isa::Opcode::Lw,
+            fetch_slot: 0,
+            context: ContextMode::Any,
+        },
+    );
+    let cache_free: Vec<_> = cache.annotations.amem.clone();
+    g.bench_function("cache_cover", |b| {
+        b.iter(|| {
+            let mut chk = Checker::with_free_regs(
+                &h_cache.netlist,
+                McConfig {
+                    bound: 14,
+                    ..Default::default()
+                },
+                &cache_free,
+            );
+            chk.check_cover(h_cache.iuv_done, &h_cache.assumes).is_reachable()
+        })
+    });
+
+    let core = build_core(&CoreConfig::default());
+    let h_core = build_harness(
+        &core,
+        &HarnessConfig {
+            opcode: isa::Opcode::Lw,
+            fetch_slot: 0,
+            context: ContextMode::Solo,
+        },
+    );
+    let core_free: Vec<_> = core
+        .annotations
+        .arf
+        .iter()
+        .chain(core.annotations.amem.iter())
+        .copied()
+        .collect();
+    g.bench_function("core_cover", |b| {
+        b.iter(|| {
+            let mut chk = Checker::with_free_regs(
+                &h_core.netlist,
+                McConfig {
+                    bound: 14,
+                    ..Default::default()
+                },
+                &core_free,
+            );
+            chk.check_cover(h_core.iuv_done, &h_core.assumes).is_reachable()
+        })
+    });
+    g.finish();
+}
+
+fn bench_sat_and_ift(c: &mut Criterion) {
+    // Raw solver: a mid-size pigeonhole instance (pure CDCL stress).
+    c.bench_function("sat_pigeonhole_7_into_6", |b| {
+        b.iter(|| {
+            let mut s = sat::Solver::new();
+            const P: usize = 7;
+            const H: usize = 6;
+            let vars: Vec<Vec<sat::Var>> = (0..P)
+                .map(|_| (0..H).map(|_| s.new_var()).collect())
+                .collect();
+            for row in &vars {
+                let lits: Vec<sat::Lit> = row.iter().map(|&v| sat::Lit::pos(v)).collect();
+                s.add_clause(&lits);
+            }
+            for j in 0..H {
+                for i1 in 0..P {
+                    for i2 in (i1 + 1)..P {
+                        s.add_clause(&[sat::Lit::neg(vars[i1][j]), sat::Lit::neg(vars[i2][j])]);
+                    }
+                }
+            }
+            s.solve().is_unsat()
+        })
+    });
+    // IFT instrumentation pass on the full core.
+    let core = build_core(&CoreConfig::default());
+    let opts = ift::IftOptions {
+        sources: core.annotations.operand_regs.clone(),
+        persistent: core.annotations.amem.clone(),
+        blocked: core.annotations.arf.clone(),
+    };
+    c.bench_function("ift_instrument_core", |b| {
+        b.iter(|| ift::instrument(&core.netlist, &opts).netlist.len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_unrolling,
+    bench_property_core_vs_cache,
+    bench_sat_and_ift
+);
+criterion_main!(benches);

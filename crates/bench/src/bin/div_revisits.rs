@@ -1,0 +1,28 @@
+//! E-DIV: §V-B6 — the divider's occupancy-run-length enumeration (the
+//! paper reports 1..66 cycles for CVA6's serial divider; MiniCva6's
+//! early-terminating divider spans 1..5 by design).
+
+use mupath::{enumerate_revisit_counts, ContextMode, SynthConfig};
+use uarch::{build_core, CoreConfig, DivPolicy};
+
+fn main() {
+    println!("== §V-B6: DIV revisit cycle counts ==\n");
+    let design = build_core(&CoreConfig::default());
+    let cfg = SynthConfig {
+        slots: vec![0],
+        context: ContextMode::Solo,
+        bound: 18,
+        conflict_budget: Some(2_000_000),
+        max_shapes: 64,
+    };
+    let counts = enumerate_revisit_counts(&design, isa::Opcode::Div, "divU", &cfg);
+    println!("early-terminating divider divU occupancy: {counts:?} (expect 1..=5)");
+    let counts = enumerate_revisit_counts(&design, isa::Opcode::Mul, "mulU", &cfg);
+    println!("fixed multiplier mulU occupancy: {counts:?} (expect exactly one value)");
+    let hardened = build_core(&CoreConfig {
+        div: DivPolicy::Fixed(5),
+        ..CoreConfig::hardened()
+    });
+    let counts = enumerate_revisit_counts(&hardened, isa::Opcode::Div, "divU", &cfg);
+    println!("hardened divider divU occupancy: {counts:?} (expect exactly one value)");
+}

@@ -1,0 +1,53 @@
+//! E-F1: Fig. 1 — the two µPATHs of MUL on the zero-skip-multiplier core
+//! (CVA6-MUL analogue) and the leakage signature SynthLC synthesizes for
+//! them.
+
+use mupath::{synthesize_instr, ContextMode, HarnessConfig, SynthConfig};
+use synthlc::{synthesize_leakage, LeakConfig, TxKind};
+use uarch::{build_core, CoreConfig};
+
+fn main() {
+    println!("== Fig. 1: MUL on MiniCva6-MUL (zero-skip multiply) ==\n");
+    let design = build_core(&CoreConfig::cva6_mul());
+    let cfg = SynthConfig {
+        slots: vec![0],
+        context: ContextMode::Solo,
+        bound: 16,
+        conflict_budget: Some(2_000_000),
+        max_shapes: 16,
+    };
+    let r = synthesize_instr(&design, isa::Opcode::Mul, &cfg);
+    let h = mupath::build_harness(
+        &design,
+        &HarnessConfig {
+            opcode: isa::Opcode::Mul,
+            fetch_slot: 0,
+            context: ContextMode::Solo,
+        },
+    );
+    for (i, p) in r.concrete.iter().enumerate() {
+        println!("µPATH {i} (latency {}):\n{}", p.latency(), p.render(&h.pls));
+    }
+    println!("paper shape: MUL visits mulU for 1 cycle (zero operand) or 4 (else)\n");
+
+    let leak_cfg = LeakConfig {
+        mupath: cfg,
+        transmitters: vec![isa::Opcode::Mul],
+        kinds: vec![TxKind::Intrinsic],
+        bound: 16,
+        conflict_budget: Some(2_000_000),
+        threads: 1,
+        slot_base: 0,
+        max_sources: Some(3),
+    };
+    let report = synthesize_leakage(&design, &[isa::Opcode::Mul], &leak_cfg);
+    println!("leakage signature(s):");
+    print!("{}", bench::render_signatures(&report));
+    println!(
+        "\nproperties: mupath {} ({:.2}s avg), ift {} ({:.2}s avg)",
+        report.mupath_stats.properties,
+        report.mupath_stats.avg_seconds(),
+        report.ift_stats.properties,
+        report.ift_stats.avg_seconds()
+    );
+}

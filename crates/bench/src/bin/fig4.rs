@@ -1,0 +1,56 @@
+//! E-F4: Fig. 4 — a sampling of synthesized µPATHs: BEQ (taken/fall-through)
+//! and LW (stall vs finish) on the core; SW (hit vs miss bank access) on
+//! the cache DUV.
+
+use mupath::{synthesize_instr, ContextMode, HarnessConfig, SynthConfig};
+use uarch::{build_core, CoreConfig};
+
+fn show(design: &uarch::Design, op: isa::Opcode, cfg: &SynthConfig, label: &str) {
+    let r = synthesize_instr(design, op, cfg);
+    let h = mupath::build_harness(
+        design,
+        &HarnessConfig {
+            opcode: op,
+            fetch_slot: cfg.slots[0],
+            context: cfg.context,
+        },
+    );
+    println!("-- {label}: {} µPATH(s) --", r.paths.len());
+    for (i, p) in r.concrete.iter().enumerate().take(4) {
+        println!("µPATH {i} (latency {}):\n{}", p.latency(), p.render(&h.pls));
+    }
+    for d in r.class_decisions.iter().take(6) {
+        println!("class decision at pl{}", d.src.0);
+    }
+    println!();
+}
+
+fn main() {
+    println!("== Fig. 4: sampled µPATHs (core BEQ/LW, cache SW) ==\n");
+    let core = build_core(&CoreConfig::default());
+    let solo = SynthConfig {
+        slots: vec![0],
+        context: ContextMode::Solo,
+        bound: 16,
+        conflict_budget: Some(2_000_000),
+        max_shapes: 16,
+    };
+    show(&core, isa::Opcode::Beq, &solo, "Fig. 4a analogue: BEQ on MiniCva6");
+    let ctx = SynthConfig {
+        slots: vec![1],
+        context: ContextMode::NoControlFlow,
+        bound: 22,
+        conflict_budget: Some(2_000_000),
+        max_shapes: 32,
+    };
+    show(&core, isa::Opcode::Lw, &ctx, "Fig. 4b analogue: LW on MiniCva6 (older store context)");
+    let cache = uarch::cache::build_cache();
+    let cache_cfg = SynthConfig {
+        slots: vec![0, 1],
+        context: ContextMode::Any,
+        bound: 18,
+        conflict_budget: Some(2_000_000),
+        max_shapes: 32,
+    };
+    show(&cache, isa::Opcode::Sw, &cache_cfg, "Fig. 4c analogue: ST on MiniCache");
+}

@@ -1,0 +1,80 @@
+//! E-F6: Fig. 6 — the end-to-end RTL2MµPATH + SynthLC flow, stage by
+//! stage, on DIV (the artifact's walkthrough instruction, Appendix
+//! §I-F3/§I-G3).
+
+use mupath::{
+    dom_excl_relations, duv_pl_reachability, synthesize_instr, ContextMode, SynthConfig,
+};
+use synthlc::{synthesize_leakage, LeakConfig, TxKind};
+use uarch::{build_core, CoreConfig};
+
+fn main() {
+    println!("== Fig. 6: the synthesis flow on DIV ==\n");
+    let design = build_core(&CoreConfig::default());
+    let cfg = SynthConfig {
+        slots: vec![0],
+        context: ContextMode::Solo,
+        bound: 18,
+        conflict_budget: Some(2_000_000),
+        max_shapes: 64,
+    };
+
+    // Step 1: DUV PL reachability (§V-B1).
+    let duv = duv_pl_reachability(&design, &cfg);
+    let reachable: Vec<&str> = duv
+        .pls
+        .ids()
+        .filter(|pl| duv.reachable[pl.index()])
+        .map(|pl| duv.pls.name(pl))
+        .collect();
+    println!(
+        "[1] DUV PLs: {}/{} reachable: {:?}",
+        reachable.len(),
+        duv.pls.len(),
+        reachable
+    );
+
+    // Step 2-3: dominates/exclusive relations for the IUV (§V-B3).
+    let (dom, excl, st) = dom_excl_relations(&design, isa::Opcode::Div, &cfg);
+    println!(
+        "[2] dominates: {} pairs, exclusive: {} pairs ({} properties)",
+        dom.len(),
+        excl.len(),
+        st.properties
+    );
+
+    // Step 4-5: µPATH shapes, edges, decisions.
+    let r = synthesize_instr(&design, isa::Opcode::Div, &cfg);
+    println!(
+        "[3] DIV µPATHs: {} shapes (complete: {}), {} PL-level decisions, \
+         {} class-level decisions",
+        r.paths.len(),
+        r.complete,
+        r.decisions.len(),
+        r.class_decisions.len()
+    );
+    for p in &r.paths {
+        println!("    edges: {} HB edges in shape", p.edges.len());
+    }
+
+    // SynthLC: symbolic IFT and signatures.
+    let leak_cfg = LeakConfig {
+        mupath: cfg,
+        transmitters: vec![isa::Opcode::Div],
+        kinds: vec![TxKind::Intrinsic],
+        bound: 18,
+        conflict_budget: Some(2_000_000),
+        threads: 1,
+        slot_base: 0,
+        max_sources: Some(3),
+    };
+    let report = synthesize_leakage(&design, &[isa::Opcode::Div], &leak_cfg);
+    println!("[4] leakage signatures:");
+    for s in &report.signatures {
+        println!("    {}", s.render());
+    }
+    println!(
+        "[5] stats: mupath {} props, ift {} props",
+        report.mupath_stats.properties, report.ift_stats.properties
+    );
+}

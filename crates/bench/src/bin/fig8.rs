@@ -1,0 +1,40 @@
+//! E-F8: Fig. 8 — the transponder × transmitter leakage-signature matrix
+//! for the MiniCva6 core, over representative instruction classes.
+//!
+//! Scope: `SYNTHLC_SCOPE=quick` (default, ~10 min single-core) or `full`
+//! (~1 h single-core). Results generalise per class (Fig. 8 groups rows and
+//! columns the same way).
+
+use bench::{leak_cfg, render_ct_expanded, render_fig8, render_signatures, scope};
+use std::time::Instant;
+use synthlc::synthesize_leakage;
+use uarch::{build_core, CoreConfig};
+
+fn main() {
+    let scope = scope();
+    println!("== Fig. 8: leakage-signature matrix (scope {scope:?}) ==\n");
+    let design = build_core(&CoreConfig::default());
+    let (transponders, cfg) = leak_cfg(&design, scope);
+    println!("transponder reps: {transponders:?}");
+    println!("transmitter reps: {:?}", cfg.transmitters);
+    let t0 = Instant::now();
+    let report = synthesize_leakage(&design, &transponders, &cfg);
+    println!(
+        "\ncandidate transponders (>1 µPATH): {:?}",
+        report.candidate_transponders
+    );
+    println!("\n{}", render_fig8(&report));
+    println!("signatures:\n{}", render_signatures(&report));
+    println!("CT contract (classes expanded):\n{}", render_ct_expanded(&report));
+    println!(
+        "elapsed {:?}; mupath: {} props ({:.2}s avg, {:.1}% undetermined); \
+         ift: {} props ({:.2}s avg, {:.1}% undetermined)",
+        t0.elapsed(),
+        report.mupath_stats.properties,
+        report.mupath_stats.avg_seconds(),
+        report.mupath_stats.undetermined_pct(),
+        report.ift_stats.properties,
+        report.ift_stats.avg_seconds(),
+        report.ift_stats.undetermined_pct()
+    );
+}

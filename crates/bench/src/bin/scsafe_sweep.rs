@@ -1,0 +1,143 @@
+//! Empirical cross-validation of the synthesis results: for every
+//! instruction class, run the SC-Safe (Definition V.1) experiment with the
+//! secret wired into each operand, over many secret pairs, and report which
+//! (instruction, operand) pairs leak observationally.
+//!
+//! Expected agreement with Fig. 8/synthesis: DIV/REM (both operands), MUL
+//! on the zero-skip core, LW/SW (address operand), branches/JALR (via
+//! squash of younger instructions) leak; ALU ops and the hardened core's
+//! units do not.
+
+use isa::{Instr, Opcode};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use synthlc::scsafe::{check_sc_safe, SecretLocation};
+use uarch::{build_core, CoreConfig, Design};
+
+/// A victim template: the secret lands in r1; the probe instruction uses
+/// it in the chosen operand; younger instructions observe.
+fn victim(op: Opcode, operand_rs1: bool) -> Vec<Instr> {
+    let (rs1, rs2) = if operand_rs1 { (1, 2) } else { (2, 1) };
+    let probe = match op {
+        Opcode::Lw => Instr::rri(Opcode::Lw, 3, if operand_rs1 { 1 } else { 2 }, 0),
+        Opcode::Sw => Instr {
+            op: Opcode::Sw,
+            rd: 0,
+            rs1,
+            rs2,
+            imm: 0,
+        },
+        Opcode::Jalr => Instr::rri(Opcode::Jalr, 3, 1, 0),
+        o if o.is_branch() => Instr::branch(o, rs1, rs2, 2),
+        o => Instr::rrr(o, 3, rs1, rs2),
+    };
+    let mut program = vec![Instr::rri(Opcode::Addi, 2, 0, 5)];
+    // Memory probes need store-buffer/port context: an older store before a
+    // load probe, a younger load after a store probe (the LD_issue and
+    // ST_comSTB channels respectively).
+    if op == Opcode::Lw {
+        program.push(Instr {
+            op: Opcode::Sw,
+            rd: 0,
+            rs1: 0,
+            rs2: 2,
+            imm: 0,
+        });
+    }
+    program.push(probe);
+    if op == Opcode::Sw {
+        program.push(Instr::rri(Opcode::Lw, 3, 0, 1));
+    }
+    program.extend([
+        // Younger observers.
+        Instr::rrr(Opcode::Add, 3, 2, 2),
+        Instr::rri(Opcode::Lw, 2, 0, 1),
+    ]);
+    program
+}
+
+/// Whether the probe instruction actually reads the chosen operand (JALR
+/// only reads rs1, for example).
+fn operand_read(op: Opcode, operand_rs1: bool) -> bool {
+    if operand_rs1 {
+        op.reads_rs1()
+    } else {
+        op.reads_rs2() && op != Opcode::Jalr
+    }
+}
+
+fn leaks(design: &Design, op: Opcode, operand_rs1: bool, rng: &mut StdRng) -> bool {
+    let program = victim(op, operand_rs1);
+    let commits = program.len();
+    // Directed pairs hit the zero-skip, equality, offset-match, and
+    // magnitude corners; random pairs cover the rest.
+    let mut pairs = vec![(0u64, 7u64), (5, 6), (3, 200), (0, 1), (4, 5)];
+    for _ in 0..20 {
+        pairs.push((rng.r#gen::<u8>() as u64, rng.r#gen::<u8>() as u64));
+    }
+    for (a, b) in pairs {
+        if a == b {
+            continue;
+        }
+        let r = check_sc_safe(design, &program, SecretLocation::Reg(1), a, b, commits);
+        if r.violated {
+            return true;
+        }
+    }
+    false
+}
+
+fn main() {
+    println!("== SC-Safe sweep: observational leakage per (instruction, operand) ==\n");
+    let designs = [
+        ("MiniCva6", build_core(&CoreConfig::default())),
+        ("MiniCva6-MUL", build_core(&CoreConfig::cva6_mul())),
+        ("hardened", build_core(&CoreConfig::hardened())),
+    ];
+    let classes = [
+        Opcode::Add,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Rem,
+        Opcode::Lw,
+        Opcode::Sw,
+        Opcode::Beq,
+        Opcode::Blt,
+        Opcode::Jalr,
+    ];
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "instr",
+        "core.rs1",
+        "core.rs2",
+        "zskip.rs1",
+        "zskip.rs2",
+        "hard.rs1",
+        "hard.rs2"
+    );
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    for op in classes {
+        print!("{:<8}", op.to_string());
+        for (_, design) in &designs {
+            for operand_rs1 in [true, false] {
+                let mark = if !operand_read(op, operand_rs1) {
+                    "n/a"
+                } else if leaks(design, op, operand_rs1, &mut rng) {
+                    "LEAK"
+                } else {
+                    "-"
+                };
+                print!(" {mark:>13}");
+            }
+        }
+        println!();
+    }
+    println!(
+        "\nReading: `LEAK` = some secret pair produced diverging R_µPATH \
+         observation traces. Branches/JALR leak through younger-instruction \
+         squash; LW/SW through the memory-port/store-buffer channels; \
+         DIV/REM through serial-divider occupancy; MUL only on the \
+         zero-skip variant. The hardened core's divider/multiplier columns \
+         must be clean for arithmetic, while memory/control channels remain \
+         (hardening only fixed the functional units)."
+    );
+}

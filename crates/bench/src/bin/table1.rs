@@ -1,0 +1,27 @@
+//! E-T1: Table I — deriving all six leakage contracts (CT, MI6, OISA,
+//! STT/SDO/SPT, Dolma) from synthesized µPATHs and leakage signatures.
+
+use bench::{leak_cfg, scope};
+use synthlc::{contracts, synthesize_leakage};
+use uarch::{build_core, CoreConfig};
+
+fn main() {
+    let scope = scope();
+    println!("== Table I: leakage contracts derived from signatures (scope {scope:?}) ==\n");
+    let design = build_core(&CoreConfig::default());
+    let (transponders, cfg) = leak_cfg(&design, scope);
+    let report = synthesize_leakage(&design, &transponders, &cfg);
+    let c = contracts::derive_contracts(&report);
+    println!("{}", contracts::render_table1(&c));
+    println!("CT contract:\n{}", c.ct.render());
+    println!("STT explicit channels: {:?}", c.stt.explicit_channels.iter().map(|x| x.to_string()).collect::<Vec<_>>());
+    println!("STT implicit channels: {:?}", c.stt.implicit_channels.iter().map(|x| x.to_string()).collect::<Vec<_>>());
+    println!("STT implicit branches: {:?}", c.stt.implicit_branches);
+    println!("MI6 dynamic channels:  {:?}", c.mi6.dynamic_channels.iter().map(|x| x.to_string()).collect::<Vec<_>>());
+    println!("MI6 static channels:   {:?}", c.mi6.static_channels.iter().map(|x| x.to_string()).collect::<Vec<_>>());
+    println!("OISA units:            {:?}", c.oisa.input_dependent_units);
+    println!("SDO variant basis:     {:?}", c.sdo.variant_basis);
+    println!("Dolma variable-time:   {:?}", c.dolma.variable_time_micro_ops);
+    println!("Dolma inducive:        {:?}", c.dolma.inducive_micro_ops);
+    println!("Dolma resolvent:       {:?}", c.dolma.resolvent_micro_ops);
+}

@@ -1,0 +1,184 @@
+//! A small two-way assembler for MiniRV, used by the examples and tests.
+//!
+//! Syntax: one instruction per line, `;` or `#` comments. Operands are
+//! registers (`r0`..`r3`) or decimal/negative immediates:
+//!
+//! ```text
+//! addi r1, r0, 7
+//! sw   r0, r1, 2      ; mem[r0 + 2] = r1  (sw rs1, rs2, imm)
+//! beq  r1, r2, -1
+//! ```
+
+use crate::opcode::{Instr, Opcode};
+use std::fmt;
+
+/// Assembly errors with line information.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn opcode_by_mnemonic(m: &str) -> Option<Opcode> {
+    Opcode::ALL.into_iter().find(|o| o.mnemonic() == m)
+}
+
+fn parse_reg(tok: &str) -> Option<u8> {
+    let rest = tok.strip_prefix('r')?;
+    let n: u8 = rest.parse().ok()?;
+    (n < 4).then_some(n)
+}
+
+fn parse_imm(tok: &str) -> Option<u8> {
+    let v: i16 = tok.parse().ok()?;
+    (-16..=15).contains(&v).then_some((v as u8) & 0x1f)
+}
+
+/// Assembles a program, one instruction per line.
+///
+/// # Errors
+/// Returns the first malformed line.
+pub fn assemble(src: &str) -> Result<Vec<Instr>, AsmError> {
+    let mut out = Vec::new();
+    for (ix, raw) in src.lines().enumerate() {
+        let lineno = ix + 1;
+        let line = raw
+            .split(|c| c == ';' || c == '#')
+            .next()
+            .unwrap_or("")
+            .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |m: String| AsmError {
+            line: lineno,
+            message: m,
+        };
+        let mut parts = line.split_whitespace();
+        let mnem = parts.next().expect("non-empty line");
+        let op = opcode_by_mnemonic(mnem)
+            .ok_or_else(|| err(format!("unknown mnemonic `{mnem}`")))?;
+        let rest = parts.collect::<Vec<_>>().join(" ");
+        let operands: Vec<String> = rest
+            .split(',')
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let reg = |i: usize| -> Result<u8, AsmError> {
+            operands
+                .get(i)
+                .and_then(|t| parse_reg(t))
+                .ok_or_else(|| err(format!("operand {i} must be a register")))
+        };
+        let imm = |i: usize| -> Result<u8, AsmError> {
+            operands
+                .get(i)
+                .and_then(|t| parse_imm(t))
+                .ok_or_else(|| err(format!("operand {i} must be an immediate in -16..=15")))
+        };
+        let instr = match op {
+            Opcode::Nop => Instr::nop(),
+            o if o.is_branch() => Instr::branch(o, reg(0)?, reg(1)?, imm(2)?),
+            Opcode::Sw => Instr {
+                op,
+                rd: 0,
+                rs1: reg(0)?,
+                rs2: reg(1)?,
+                imm: imm(2)?,
+            },
+            Opcode::Lw | Opcode::Jalr => Instr::rri(op, reg(0)?, reg(1)?, imm(2)?),
+            Opcode::Jal => Instr::rri(op, reg(0)?, 0, imm(1)?),
+            Opcode::Addi | Opcode::Andi | Opcode::Ori | Opcode::Xori | Opcode::Slti => {
+                Instr::rri(op, reg(0)?, reg(1)?, imm(2)?)
+            }
+            _ => Instr::rrr(op, reg(0)?, reg(1)?, reg(2)?),
+        };
+        out.push(instr);
+    }
+    Ok(out)
+}
+
+/// Disassembles a program back to assembler syntax.
+pub fn disassemble(program: &[Instr]) -> String {
+    let mut out = String::new();
+    for i in program {
+        let text = match i.op {
+            Opcode::Nop => "nop".to_owned(),
+            o if o.is_branch() => {
+                format!("{} r{}, r{}, {}", o, i.rs1, i.rs2, sext_display(i.imm))
+            }
+            Opcode::Sw => format!("sw r{}, r{}, {}", i.rs1, i.rs2, sext_display(i.imm)),
+            Opcode::Lw | Opcode::Jalr => {
+                format!("{} r{}, r{}, {}", i.op, i.rd, i.rs1, sext_display(i.imm))
+            }
+            Opcode::Jal => format!("jal r{}, {}", i.rd, sext_display(i.imm)),
+            Opcode::Addi | Opcode::Andi | Opcode::Ori | Opcode::Xori | Opcode::Slti => {
+                format!("{} r{}, r{}, {}", i.op, i.rd, i.rs1, sext_display(i.imm))
+            }
+            _ => format!("{} r{}, r{}, r{}", i.op, i.rd, i.rs1, i.rs2),
+        };
+        out.push_str(&text);
+        out.push('\n');
+    }
+    out
+}
+
+fn sext_display(imm: u8) -> i8 {
+    if imm & 0x10 != 0 {
+        (imm | 0xe0) as i8
+    } else {
+        imm as i8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArchState;
+
+    #[test]
+    fn assemble_and_run() {
+        let prog = assemble(
+            "addi r1, r0, 7\n\
+             addi r2, r0, 5   ; set up\n\
+             mul  r3, r1, r2\n\
+             sw   r0, r3, 2\n",
+        )
+        .unwrap();
+        let mut s = ArchState::new();
+        s.run(&prog, 10);
+        assert_eq!(s.mem[2], 35);
+    }
+
+    #[test]
+    fn round_trip_through_disassembler() {
+        let src = "addi r1, r0, 7\nbeq r1, r2, -1\nsw r1, r2, 3\njal r3, 2\n";
+        let prog = assemble(src).unwrap();
+        let text = disassemble(&prog);
+        let prog2 = assemble(&text).unwrap();
+        assert_eq!(prog, prog2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nfrobnicate r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn immediate_range_enforced() {
+        assert!(assemble("addi r1, r0, 16").is_err());
+        assert!(assemble("addi r1, r0, -16").is_ok());
+    }
+}

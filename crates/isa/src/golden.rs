@@ -1,0 +1,260 @@
+//! The architectural golden model: an instruction-level interpreter used as
+//! the reference for `uarch` conformance tests and the SC-Safe experiment.
+
+use crate::opcode::{Instr, Opcode};
+use crate::{MEM_WORDS, NUM_REGS};
+
+/// Architectural state: registers, data memory, and the program counter.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArchState {
+    /// General-purpose registers; `regs[0]` always reads as zero.
+    pub regs: [u8; NUM_REGS],
+    /// Data memory.
+    pub mem: [u8; MEM_WORDS],
+    /// Program counter (word-addressed).
+    pub pc: u8,
+}
+
+impl Default for ArchState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArchState {
+    /// A zeroed state.
+    pub fn new() -> Self {
+        Self {
+            regs: [0; NUM_REGS],
+            mem: [0; MEM_WORDS],
+            pc: 0,
+        }
+    }
+
+    /// Reads a register (`r0` is hardwired to zero).
+    pub fn reg(&self, ix: u8) -> u8 {
+        if ix == 0 {
+            0
+        } else {
+            self.regs[ix as usize & (NUM_REGS - 1)]
+        }
+    }
+
+    fn write_reg(&mut self, ix: u8, v: u8) {
+        if ix != 0 {
+            self.regs[ix as usize & (NUM_REGS - 1)] = v;
+        }
+    }
+
+    /// The effective data-memory index for an address.
+    pub fn mem_index(addr: u8) -> usize {
+        addr as usize & (MEM_WORDS - 1)
+    }
+
+    /// Executes one instruction, updating registers, memory and the PC.
+    pub fn step(&mut self, i: Instr) {
+        let a = self.reg(i.rs1);
+        let b = self.reg(i.rs2);
+        let imm = i.imm_sext();
+        let sa = a as i8;
+        let sb = b as i8;
+        let simm = imm as i8;
+        let next_pc = self.pc.wrapping_add(1);
+        let mut target = next_pc;
+        match i.op {
+            Opcode::Nop => {}
+            Opcode::Add => self.write_reg(i.rd, a.wrapping_add(b)),
+            Opcode::Sub => self.write_reg(i.rd, a.wrapping_sub(b)),
+            Opcode::And => self.write_reg(i.rd, a & b),
+            Opcode::Or => self.write_reg(i.rd, a | b),
+            Opcode::Xor => self.write_reg(i.rd, a ^ b),
+            Opcode::Sll => self.write_reg(i.rd, if b >= 8 { 0 } else { a << b }),
+            Opcode::Srl => self.write_reg(i.rd, if b >= 8 { 0 } else { a >> b }),
+            Opcode::Slt => self.write_reg(i.rd, (sa < sb) as u8),
+            Opcode::Sltu => self.write_reg(i.rd, (a < b) as u8),
+            Opcode::Addi => self.write_reg(i.rd, a.wrapping_add(imm)),
+            Opcode::Andi => self.write_reg(i.rd, a & imm),
+            Opcode::Ori => self.write_reg(i.rd, a | imm),
+            Opcode::Xori => self.write_reg(i.rd, a ^ imm),
+            Opcode::Slti => self.write_reg(i.rd, (sa < simm) as u8),
+            Opcode::Mul => self.write_reg(i.rd, a.wrapping_mul(b)),
+            Opcode::Mulh => {
+                let p = (a as u16) * (b as u16);
+                self.write_reg(i.rd, (p >> 8) as u8);
+            }
+            Opcode::Div => {
+                let q = if b == 0 {
+                    0xff // RISC-V: division by zero yields all ones
+                } else if sa == i8::MIN && sb == -1 {
+                    a // overflow: quotient = dividend
+                } else {
+                    sa.wrapping_div(sb) as u8
+                };
+                self.write_reg(i.rd, q);
+            }
+            Opcode::Divu => self.write_reg(i.rd, if b == 0 { 0xff } else { a / b }),
+            Opcode::Rem => {
+                let r = if b == 0 {
+                    a // RISC-V: remainder by zero yields the dividend
+                } else if sa == i8::MIN && sb == -1 {
+                    0
+                } else {
+                    sa.wrapping_rem(sb) as u8
+                };
+                self.write_reg(i.rd, r);
+            }
+            Opcode::Remu => self.write_reg(i.rd, if b == 0 { a } else { a % b }),
+            Opcode::Lw => {
+                let addr = a.wrapping_add(imm);
+                self.write_reg(i.rd, self.mem[Self::mem_index(addr)]);
+            }
+            Opcode::Sw => {
+                let addr = a.wrapping_add(imm);
+                self.mem[Self::mem_index(addr)] = b;
+            }
+            Opcode::Beq => {
+                if a == b {
+                    target = self.pc.wrapping_add(imm);
+                }
+            }
+            Opcode::Bne => {
+                if a != b {
+                    target = self.pc.wrapping_add(imm);
+                }
+            }
+            Opcode::Blt => {
+                if sa < sb {
+                    target = self.pc.wrapping_add(imm);
+                }
+            }
+            Opcode::Bge => {
+                if sa >= sb {
+                    target = self.pc.wrapping_add(imm);
+                }
+            }
+            Opcode::Bltu => {
+                if a < b {
+                    target = self.pc.wrapping_add(imm);
+                }
+            }
+            Opcode::Bgeu => {
+                if a >= b {
+                    target = self.pc.wrapping_add(imm);
+                }
+            }
+            Opcode::Jal => {
+                self.write_reg(i.rd, next_pc);
+                target = self.pc.wrapping_add(imm);
+            }
+            Opcode::Jalr => {
+                self.write_reg(i.rd, next_pc);
+                target = a.wrapping_add(imm);
+            }
+        }
+        self.pc = target;
+    }
+
+    /// Runs a program from `pc = 0` for at most `max_steps` instructions
+    /// (programs are word-addressed into `program`); falls off the end by
+    /// executing NOPs.
+    pub fn run(&mut self, program: &[Instr], max_steps: usize) {
+        for _ in 0..max_steps {
+            let i = program
+                .get(self.pc as usize)
+                .copied()
+                .unwrap_or_else(Instr::nop);
+            self.step(i);
+            if self.pc as usize >= program.len() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(regs: [u8; 4]) -> ArchState {
+        ArchState {
+            regs,
+            ..ArchState::new()
+        }
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut s = st([9, 1, 2, 3]);
+        s.step(Instr::rrr(Opcode::Add, 0, 1, 2));
+        assert_eq!(s.reg(0), 0);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let mut s = st([0, 200, 100, 0]);
+        s.step(Instr::rrr(Opcode::Add, 3, 1, 2));
+        assert_eq!(s.regs[3], 44, "wrapping add");
+        s.step(Instr::rrr(Opcode::Mulh, 3, 1, 2));
+        assert_eq!(s.regs[3], ((200u16 * 100) >> 8) as u8);
+    }
+
+    #[test]
+    fn division_riscv_edge_cases() {
+        let mut s = st([0, 10, 0, 0]);
+        s.step(Instr::rrr(Opcode::Div, 3, 1, 2));
+        assert_eq!(s.regs[3], 0xff, "div by zero is -1");
+        s.step(Instr::rrr(Opcode::Rem, 3, 1, 2));
+        assert_eq!(s.regs[3], 10, "rem by zero is dividend");
+        let mut s = st([0, 0x80, 0xff, 0]);
+        s.step(Instr::rrr(Opcode::Div, 3, 1, 2));
+        assert_eq!(s.regs[3], 0x80, "overflow quotient");
+        s.step(Instr::rrr(Opcode::Rem, 3, 1, 2));
+        assert_eq!(s.regs[3], 0, "overflow remainder");
+    }
+
+    #[test]
+    fn loads_and_stores_wrap_addresses() {
+        let mut s = st([0, 9, 0x55, 0]);
+        s.step(Instr::rrr(Opcode::Sw, 0, 1, 2)); // mem[9 & 7] = 0x55
+        assert_eq!(s.mem[1], 0x55);
+        s.step(Instr::rri(Opcode::Lw, 3, 1, 0));
+        assert_eq!(s.regs[3], 0x55);
+    }
+
+    #[test]
+    fn branches_and_jumps_update_pc() {
+        let mut s = st([0, 5, 5, 0]);
+        s.pc = 10;
+        s.step(Instr::branch(Opcode::Beq, 1, 2, 4));
+        assert_eq!(s.pc, 14);
+        s.step(Instr::branch(Opcode::Bne, 1, 2, 4));
+        assert_eq!(s.pc, 15, "not taken falls through");
+        s.step(Instr::rri(Opcode::Jal, 3, 0, 0x1f)); // imm = -1
+        assert_eq!(s.pc, 14);
+        assert_eq!(s.regs[3], 16, "link register holds pc+1");
+        s.regs[1] = 3;
+        s.step(Instr::rri(Opcode::Jalr, 3, 1, 1));
+        assert_eq!(s.pc, 4);
+    }
+
+    #[test]
+    fn signed_compares() {
+        let mut s = st([0, 0xff, 1, 0]); // r1 = -1 signed
+        s.step(Instr::rrr(Opcode::Slt, 3, 1, 2));
+        assert_eq!(s.regs[3], 1, "-1 < 1 signed");
+        s.step(Instr::rrr(Opcode::Sltu, 3, 1, 2));
+        assert_eq!(s.regs[3], 0, "255 > 1 unsigned");
+    }
+
+    #[test]
+    fn run_executes_straightline_program() {
+        let prog = vec![
+            Instr::rri(Opcode::Addi, 1, 0, 7),
+            Instr::rri(Opcode::Addi, 2, 0, 3),
+            Instr::rrr(Opcode::Mul, 3, 1, 2),
+        ];
+        let mut s = ArchState::new();
+        s.run(&prog, 10);
+        assert_eq!(s.regs[3], 21);
+    }
+}

@@ -1,0 +1,468 @@
+//! The property-checking engine: cover/assume queries over an incrementally
+//! shared unrolling, with the paper's reachable / unreachable / undetermined
+//! outcome trichotomy (§V-B) and an optional k-induction unreachability
+//! prover.
+
+use crate::trace::Trace;
+use crate::unroll::{InitMode, Unrolling};
+use netlist::{Netlist, SignalId};
+use sat::{Lit, SolveResult};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Outcome of a cover query, mirroring the paper's model-checker outcomes.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// A witness trace satisfying the cover (and all assumes) exists.
+    Reachable(Trace),
+    /// Proven: no such trace exists (complete bound or induction).
+    Unreachable,
+    /// Budget/bound exhausted without a verdict.
+    Undetermined,
+}
+
+impl Outcome {
+    /// `true` when reachable.
+    pub fn is_reachable(&self) -> bool {
+        matches!(self, Outcome::Reachable(_))
+    }
+
+    /// `true` when proven unreachable.
+    pub fn is_unreachable(&self) -> bool {
+        matches!(self, Outcome::Unreachable)
+    }
+
+    /// `true` when undetermined.
+    pub fn is_undetermined(&self) -> bool {
+        matches!(self, Outcome::Undetermined)
+    }
+
+    /// The witness trace, when reachable.
+    pub fn trace(&self) -> Option<&Trace> {
+        match self {
+            Outcome::Reachable(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of a [`Checker`].
+#[derive(Clone, Copy, Debug)]
+pub struct McConfig {
+    /// Unrolling depth (number of cycles explored from reset).
+    pub bound: usize,
+    /// Conflict budget per property; exhausting it yields `Undetermined`.
+    pub conflict_budget: Option<u64>,
+    /// Declare the bound *complete*: every behaviour of interest manifests
+    /// within it, so in-bound UNSAT proves unreachability. Our pipeline DUVs
+    /// drain within a statically known number of cycles, which justifies
+    /// this (see `DESIGN.md` §4).
+    pub bound_is_complete: bool,
+    /// When the bound is not complete, attempt a k-induction proof before
+    /// reporting `Undetermined`.
+    pub try_induction: bool,
+    /// Induction depth (k).
+    pub induction_depth: usize,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        Self {
+            bound: 20,
+            conflict_budget: Some(2_000_000),
+            bound_is_complete: true,
+            try_induction: false,
+            induction_depth: 4,
+        }
+    }
+}
+
+/// Aggregated per-checker property statistics (the §VII-B3 analogue).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckStats {
+    /// Properties evaluated.
+    pub properties: u64,
+    /// Reachable outcomes.
+    pub reachable: u64,
+    /// Unreachable outcomes.
+    pub unreachable: u64,
+    /// Undetermined outcomes.
+    pub undetermined: u64,
+    /// Total wall time in property evaluation.
+    pub total_time: Duration,
+    /// Longest single property evaluation.
+    pub max_time: Duration,
+}
+
+impl CheckStats {
+    /// Average seconds per property.
+    pub fn avg_seconds(&self) -> f64 {
+        if self.properties == 0 {
+            0.0
+        } else {
+            self.total_time.as_secs_f64() / self.properties as f64
+        }
+    }
+
+    /// Percentage of undetermined outcomes.
+    pub fn undetermined_pct(&self) -> f64 {
+        if self.properties == 0 {
+            0.0
+        } else {
+            100.0 * self.undetermined as f64 / self.properties as f64
+        }
+    }
+
+    /// Merges another stats record into this one.
+    pub fn absorb(&mut self, other: &CheckStats) {
+        self.properties += other.properties;
+        self.reachable += other.reachable;
+        self.unreachable += other.unreachable;
+        self.undetermined += other.undetermined;
+        self.total_time += other.total_time;
+        self.max_time = self.max_time.max(other.max_time);
+    }
+}
+
+/// A bounded model checker over one netlist, shared across many properties.
+///
+/// All properties are *cover* properties over 1-bit signals, optionally
+/// constrained by *assume* signals that must hold at every cycle — exactly
+/// the SVA subset the paper's templates use. The `sva` crate compiles richer
+/// temporal properties into monitor circuits whose outputs are the 1-bit
+/// signals passed here.
+#[derive(Debug)]
+pub struct Checker<'a> {
+    nl: &'a Netlist,
+    cfg: McConfig,
+    unroll: Unrolling<'a>,
+    /// Activation literal implying "assume signal holds at all frames".
+    assume_cache: HashMap<SignalId, Lit>,
+    /// Activation literal implying "cover signal holds at some frame".
+    cover_cache: HashMap<SignalId, Lit>,
+    stats: CheckStats,
+}
+
+impl<'a> Checker<'a> {
+    /// Creates a checker and eagerly unrolls to the configured bound.
+    ///
+    /// # Panics
+    /// Panics if the netlist is invalid.
+    pub fn new(nl: &'a Netlist, cfg: McConfig) -> Self {
+        Self::with_free_regs(nl, cfg, &[])
+    }
+
+    /// Like [`Checker::new`], but the listed registers (typically the
+    /// architectural register file and memory) start *symbolic* rather than
+    /// at their reset values — the paper's reset discipline (§V-B).
+    pub fn with_free_regs(nl: &'a Netlist, cfg: McConfig, free: &[SignalId]) -> Self {
+        let mut unroll = Unrolling::new(nl, InitMode::Reset);
+        unroll.set_free_regs(free);
+        unroll.extend_to(cfg.bound);
+        Self {
+            nl,
+            cfg,
+            unroll,
+            assume_cache: HashMap::new(),
+            cover_cache: HashMap::new(),
+            stats: CheckStats::default(),
+        }
+    }
+
+    /// The checker's netlist.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.nl
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> McConfig {
+        self.cfg
+    }
+
+    /// Statistics over all properties checked so far.
+    pub fn stats(&self) -> CheckStats {
+        self.stats
+    }
+
+    /// Raw SAT-solver statistics (variables, conflicts, propagations).
+    pub fn solver_stats(&mut self) -> (usize, sat::SolverStats) {
+        let vars = self.unroll.gate().num_vars();
+        (vars, self.unroll.gate().solver().stats())
+    }
+
+    fn assume_activation(&mut self, sig: SignalId) -> Lit {
+        if let Some(&l) = self.assume_cache.get(&sig) {
+            return l;
+        }
+        assert_eq!(self.nl.width(sig), 1, "assume signal must be 1 bit");
+        let act = self.unroll.gate().fresh();
+        for t in 0..self.cfg.bound {
+            let at = self.unroll.lit(t, sig);
+            self.unroll.gate().add_clause(&[!act, at]);
+        }
+        self.assume_cache.insert(sig, act);
+        act
+    }
+
+    fn cover_activation(&mut self, sig: SignalId) -> Lit {
+        if let Some(&l) = self.cover_cache.get(&sig) {
+            return l;
+        }
+        assert_eq!(self.nl.width(sig), 1, "cover signal must be 1 bit");
+        let act = self.unroll.gate().fresh();
+        let mut clause = vec![!act];
+        for t in 0..self.cfg.bound {
+            clause.push(self.unroll.lit(t, sig));
+        }
+        self.unroll.gate().add_clause(&clause);
+        self.cover_cache.insert(sig, act);
+        act
+    }
+
+    /// Checks `cover (cover_sig)` under `assume (a)` for every `a` in
+    /// `assumes` (each holding at every cycle).
+    pub fn check_cover(&mut self, cover_sig: SignalId, assumes: &[SignalId]) -> Outcome {
+        let started = Instant::now();
+        let mut assumptions: Vec<Lit> =
+            assumes.iter().map(|&a| self.assume_activation(a)).collect();
+        assumptions.push(self.cover_activation(cover_sig));
+        self.unroll
+            .gate()
+            .solver()
+            .set_conflict_budget(self.cfg.conflict_budget);
+        let result = self.unroll.gate().solver().solve_assuming(&assumptions);
+        let outcome = match result {
+            SolveResult::Sat => {
+                Outcome::Reachable(Trace::from_model(&self.unroll, self.cfg.bound))
+            }
+            SolveResult::Unsat => {
+                if self.cfg.bound_is_complete {
+                    Outcome::Unreachable
+                } else if self.cfg.try_induction
+                    && self.prove_by_induction(cover_sig, assumes)
+                {
+                    Outcome::Unreachable
+                } else {
+                    Outcome::Undetermined
+                }
+            }
+            SolveResult::Unknown => Outcome::Undetermined,
+        };
+        let elapsed = started.elapsed();
+        self.stats.properties += 1;
+        self.stats.total_time += elapsed;
+        self.stats.max_time = self.stats.max_time.max(elapsed);
+        match &outcome {
+            Outcome::Reachable(_) => self.stats.reachable += 1,
+            Outcome::Unreachable => self.stats.unreachable += 1,
+            Outcome::Undetermined => self.stats.undetermined += 1,
+        }
+        outcome
+    }
+
+    /// The SAT literal of a 1-bit signal at the final unrolled frame.
+    ///
+    /// Enumeration loops (µPATH shape enumeration in `mupath`) read monitor
+    /// bits here and block found signatures with
+    /// [`Checker::add_blocking_clause`].
+    ///
+    /// # Panics
+    /// Panics if the signal is wider than 1 bit.
+    pub fn final_frame_lit(&self, sig: SignalId) -> Lit {
+        self.unroll.lit(self.cfg.bound - 1, sig)
+    }
+
+    /// The SAT literal of one bit of a signal at the final unrolled frame.
+    ///
+    /// # Panics
+    /// Panics if `bit` is out of range for the signal's width.
+    pub fn final_frame_bit(&self, sig: SignalId, bit: u8) -> Lit {
+        self.unroll.lits(self.cfg.bound - 1, sig)[bit as usize]
+    }
+
+    /// Adds a permanent clause over literals obtained from
+    /// [`Checker::final_frame_lit`], used to block already-enumerated
+    /// solutions.
+    pub fn add_blocking_clause(&mut self, lits: &[Lit]) {
+        self.unroll.gate().add_clause(lits);
+    }
+
+    /// k-induction step: from any state satisfying the assumes in which the
+    /// cover did not fire for `k` consecutive cycles, the cover cannot fire
+    /// at cycle `k`. Combined with the (already UNSAT) base case this proves
+    /// global unreachability.
+    fn prove_by_induction(&mut self, cover_sig: SignalId, assumes: &[SignalId]) -> bool {
+        let k = self.cfg.induction_depth;
+        if k == 0 || k > self.cfg.bound {
+            return false;
+        }
+        let mut ind = Unrolling::new(self.nl, InitMode::Free);
+        ind.extend_to(k + 1);
+        let mut assumptions = Vec::new();
+        for t in 0..=k {
+            for &a in assumes {
+                assumptions.push(ind.lit(t, a));
+            }
+        }
+        for t in 0..k {
+            let c = ind.lit(t, cover_sig);
+            assumptions.push(!c);
+        }
+        assumptions.push(ind.lit(k, cover_sig));
+        ind.gate()
+            .solver()
+            .set_conflict_budget(self.cfg.conflict_budget);
+        ind.gate().solver().solve_assuming(&assumptions).is_unsat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::Builder;
+
+    /// A 3-bit counter plus a flag raised when it equals 5, and a saturating
+    /// variant used for induction tests.
+    fn counter_with_flag() -> Netlist {
+        let mut b = Builder::new();
+        let c = b.reg("c", 3, 0);
+        let one = b.constant(1, 3);
+        let n = b.add(c, one);
+        b.set_next(c, n).unwrap();
+        let is5 = b.eq_const(c, 5);
+        b.name(is5, "at5");
+        let is7 = b.eq_const(c, 7);
+        let never = b.constant(0, 1);
+        b.name(never, "never");
+        b.name(is7, "at7");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn cover_reachable_with_witness() {
+        let nl = counter_with_flag();
+        let mut chk = Checker::new(
+            &nl,
+            McConfig {
+                bound: 8,
+                ..Default::default()
+            },
+        );
+        let out = chk.check_cover(nl.find("at5").unwrap(), &[]);
+        let trace = out.trace().expect("reachable");
+        let c = nl.find("c").unwrap();
+        assert_eq!(trace.value(5, c), 5, "witness shows counter at 5");
+    }
+
+    #[test]
+    fn cover_unreachable_within_complete_bound() {
+        let nl = counter_with_flag();
+        let mut chk = Checker::new(
+            &nl,
+            McConfig {
+                bound: 8,
+                ..Default::default()
+            },
+        );
+        let out = chk.check_cover(nl.find("never").unwrap(), &[]);
+        assert!(out.is_unreachable());
+    }
+
+    #[test]
+    fn incomplete_bound_gives_undetermined() {
+        let nl = counter_with_flag();
+        let mut chk = Checker::new(
+            &nl,
+            McConfig {
+                bound: 4, // too shallow to see c == 5
+                bound_is_complete: false,
+                try_induction: false,
+                ..Default::default()
+            },
+        );
+        let out = chk.check_cover(nl.find("at5").unwrap(), &[]);
+        assert!(out.is_undetermined(), "shallow bound must not prove");
+    }
+
+    #[test]
+    fn assumes_constrain_covers() {
+        // With assume(c != 5 is not expressible directly): build a netlist
+        // where an input gates progress, assume the gate low, and show the
+        // cover becomes unreachable.
+        let mut b = Builder::new();
+        let en = b.input("en", 1);
+        let c = b.reg("c", 3, 0);
+        let one = b.constant(1, 3);
+        let n = b.add(c, one);
+        let gated = b.mux(en, n, c);
+        b.set_next(c, gated).unwrap();
+        let at3 = b.eq_const(c, 3);
+        b.name(at3, "at3");
+        let frozen = b.not(en);
+        b.name(frozen, "frozen");
+        let nl = b.finish().unwrap();
+        let mut chk = Checker::new(
+            &nl,
+            McConfig {
+                bound: 8,
+                ..Default::default()
+            },
+        );
+        let at3 = nl.find("at3").unwrap();
+        let frozen = nl.find("frozen").unwrap();
+        assert!(chk.check_cover(at3, &[]).is_reachable());
+        assert!(chk.check_cover(at3, &[frozen]).is_unreachable());
+        assert_eq!(chk.stats().properties, 2);
+    }
+
+    #[test]
+    fn induction_proves_invariant() {
+        // A saturating 3-bit counter never exceeds 6: "c == 7" is
+        // unreachable but needs induction when the bound is marked
+        // incomplete.
+        let mut b = Builder::new();
+        let c = b.reg("c", 3, 0);
+        let one = b.constant(1, 3);
+        let six = b.constant(6, 3);
+        let n = b.add(c, one);
+        let at_max = b.eq(c, six);
+        let hold = b.mux(at_max, c, n);
+        b.set_next(c, hold).unwrap();
+        let at7 = b.eq_const(c, 7);
+        b.name(at7, "at7");
+        let nl = b.finish().unwrap();
+        let mut chk = Checker::new(
+            &nl,
+            McConfig {
+                bound: 10,
+                bound_is_complete: false,
+                try_induction: true,
+                induction_depth: 2,
+                ..Default::default()
+            },
+        );
+        let out = chk.check_cover(nl.find("at7").unwrap(), &[]);
+        assert!(out.is_unreachable(), "k-induction should prove this");
+    }
+
+    #[test]
+    fn witness_traces_replay_in_simulator() {
+        let nl = counter_with_flag();
+        let mut chk = Checker::new(
+            &nl,
+            McConfig {
+                bound: 8,
+                ..Default::default()
+            },
+        );
+        let at5 = nl.find("at5").unwrap();
+        let out = chk.check_cover(at5, &[]);
+        let trace = out.trace().unwrap();
+        let script = trace.input_script();
+        let sim_vals = sim::replay(&nl, &script, &[at5]);
+        assert!(
+            sim_vals.iter().any(|r| r[0] == 1),
+            "replayed witness fires the cover"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! BMC/simulator agreement (property-based): any state the simulator can
+//! drive a random circuit into must be `Reachable` for the model checker at
+//! the same bound, and every witness the model checker produces must
+//! replay to the covered condition on the simulator.
+
+use mc::{Checker, McConfig};
+use netlist::{Builder, Netlist};
+use proptest::prelude::*;
+use sim::Simulator;
+
+/// A small random sequential circuit: two 3-bit registers fed by an input
+/// and a mix of operators selected by `sel`.
+fn build(sel: u8) -> Netlist {
+    let mut b = Builder::new();
+    let x = b.input("x", 3);
+    let r1 = b.reg("r1", 3, 0);
+    let r2 = b.reg("r2", 3, 1);
+    let mixed = match sel % 5 {
+        0 => b.add(r1, x),
+        1 => b.xor(r2, x),
+        2 => {
+            let s = b.red_or(x);
+            b.mux(s, r2, r1)
+        }
+        3 => b.sub(r2, r1),
+        _ => {
+            let m = b.mul(r1, x);
+            b.or(m, r2)
+        }
+    };
+    b.set_next(r1, mixed).unwrap();
+    let swapped = b.add(r1, r2);
+    b.set_next(r2, swapped).unwrap();
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulated_states_are_bmc_reachable(
+        sel in 0u8..5,
+        script in prop::collection::vec(0u64..8, 1..8),
+    ) {
+        let nl = build(sel);
+        let x = nl.find("x").unwrap();
+        let r1 = nl.find("r1").unwrap();
+        // Simulate the script, record r1's final value and the cycle count.
+        let mut s = Simulator::new(&nl);
+        for &v in &script {
+            s.set_input(x, v);
+            s.step();
+        }
+        let target = s.value(r1);
+        // The target value must be BMC-reachable within the script length.
+        let mut b2 = Builder::from_netlist(nl.clone());
+        let r1w = b2.wire(r1);
+        let is_target = b2.eq_const(r1w, target);
+        b2.name(is_target, "cover_target");
+        let monitored = b2.finish().unwrap();
+        let cover = monitored.find("cover_target").unwrap();
+        let mut chk = Checker::new(
+            &monitored,
+            McConfig {
+                bound: script.len() + 1,
+                ..Default::default()
+            },
+        );
+        let out = chk.check_cover(cover, &[]);
+        prop_assert!(out.is_reachable(), "sim reached {target}, BMC must too");
+        // And the witness must replay.
+        let trace = out.trace().unwrap();
+        let vals = sim::replay(&monitored, &trace.input_script(), &[cover]);
+        prop_assert!(vals.iter().any(|r| r[0] == 1), "witness replays");
+    }
+
+    #[test]
+    fn bmc_unreachable_values_never_simulate(
+        sel in 0u8..5,
+        scripts in prop::collection::vec(prop::collection::vec(0u64..8, 4), 1..6),
+        target in 0u64..8,
+    ) {
+        let nl = build(sel);
+        let x = nl.find("x").unwrap();
+        let r1 = nl.find("r1").unwrap();
+        let mut b2 = Builder::from_netlist(nl.clone());
+        let r1w = b2.wire(r1);
+        let is_target = b2.eq_const(r1w, target);
+        b2.name(is_target, "cover_target");
+        let monitored = b2.finish().unwrap();
+        let cover = monitored.find("cover_target").unwrap();
+        let mut chk = Checker::new(
+            &monitored,
+            McConfig {
+                bound: 5,
+                ..Default::default()
+            },
+        );
+        if chk.check_cover(cover, &[]).is_unreachable() {
+            for script in &scripts {
+                let mut s = Simulator::new(&nl);
+                for &v in script {
+                    prop_assert_ne!(
+                        s.value(r1),
+                        target,
+                        "BMC said unreachable within bound"
+                    );
+                    s.set_input(x, v);
+                    s.step();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! RTL2MµPATH: multi-µPATH synthesis from RTL (the paper's first
+//! contribution, §III and §V-B).
+//!
+//! Given an annotated design ([`uarch::Design`]: netlist + µFSM/IFR/commit
+//! metadata), this crate finds a complete set of formally verified µPATHs
+//! for each instruction:
+//!
+//! ```text
+//! design ──► IuvHarness (visit monitors, §III-C) ──► Checker (BMC covers)
+//!        ──► µPATH shapes + concrete witnesses ──► decisions (§IV-B)
+//! ```
+//!
+//! Entry points:
+//! * [`duv_pl_reachability`] — §V-B1 (design-wide PL pruning),
+//! * [`synthesize_instr`] — §V-B2..5 (per-instruction µPATH enumeration,
+//!   decisions, HB edges),
+//! * [`dom_excl_relations`] — §V-B3 (dominates/exclusive cover templates),
+//! * [`enumerate_revisit_counts`] — §V-B6 (e.g. divider occupancy range),
+//! * [`synthesize_isa`] — the whole-ISA driver used by SynthLC.
+
+mod harness;
+mod synth;
+pub mod uspec;
+
+pub use harness::{build_harness, ContextMode, HarnessConfig, IuvHarness, PlMonitors};
+pub use synth::{
+    class_view, dom_excl_relations, duv_pl_reachability, enumerate_revisit_counts,
+    synthesize_instr, DuvPlReport, InstrSynthesis, SynthConfig,
+};
+
+use isa::Opcode;
+use mc::CheckStats;
+use uarch::Design;
+
+/// Whole-ISA synthesis results.
+#[derive(Clone, Debug)]
+pub struct IsaSynthesis {
+    /// Per-instruction results, in the order requested.
+    pub instrs: Vec<InstrSynthesis>,
+    /// Aggregate property statistics (the §VII-B3 accounting).
+    pub stats: CheckStats,
+}
+
+impl IsaSynthesis {
+    /// The candidate transponders (>1 µPATH, §V-C).
+    pub fn candidate_transponders(&self) -> Vec<Opcode> {
+        self.instrs
+            .iter()
+            .filter(|i| i.is_candidate_transponder())
+            .map(|i| i.opcode)
+            .collect()
+    }
+
+    /// Looks up one instruction's synthesis.
+    pub fn instr(&self, op: Opcode) -> Option<&InstrSynthesis> {
+        self.instrs.iter().find(|i| i.opcode == op)
+    }
+}
+
+/// Runs [`synthesize_instr`] for each requested instruction.
+pub fn synthesize_isa(design: &Design, ops: &[Opcode], cfg: &SynthConfig) -> IsaSynthesis {
+    synthesize_isa_parallel(design, ops, cfg, 1)
+}
+
+/// Like [`synthesize_isa`], but fans instructions out over worker threads
+/// (each instruction gets its own harness, unrolling, and SAT solver — the
+/// same per-property parallelism the paper gets from its JasperGold job
+/// pool, Appendix §I-B).
+pub fn synthesize_isa_parallel(
+    design: &Design,
+    ops: &[Opcode],
+    cfg: &SynthConfig,
+    threads: usize,
+) -> IsaSynthesis {
+    let threads = threads.max(1).min(ops.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<InstrSynthesis>>> =
+        ops.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let ix = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if ix >= ops.len() {
+                    break;
+                }
+                let r = synthesize_instr(design, ops[ix], cfg);
+                *results[ix].lock().expect("no poisoned result slot") = Some(r);
+            });
+        }
+    });
+    let mut instrs = Vec::new();
+    let mut stats = CheckStats::default();
+    for slot in results {
+        let r = slot
+            .into_inner()
+            .expect("no poisoned result slot")
+            .expect("every instruction synthesized");
+        stats.absorb(&r.stats);
+        instrs.push(r);
+    }
+    IsaSynthesis { instrs, stats }
+}

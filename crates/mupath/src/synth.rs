@@ -1,0 +1,519 @@
+//! The RTL2MµPATH synthesis procedures (§V-B).
+//!
+//! Phases, mirroring Fig. 6:
+//!
+//! 1. [`duv_pl_reachability`] — which PLs are reachable by *any* instruction
+//!    (§V-B1): plain cover properties on the un-harnessed design.
+//! 2. Per IUV: [`synthesize_instr`] — enumerate every µPATH *shape*
+//!    (reachable PL set + revisit classification, §V-B2–§V-B4). The paper
+//!    prunes a candidate powerset with dominates/exclusive covers and then
+//!    checks each candidate set; with an incremental SAT backend the same
+//!    enumeration is done directly: each satisfying execution yields a
+//!    shape, whose signature (visited/multi/non-consecutive bits at the
+//!    final frame) is then blocked, until the cover becomes unreachable —
+//!    same outcome set, one solver. The §V-B3 dominates/exclusive relations
+//!    remain available via [`dom_excl_relations`] (they feed the §VII-B3
+//!    property accounting and the HB-edge filter).
+//! 3. HB edges (§V-B5): candidate edges are PL pairs whose µFSMs are
+//!    connected by pure combinational logic; candidates are confirmed
+//!    against the enumerated witnesses.
+//! 4. [`enumerate_revisit_counts`] — the optional §V-B6 revisit-cycle-count
+//!    enumeration (e.g. the DIV latency range).
+
+use crate::harness::{build_harness, ContextMode, HarnessConfig, IuvHarness};
+use isa::Opcode;
+use mc::{CheckStats, Checker, McConfig, Outcome};
+use netlist::analysis::comb_connected;
+use netlist::{Builder, SignalId};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use uarch::Design;
+use uhb::{decisions_of_paths, ConcretePath, Decision, MuPath, PlId, PlTable};
+
+/// Synthesis parameters.
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// Fetch slots to explore (IUV position among context instructions).
+    pub slots: Vec<usize>,
+    /// Context restriction.
+    pub context: ContextMode,
+    /// BMC bound (cycles from reset); must cover fetch-to-drain latency of
+    /// the IUV in the deepest slot.
+    pub bound: usize,
+    /// SAT conflict budget per property.
+    pub conflict_budget: Option<u64>,
+    /// Safety cap on enumerated shapes per (instruction, slot).
+    pub max_shapes: usize,
+}
+
+impl SynthConfig {
+    /// A configuration derived from the design's latency bound: slot 0 and
+    /// 1, no-control-flow context.
+    pub fn for_design(design: &Design) -> Self {
+        Self {
+            slots: vec![0, 1],
+            context: ContextMode::NoControlFlow,
+            bound: design.max_latency + 8,
+            conflict_budget: Some(4_000_000),
+            max_shapes: 128,
+        }
+    }
+
+    /// The artifact's quick mode: the IUV alone, right after reset.
+    pub fn solo(design: &Design) -> Self {
+        Self {
+            slots: vec![0],
+            context: ContextMode::Solo,
+            bound: design.max_latency.min(18) + 6,
+            conflict_budget: Some(4_000_000),
+            max_shapes: 64,
+        }
+    }
+
+    fn mc_config(&self) -> McConfig {
+        McConfig {
+            bound: self.bound,
+            conflict_budget: self.conflict_budget,
+            bound_is_complete: true,
+            try_induction: false,
+            induction_depth: 0,
+        }
+    }
+}
+
+/// The synthesized result for one instruction.
+#[derive(Clone, Debug)]
+pub struct InstrSynthesis {
+    /// The instruction.
+    pub opcode: Opcode,
+    /// Every distinct µPATH shape found, with HB edges filled in.
+    pub paths: Vec<MuPath>,
+    /// One concrete witness execution per shape (cycle-aligned to the first
+    /// visit).
+    pub concrete: Vec<ConcretePath>,
+    /// Decisions at PL granularity (§IV-B).
+    pub decisions: Vec<Decision>,
+    /// Decisions at µFSM-class granularity (structurally identical µFSMs
+    /// such as scoreboard entries merged; the granularity of Fig. 8).
+    pub class_decisions: Vec<Decision>,
+    /// `false` when a budget ran out and the shape set may be incomplete
+    /// (§VII-B4's undetermined discussion).
+    pub complete: bool,
+    /// Property-evaluation statistics (§VII-B3).
+    pub stats: CheckStats,
+}
+
+impl InstrSynthesis {
+    /// Whether this instruction is a *candidate transponder*: more than one
+    /// µPATH (§V, "instructions with more than one µPATH are candidate
+    /// transponders").
+    pub fn is_candidate_transponder(&self) -> bool {
+        self.paths.len() > 1
+    }
+}
+
+/// A PL-level reachability report for the whole design (§V-B1).
+#[derive(Clone, Debug)]
+pub struct DuvPlReport {
+    /// The PL label table.
+    pub pls: PlTable,
+    /// Reachable flags per PL (true = some instruction can occupy it).
+    pub reachable: Vec<bool>,
+    /// Checker statistics.
+    pub stats: CheckStats,
+}
+
+/// §V-B1: enumerate feasible PLs and prune the unreachable ones with cover
+/// properties on the raw design.
+pub fn duv_pl_reachability(design: &Design, cfg: &SynthConfig) -> DuvPlReport {
+    let ann = &design.annotations;
+    let mut b = Builder::from_netlist(design.netlist.clone());
+    let mut pls = PlTable::new();
+    let mut occupied_sigs = Vec::new();
+    for ufsm in &ann.ufsms {
+        for st in ufsm.candidate_states(&design.netlist) {
+            pls.add(st.name.clone());
+            let mut state_match = b.one();
+            for (vi, &var) in ufsm.vars.iter().enumerate() {
+                let vw = b.wire(var);
+                let m = b.eq_const(vw, st.state.0[vi]);
+                state_match = b.and(state_match, m);
+            }
+            let named = b.name(state_match, &format!("occ_{}", st.name));
+            occupied_sigs.push(named.id);
+        }
+    }
+    let netlist = b.finish().expect("monitored netlist is valid");
+    let mut checker = Checker::with_free_regs(&netlist, cfg.mc_config(), &arch_free_regs(design));
+    let reachable = occupied_sigs
+        .iter()
+        .map(|&sig| checker.check_cover(sig, &[]).is_reachable())
+        .collect();
+    DuvPlReport {
+        pls,
+        reachable,
+        stats: checker.stats(),
+    }
+}
+
+
+/// The architectural state of a design: registers whose reset value is
+/// symbolic (§V-B: "only architectural state is symbolically initialized").
+fn arch_free_regs(design: &Design) -> Vec<SignalId> {
+    let ann = &design.annotations;
+    ann.arf.iter().chain(ann.amem.iter()).copied().collect()
+}
+
+/// The per-PL shape signature read from a witness at the final frame.
+type Signature = Vec<(bool, bool, bool)>;
+
+fn signature_bits(harness: &IuvHarness) -> Vec<SignalId> {
+    harness
+        .monitors
+        .iter()
+        .flat_map(|m| [m.visited, m.multi, m.noncons])
+        .collect()
+}
+
+/// Extracts the IUV's concrete path from a witness trace, cycle-aligned to
+/// its first PL visit.
+fn extract_path(harness: &IuvHarness, trace: &mc::Trace) -> ConcretePath {
+    let mut first: Option<usize> = None;
+    let mut visits: Vec<(PlId, usize)> = Vec::new();
+    for t in 0..trace.len() {
+        for pl in harness.pls.ids() {
+            if trace.value(t, harness.monitors(pl).visit_now) != 0 {
+                first.get_or_insert(t);
+                visits.push((pl, t));
+            }
+        }
+    }
+    let base = first.unwrap_or(0);
+    let mut path = ConcretePath::new();
+    for (pl, t) in visits {
+        path.visit(pl, t - base);
+    }
+    path
+}
+
+/// §V-B2–§V-B4: enumerate all µPATH shapes for one instruction.
+pub fn synthesize_instr(design: &Design, opcode: Opcode, cfg: &SynthConfig) -> InstrSynthesis {
+    let mut shapes: BTreeMap<Signature, ConcretePath> = BTreeMap::new();
+    let mut complete = true;
+    let mut stats = CheckStats::default();
+    let mut pls_table: Option<PlTable> = None;
+    let mut classes: Vec<String> = Vec::new();
+    let mut edge_candidates: Option<BTreeSet<(PlId, PlId)>> = None;
+
+    for &slot in &cfg.slots {
+        let harness = build_harness(
+            design,
+            &HarnessConfig {
+                opcode,
+                fetch_slot: slot,
+                context: cfg.context,
+            },
+        );
+        if pls_table.is_none() {
+            pls_table = Some(harness.pls.clone());
+            classes = harness.classes.clone();
+            edge_candidates = Some(hb_edge_candidates(design, &harness));
+        }
+        let sig_bits = signature_bits(&harness);
+        let mut checker =
+            Checker::with_free_regs(&harness.netlist, cfg.mc_config(), &arch_free_regs(design));
+        let mut found_this_slot = 0usize;
+        loop {
+            if found_this_slot >= cfg.max_shapes {
+                complete = false;
+                break;
+            }
+            match checker.check_cover(harness.iuv_done, &harness.assumes) {
+                Outcome::Reachable(trace) => {
+                    found_this_slot += 1;
+                    let path = extract_path(&harness, &trace);
+                    let signature: Signature = harness
+                        .pls
+                        .ids()
+                        .map(|pl| {
+                            let m = harness.monitors(pl);
+                            let last = trace.len() - 1;
+                            (
+                                trace.value(last, m.visited) != 0,
+                                trace.value(last, m.multi) != 0,
+                                trace.value(last, m.noncons) != 0,
+                            )
+                        })
+                        .collect();
+                    // Block this signature at the final frame.
+                    let clause: Vec<sat::Lit> = sig_bits
+                        .iter()
+                        .zip(signature.iter().flat_map(|&(a, b2, c)| [a, b2, c]))
+                        .map(|(&sig, val)| {
+                            let lit = checker.final_frame_lit(sig);
+                            if val {
+                                !lit
+                            } else {
+                                lit
+                            }
+                        })
+                        .collect();
+                    checker.add_blocking_clause(&clause);
+                    shapes.entry(signature).or_insert(path);
+                }
+                Outcome::Unreachable => break,
+                Outcome::Undetermined => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        stats.absorb(&checker.stats());
+    }
+
+    let pls = pls_table.expect("at least one slot");
+    let concrete: Vec<ConcretePath> = shapes.into_values().collect();
+    let candidates = edge_candidates.unwrap_or_default();
+    let paths: Vec<MuPath> = concrete
+        .iter()
+        .map(|p| {
+            let mut shape = p.shape();
+            shape.edges = witness_edges(p, &candidates);
+            shape
+        })
+        .collect();
+    let decisions = decisions_of_paths(&concrete);
+    let class_decisions = class_level_decisions(&concrete, &pls, &classes);
+    InstrSynthesis {
+        opcode,
+        paths,
+        concrete,
+        decisions,
+        class_decisions,
+        complete,
+        stats,
+    }
+}
+
+/// §V-B5 candidate filter: PL pairs whose source µFSM state registers feed
+/// the destination µFSM's next-state logic through pure combinational
+/// paths.
+fn hb_edge_candidates(design: &Design, harness: &IuvHarness) -> BTreeSet<(PlId, PlId)> {
+    let ann = &design.annotations;
+    // Group PLs by µFSM (in declaration order, matching harness PL order).
+    let mut pl_fsm: Vec<usize> = Vec::new();
+    for (fi, ufsm) in ann.ufsms.iter().enumerate() {
+        for _ in ufsm.candidate_states(&design.netlist) {
+            pl_fsm.push(fi);
+        }
+    }
+    let fsm_regs: Vec<HashSet<SignalId>> = ann
+        .ufsms
+        .iter()
+        .map(|u| {
+            let mut s: HashSet<SignalId> = u.vars.iter().copied().collect();
+            s.insert(u.pcr);
+            s
+        })
+        .collect();
+    let nf = ann.ufsms.len();
+    let mut fsm_conn = vec![vec![false; nf]; nf];
+    for (i, row) in fsm_conn.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = comb_connected(&design.netlist, &fsm_regs[i], &fsm_regs[j]);
+        }
+    }
+    let mut out = BTreeSet::new();
+    for a in harness.pls.ids() {
+        for bpl in harness.pls.ids() {
+            if a != bpl && fsm_conn[pl_fsm[a.index()]][pl_fsm[bpl.index()]] {
+                out.insert((a, bpl));
+            }
+        }
+    }
+    out
+}
+
+/// Confirms candidate HB edges against a witness: an edge holds when the
+/// source PL is occupied exactly one cycle before a visit to the
+/// destination PL.
+fn witness_edges(
+    path: &ConcretePath,
+    candidates: &BTreeSet<(PlId, PlId)>,
+) -> BTreeSet<(PlId, PlId)> {
+    let mut edges = BTreeSet::new();
+    for &(a, b) in candidates {
+        let cycles_a: BTreeSet<usize> = path.cycles(a).iter().copied().collect();
+        if path
+            .cycles(b)
+            .iter()
+            .any(|&t| t > 0 && cycles_a.contains(&(t - 1)))
+        {
+            edges.insert((a, b));
+        }
+    }
+    edges
+}
+
+/// Re-expresses concrete paths at µFSM-class granularity and extracts
+/// decisions there (scoreboard entries etc. merged).
+fn class_level_decisions(
+    paths: &[ConcretePath],
+    pls: &PlTable,
+    classes: &[String],
+) -> Vec<Decision> {
+    let (class_table, mapped) = class_view(paths, pls, classes);
+    let _ = class_table;
+    decisions_of_paths(&mapped)
+}
+
+/// Maps concrete paths onto a class-level PL table. Returns the class table
+/// and the re-mapped paths.
+pub fn class_view(
+    paths: &[ConcretePath],
+    pls: &PlTable,
+    classes: &[String],
+) -> (PlTable, Vec<ConcretePath>) {
+    let mut class_table = PlTable::new();
+    let mut class_of_pl: Vec<PlId> = Vec::new();
+    for pl in pls.ids() {
+        let cname = &classes[pl.index()];
+        let cid = class_table
+            .find(cname)
+            .unwrap_or_else(|| class_table.add(cname.clone()));
+        class_of_pl.push(cid);
+    }
+    let mapped = paths
+        .iter()
+        .map(|p| {
+            let mut np = ConcretePath::new();
+            for pl in pls.ids() {
+                for &t in p.cycles(pl) {
+                    np.visit(class_of_pl[pl.index()], t);
+                }
+            }
+            np
+        })
+        .collect();
+    (class_table, mapped)
+}
+
+/// §V-B3: the dominates/exclusive relations over the IUV's PLs, computed
+/// with the paper's cover templates. Returned as (dominates, exclusive)
+/// pair lists; also bumps the checker-statistics account.
+pub fn dom_excl_relations(
+    design: &Design,
+    opcode: Opcode,
+    cfg: &SynthConfig,
+) -> (Vec<(PlId, PlId)>, Vec<(PlId, PlId)>, CheckStats) {
+    let harness = build_harness(
+        design,
+        &HarnessConfig {
+            opcode,
+            fetch_slot: cfg.slots.first().copied().unwrap_or(0),
+            context: cfg.context,
+        },
+    );
+    // Build dom/excl monitors for every ordered/unordered PL pair.
+    let mut b = Builder::from_netlist(harness.netlist.clone());
+    let n = harness.pls.len();
+    let mut dom_sigs = Vec::new();
+    let mut excl_sigs = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let vi = b.wire(harness.monitors[i].visited);
+            let vj = b.wire(harness.monitors[j].visited);
+            let c = sva::templates::dominates_cover(&mut b, vi, vj, &format!("dom_{i}_{j}"));
+            dom_sigs.push(((i, j), c.id));
+            if i < j {
+                let e = sva::templates::exclusive_cover(
+                    &mut b,
+                    vi,
+                    vj,
+                    &format!("excl_{i}_{j}"),
+                );
+                excl_sigs.push(((i, j), e.id));
+            }
+        }
+    }
+    let netlist = b.finish().expect("dom/excl monitored netlist");
+    let mut checker = Checker::with_free_regs(&netlist, cfg.mc_config(), &arch_free_regs(design));
+    let mut dominates = Vec::new();
+    for ((i, j), sig) in dom_sigs {
+        if checker.check_cover(sig, &harness.assumes).is_unreachable() {
+            dominates.push((PlId(i as u32), PlId(j as u32)));
+        }
+    }
+    let mut exclusive = Vec::new();
+    for ((i, j), sig) in excl_sigs {
+        if checker.check_cover(sig, &harness.assumes).is_unreachable() {
+            exclusive.push((PlId(i as u32), PlId(j as u32)));
+        }
+    }
+    (dominates, exclusive, checker.stats())
+}
+
+/// §V-B6: enumerate the possible *consecutive-visit run lengths* of one PL
+/// across all of the IUV's executions (e.g. the serial divider's occupancy
+/// range). Returns the sorted set of observed maximal run lengths.
+pub fn enumerate_revisit_counts(
+    design: &Design,
+    opcode: Opcode,
+    pl_name: &str,
+    cfg: &SynthConfig,
+) -> Vec<u64> {
+    let harness = build_harness(
+        design,
+        &HarnessConfig {
+            opcode,
+            fetch_slot: cfg.slots.first().copied().unwrap_or(0),
+            context: cfg.context,
+        },
+    );
+    let pl = harness
+        .pls
+        .find(pl_name)
+        .unwrap_or_else(|| panic!("no PL named `{pl_name}`"));
+    let mut b = Builder::from_netlist(harness.netlist.clone());
+    let visit = b.wire(harness.monitors(pl).visit_now);
+    let width = 4u8;
+    let (_cur, maxrun) = sva::consecutive_counter(&mut b, visit, width, "plrun");
+    let done = b.wire(harness.iuv_done);
+    let nonzero = b.red_or(maxrun);
+    let interesting = b.and(done, nonzero);
+    b.name(interesting, "revisit_cover");
+    let netlist = b.finish().expect("revisit monitored netlist");
+    let cover = netlist.find("revisit_cover").expect("named");
+    let maxrun_sig = netlist.find("plrun").expect("named");
+    let mut checker = Checker::with_free_regs(&netlist, cfg.mc_config(), &arch_free_regs(design));
+    let mut counts = BTreeSet::new();
+    loop {
+        match checker.check_cover(cover, &harness.assumes) {
+            Outcome::Reachable(trace) => {
+                let v = trace.value(trace.len() - 1, maxrun_sig);
+                counts.insert(v);
+                // Block this run-length value at the final frame.
+                let clause: Vec<sat::Lit> = (0..width)
+                    .map(|bit| {
+                        // Reconstruct per-bit literals via a slice-free path:
+                        // the counter is a register; block on its bits.
+                        let lit = checker.final_frame_bit(maxrun_sig, bit);
+                        if (v >> bit) & 1 == 1 {
+                            !lit
+                        } else {
+                            lit
+                        }
+                    })
+                    .collect();
+                checker.add_blocking_clause(&clause);
+            }
+            _ => break,
+        }
+        if counts.len() > 32 {
+            break;
+        }
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,132 @@
+//! µSPEC-style export of synthesized µPATHs.
+//!
+//! The Check tools (§I) consume axiomatic µSPEC models: first-order axioms
+//! describing, per instruction, the disjunction of its µPATHs as µHB
+//! nodes/edges. The paper's predecessor (RTL2µSPEC) emits such models but
+//! is limited to one path per instruction; RTL2MµPATH's whole point is the
+//! multi-path disjunction. This module renders an [`InstrSynthesis`] in
+//! that axiom style, so the output remains consumable by µSPEC-era
+//! tooling conventions.
+
+use crate::InstrSynthesis;
+use uhb::{PlTable, Revisit};
+
+/// Renders one instruction's µPATHs as a µSPEC-style axiom: a disjunction
+/// over paths, each a conjunction of `AddEdge` terms on `(i, PL)` nodes,
+/// with consecutive-revisit summaries annotated.
+pub fn render_axiom(synth: &InstrSynthesis, pls: &PlTable) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Axiom \"Instr_{}\":\n  forall microop \"i\",\n  IsOpcode i {} =>\n",
+        synth.opcode.mnemonic().to_uppercase(),
+        synth.opcode.mnemonic().to_uppercase()
+    ));
+    let mut path_terms = Vec::new();
+    for (ix, shape) in synth.paths.iter().enumerate() {
+        let mut terms = Vec::new();
+        for &(a, b) in &shape.edges {
+            terms.push(format!(
+                "AddEdge ((i, {}), (i, {}), \"path{ix}\")",
+                node_label(pls, a, shape.revisits.get(&a)),
+                node_label(pls, b, shape.revisits.get(&b))
+            ));
+        }
+        if terms.is_empty() {
+            // Single-node or edge-free paths still assert their visits.
+            for &pl in &shape.pls {
+                terms.push(format!(
+                    "NodeExists (i, {})",
+                    node_label(pls, pl, shape.revisits.get(&pl))
+                ));
+            }
+        }
+        path_terms.push(format!("  (* µPATH {ix} *)\n    ({})", terms.join(" /\\\n     ")));
+    }
+    out.push_str(&path_terms.join("\n  \\/\n"));
+    out.push_str(".\n");
+    out
+}
+
+fn node_label(pls: &PlTable, pl: uhb::PlId, revisit: Option<&Revisit>) -> String {
+    match revisit {
+        Some(Revisit::Consecutive) => format!("{}(1..l)", pls.name(pl)),
+        Some(Revisit::NonConsecutive) => format!("{}(*)", pls.name(pl)),
+        _ => pls.name(pl).to_owned(),
+    }
+}
+
+/// Renders a whole-ISA µSPEC-style model preamble plus one axiom per
+/// instruction.
+pub fn render_model(
+    design_name: &str,
+    synths: &[InstrSynthesis],
+    pls: &PlTable,
+) -> String {
+    let mut out = format!(
+        "(* µSPEC-style model synthesized by RTL2MµPATH from `{design_name}` *)\n\
+         (* Performing locations: *)\n"
+    );
+    for pl in pls.ids() {
+        out.push_str(&format!("(*   {} *)\n", pls.name(pl)));
+    }
+    out.push('\n');
+    for s in synths {
+        out.push_str(&render_axiom(s, pls));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthesize_instr, ContextMode, SynthConfig};
+    use uarch::build_tiny;
+
+    #[test]
+    fn tinycore_axiom_renders_single_path() {
+        let design = build_tiny();
+        let cfg = SynthConfig {
+            slots: vec![0],
+            context: ContextMode::Solo,
+            bound: 10,
+            conflict_budget: Some(1_000_000),
+            max_shapes: 4,
+        };
+        let r = synthesize_instr(&design, isa::Opcode::Add, &cfg);
+        let h = crate::build_harness(
+            &design,
+            &crate::HarnessConfig {
+                opcode: isa::Opcode::Add,
+                fetch_slot: 0,
+                context: ContextMode::Solo,
+            },
+        );
+        let axiom = render_axiom(&r, &h.pls);
+        assert!(axiom.contains("Axiom \"Instr_ADD\""));
+        assert!(axiom.contains("IsOpcode i ADD"));
+        assert!(axiom.contains("AddEdge ((i, IF), (i, EX)"));
+        assert!(axiom.contains("AddEdge ((i, EX), (i, WB)"));
+        assert!(!axiom.contains("\\/"), "single path: no disjunction");
+        let model = render_model("TinyCore", &[r], &h.pls);
+        assert!(model.contains("TinyCore"));
+    }
+
+    #[test]
+    fn multi_path_axiom_has_disjunction() {
+        let design = uarch::build_core(&uarch::CoreConfig::cva6_mul());
+        let cfg = SynthConfig::solo(&design);
+        let r = synthesize_instr(&design, isa::Opcode::Mul, &cfg);
+        let h = crate::build_harness(
+            &design,
+            &crate::HarnessConfig {
+                opcode: isa::Opcode::Mul,
+                fetch_slot: 0,
+                context: ContextMode::Solo,
+            },
+        );
+        let axiom = render_axiom(&r, &h.pls);
+        assert!(axiom.contains("\\/"), "two µPATHs: a disjunction: {axiom}");
+        assert!(axiom.contains("mulU(1..l)"), "revisit annotated: {axiom}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Static netlist analyses used by RTL2MµPATH.
+//!
+//! The key consumer is happens-before candidate-edge generation (§V-B5 of
+//! the paper): two performing locations are candidate HB-related when the
+//! state variables of one µFSM lie in the *combinational fan-in cone* of the
+//! other's next-state logic.
+
+use crate::ir::{Netlist, Op, SignalId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Computes a topological evaluation order of the combinational logic.
+///
+/// Registers, constants and inputs appear first (they are sources); every
+/// other node appears after all of its combinational fan-in.
+///
+/// # Panics
+/// Panics if the netlist has a combinational cycle (call
+/// [`Netlist::validate`] first).
+pub fn topo_order(nl: &Netlist) -> Vec<SignalId> {
+    let n = nl.len();
+    let mut indeg = vec![0usize; n];
+    let mut fanout: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (id, node) in nl.iter() {
+        for src in node.op.comb_fanin() {
+            indeg[id.index()] += 1;
+            fanout.entry(src.index()).or_default().push(id.index());
+        }
+    }
+    let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop_front() {
+        order.push(SignalId(i as u32));
+        if let Some(outs) = fanout.get(&i) {
+            for &o in outs {
+                indeg[o] -= 1;
+                if indeg[o] == 0 {
+                    queue.push_back(o);
+                }
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "combinational cycle in netlist");
+    order
+}
+
+/// Returns the set of *sequential sources* (registers and primary inputs) in
+/// the combinational fan-in cone of `sig`.
+///
+/// The traversal walks combinational fan-in edges and stops at registers and
+/// inputs, which are the cone's frontier.
+pub fn comb_cone_sources(nl: &Netlist, sig: SignalId) -> HashSet<SignalId> {
+    let mut seen = HashSet::new();
+    let mut sources = HashSet::new();
+    let mut stack = vec![sig];
+    while let Some(s) = stack.pop() {
+        if !seen.insert(s) {
+            continue;
+        }
+        let node = nl.node(s);
+        match &node.op {
+            Op::Reg { .. } | Op::Input => {
+                sources.insert(s);
+            }
+            Op::Const(_) => {}
+            _ => stack.extend(node.op.comb_fanin()),
+        }
+    }
+    // The starting signal itself may be a register/input.
+    if nl.node(sig).op.is_reg() || nl.node(sig).op.is_input() {
+        sources.insert(sig);
+    }
+    sources
+}
+
+/// Returns the registers whose *next-state* logic combinationally depends on
+/// at least one register in `from`.
+///
+/// This is the paper's notion of "PLs connected via pure combinational
+/// logic" lifted to register granularity: if any of µFSM *B*'s state
+/// registers' next-state cones contain any of µFSM *A*'s state registers,
+/// then an instruction's occupancy of *A* can causally influence its
+/// occupancy of *B* one cycle later — making (A, B) a candidate HB edge.
+pub fn regs_feeding(nl: &Netlist, from: &HashSet<SignalId>) -> HashSet<SignalId> {
+    let mut out = HashSet::new();
+    for r in nl.regs() {
+        let next = nl.reg_next(r);
+        let cone = comb_cone_sources(nl, next);
+        if cone.iter().any(|s| from.contains(s)) {
+            out.insert(r);
+        }
+    }
+    out
+}
+
+/// Whether any register in `dst_regs` has a next-state cone containing any
+/// register in `src_regs` — i.e. `src` can influence `dst` within one cycle.
+pub fn comb_connected(
+    nl: &Netlist,
+    src_regs: &HashSet<SignalId>,
+    dst_regs: &HashSet<SignalId>,
+) -> bool {
+    dst_regs.iter().any(|&d| {
+        let next = nl.reg_next(d);
+        let cone = comb_cone_sources(nl, next);
+        cone.iter().any(|s| src_regs.contains(s))
+    })
+}
+
+/// Summary statistics of a netlist, analogous to the elaboration statistics
+/// the paper reports for CVA6 (§VI: wires, cells, registers, flip-flop bits).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NetlistStats {
+    /// Total nodes (signals).
+    pub nodes: usize,
+    /// Combinational cells (everything except inputs, constants, registers).
+    pub cells: usize,
+    /// Register count.
+    pub regs: usize,
+    /// Total flip-flop bits.
+    pub flop_bits: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+}
+
+/// Computes [`NetlistStats`] for a netlist.
+pub fn stats(nl: &Netlist) -> NetlistStats {
+    let mut s = NetlistStats {
+        nodes: nl.len(),
+        ..Default::default()
+    };
+    for (_, node) in nl.iter() {
+        match &node.op {
+            Op::Input => s.inputs += 1,
+            Op::Const(_) => {}
+            Op::Reg { .. } => {
+                s.regs += 1;
+                s.flop_bits += node.width as usize;
+            }
+            _ => s.cells += 1,
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::Builder;
+
+    /// r2's next depends on r1; r1's next depends only on itself.
+    fn two_stage() -> (Netlist, SignalId, SignalId) {
+        let mut b = Builder::new();
+        let r1 = b.reg("r1", 4, 0);
+        let r2 = b.reg("r2", 4, 0);
+        let one = b.constant(1, 4);
+        let n1 = b.add(r1, one);
+        b.set_next(r1, n1).unwrap();
+        let n2 = b.add(r1, r1);
+        b.set_next(r2, n2).unwrap();
+        let nl = b.finish().unwrap();
+        let r1 = nl.find("r1").unwrap();
+        let r2 = nl.find("r2").unwrap();
+        (nl, r1, r2)
+    }
+
+    #[test]
+    fn topo_order_is_complete_and_ordered() {
+        let (nl, _, _) = two_stage();
+        let order = topo_order(&nl);
+        assert_eq!(order.len(), nl.len());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        for (id, node) in nl.iter() {
+            for src in node.op.comb_fanin() {
+                assert!(pos[&src] < pos[&id], "fan-in after consumer");
+            }
+        }
+    }
+
+    #[test]
+    fn cone_sources_stop_at_regs() {
+        let (nl, r1, r2) = two_stage();
+        let cone = comb_cone_sources(&nl, nl.reg_next(r2));
+        assert!(cone.contains(&r1));
+        assert!(!cone.contains(&r2));
+    }
+
+    #[test]
+    fn connectivity_is_directional() {
+        let (nl, r1, r2) = two_stage();
+        let a: HashSet<_> = [r1].into_iter().collect();
+        let b: HashSet<_> = [r2].into_iter().collect();
+        assert!(comb_connected(&nl, &a, &b), "r1 feeds r2");
+        assert!(!comb_connected(&nl, &b, &a), "r2 does not feed r1");
+    }
+
+    #[test]
+    fn stats_counts() {
+        let (nl, _, _) = two_stage();
+        let s = stats(&nl);
+        assert_eq!(s.regs, 2);
+        assert_eq!(s.flop_bits, 8);
+        assert!(s.cells >= 2);
+    }
+}

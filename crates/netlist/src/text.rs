@@ -1,0 +1,348 @@
+//! A plain-text netlist format, so the "RTL in, contracts out" flow can run
+//! end-to-end from files on disk (standing in for the paper's SystemVerilog
+//! inputs).
+//!
+//! The format is line-based. Each line is one of:
+//!
+//! ```text
+//! # comment
+//! input  <name> <width>
+//! reg    <name> <width> <init>
+//! const  <name> <width> <value>
+//! node   <name> <width> <op> <operand>...
+//! next   <regname> <signame>
+//! ```
+//!
+//! Operators: `not neg redor redand redxor` (1 operand), `and or xor add sub
+//! mul eq ne ult ule shl shr concat` (2 operands), `mux` (3 operands:
+//! sel a b), `slice` (operand + two integer indices `hi lo`).
+//!
+//! # Examples
+//!
+//! ```
+//! let src = "input x 4\nreg acc 4 0\nnode sum 4 add acc x\nnext acc sum\n";
+//! let nl = netlist::text::parse(src).unwrap();
+//! let round_trip = netlist::text::emit(&nl);
+//! let nl2 = netlist::text::parse(&round_trip).unwrap();
+//! assert_eq!(nl.len(), nl2.len());
+//! ```
+
+use crate::ir::{BinOp, Netlist, Node, Op, SignalId, UnOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from [`parse`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn bin_op_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Eq => "eq",
+        BinOp::Ne => "ne",
+        BinOp::Ult => "ult",
+        BinOp::Ule => "ule",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+    }
+}
+
+fn bin_op_from(name: &str) -> Option<BinOp> {
+    Some(match name {
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "eq" => BinOp::Eq,
+        "ne" => BinOp::Ne,
+        "ult" => BinOp::Ult,
+        "ule" => BinOp::Ule,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        _ => return None,
+    })
+}
+
+fn un_op_name(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Not => "not",
+        UnOp::Neg => "neg",
+        UnOp::RedOr => "redor",
+        UnOp::RedAnd => "redand",
+        UnOp::RedXor => "redxor",
+    }
+}
+
+fn un_op_from(name: &str) -> Option<UnOp> {
+    Some(match name {
+        "not" => UnOp::Not,
+        "neg" => UnOp::Neg,
+        "redor" => UnOp::RedOr,
+        "redand" => UnOp::RedAnd,
+        "redxor" => UnOp::RedXor,
+        _ => return None,
+    })
+}
+
+/// Serializes a netlist to the textual format. Anonymous signals are given
+/// stable generated names (`_n<i>`).
+pub fn emit(nl: &Netlist) -> String {
+    let name_of = |id: SignalId| -> String {
+        match nl.name(id) {
+            Some(n) => n.to_owned(),
+            None => format!("_n{}", id.0),
+        }
+    };
+    let mut out = String::new();
+    let mut next_lines = String::new();
+    for (id, node) in nl.iter() {
+        let name = name_of(id);
+        match &node.op {
+            Op::Input => out.push_str(&format!("input {name} {}\n", node.width)),
+            Op::Const(v) => out.push_str(&format!("const {name} {} {v}\n", node.width)),
+            Op::Reg { next, init } => {
+                out.push_str(&format!("reg {name} {} {init}\n", node.width));
+                if let Some(nx) = next {
+                    next_lines.push_str(&format!("next {name} {}\n", name_of(*nx)));
+                }
+            }
+            Op::Unary(op, a) => out.push_str(&format!(
+                "node {name} {} {} {}\n",
+                node.width,
+                un_op_name(*op),
+                name_of(*a)
+            )),
+            Op::Binary(op, a, b) => out.push_str(&format!(
+                "node {name} {} {} {} {}\n",
+                node.width,
+                bin_op_name(*op),
+                name_of(*a),
+                name_of(*b)
+            )),
+            Op::Mux { sel, a, b } => out.push_str(&format!(
+                "node {name} {} mux {} {} {}\n",
+                node.width,
+                name_of(*sel),
+                name_of(*a),
+                name_of(*b)
+            )),
+            Op::Slice { src, hi, lo } => out.push_str(&format!(
+                "node {name} {} slice {} {hi} {lo}\n",
+                node.width,
+                name_of(*src)
+            )),
+            Op::Concat { hi, lo } => out.push_str(&format!(
+                "node {name} {} concat {} {}\n",
+                node.width,
+                name_of(*hi),
+                name_of(*lo)
+            )),
+        }
+    }
+    out.push_str(&next_lines);
+    out
+}
+
+/// Parses the textual format into a validated [`Netlist`].
+///
+/// # Errors
+/// Returns a [`ParseError`] on malformed lines, unknown names, or when the
+/// resulting netlist fails [`Netlist::validate`] (reported on line 0).
+pub fn parse(src: &str) -> Result<Netlist, ParseError> {
+    let mut nl = Netlist::new();
+    let mut names: HashMap<String, SignalId> = HashMap::new();
+    let mut next_fixups: Vec<(usize, String, String)> = Vec::new();
+    let err = |line: usize, msg: String| ParseError { line, message: msg };
+
+    for (ix, raw) in src.lines().enumerate() {
+        let lineno = ix + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let lookup = |names: &HashMap<String, SignalId>, n: &str| -> Result<SignalId, ParseError> {
+            names
+                .get(n)
+                .copied()
+                .ok_or_else(|| err(lineno, format!("unknown signal `{n}`")))
+        };
+        let parse_u64 = |s: &str| -> Result<u64, ParseError> {
+            s.parse::<u64>()
+                .map_err(|_| err(lineno, format!("bad integer `{s}`")))
+        };
+        let parse_u8 = |s: &str| -> Result<u8, ParseError> {
+            s.parse::<u8>()
+                .map_err(|_| err(lineno, format!("bad integer `{s}`")))
+        };
+        match toks[0] {
+            "input" | "reg" | "const" => {
+                if toks.len() != if toks[0] == "input" { 3 } else { 4 } {
+                    return Err(err(lineno, format!("malformed `{}` line", toks[0])));
+                }
+                let name = toks[1].to_owned();
+                let width = parse_u8(toks[2])?;
+                let op = match toks[0] {
+                    "input" => Op::Input,
+                    "reg" => Op::Reg {
+                        next: None,
+                        init: parse_u64(toks[3])?,
+                    },
+                    _ => Op::Const(parse_u64(toks[3])?),
+                };
+                let id = nl
+                    .push(Node {
+                        name: Some(name.clone()),
+                        width,
+                        op,
+                    })
+                    .map_err(|e| err(lineno, e.to_string()))?;
+                names.insert(name, id);
+            }
+            "node" => {
+                if toks.len() < 5 {
+                    return Err(err(lineno, "malformed `node` line".into()));
+                }
+                let name = toks[1].to_owned();
+                let width = parse_u8(toks[2])?;
+                let opname = toks[3];
+                let op = if let Some(u) = un_op_from(opname) {
+                    Op::Unary(u, lookup(&names, toks[4])?)
+                } else if let Some(bop) = bin_op_from(opname) {
+                    if toks.len() != 6 {
+                        return Err(err(lineno, format!("`{opname}` needs 2 operands")));
+                    }
+                    Op::Binary(bop, lookup(&names, toks[4])?, lookup(&names, toks[5])?)
+                } else {
+                    match opname {
+                        "mux" => {
+                            if toks.len() != 7 {
+                                return Err(err(lineno, "`mux` needs 3 operands".into()));
+                            }
+                            Op::Mux {
+                                sel: lookup(&names, toks[4])?,
+                                a: lookup(&names, toks[5])?,
+                                b: lookup(&names, toks[6])?,
+                            }
+                        }
+                        "slice" => {
+                            if toks.len() != 7 {
+                                return Err(err(lineno, "`slice` needs src hi lo".into()));
+                            }
+                            Op::Slice {
+                                src: lookup(&names, toks[4])?,
+                                hi: parse_u8(toks[5])?,
+                                lo: parse_u8(toks[6])?,
+                            }
+                        }
+                        "concat" => {
+                            if toks.len() != 6 {
+                                return Err(err(lineno, "`concat` needs 2 operands".into()));
+                            }
+                            Op::Concat {
+                                hi: lookup(&names, toks[4])?,
+                                lo: lookup(&names, toks[5])?,
+                            }
+                        }
+                        _ => return Err(err(lineno, format!("unknown op `{opname}`"))),
+                    }
+                };
+                let id = nl
+                    .push(Node {
+                        name: Some(name.clone()),
+                        width,
+                        op,
+                    })
+                    .map_err(|e| err(lineno, e.to_string()))?;
+                names.insert(name, id);
+            }
+            "next" => {
+                if toks.len() != 3 {
+                    return Err(err(lineno, "malformed `next` line".into()));
+                }
+                next_fixups.push((lineno, toks[1].to_owned(), toks[2].to_owned()));
+            }
+            other => return Err(err(lineno, format!("unknown directive `{other}`"))),
+        }
+    }
+    for (lineno, regname, nextname) in next_fixups {
+        let reg = *names
+            .get(&regname)
+            .ok_or_else(|| err(lineno, format!("unknown register `{regname}`")))?;
+        let nxt = *names
+            .get(&nextname)
+            .ok_or_else(|| err(lineno, format!("unknown signal `{nextname}`")))?;
+        match &mut nl.nodes[reg.index()].op {
+            Op::Reg { next, .. } => *next = Some(nxt),
+            _ => return Err(err(lineno, format!("`{regname}` is not a register"))),
+        }
+    }
+    nl.validate().map_err(|e| err(0, e.to_string()))?;
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::Builder;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let mut b = Builder::new();
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let sel = b.input("sel", 1);
+        let m = b.mux(sel, x, y);
+        let r = b.reg("r", 8, 3);
+        let s = b.add(m, r);
+        let hi = b.slice(s, 7, 4);
+        let lo = b.slice(s, 3, 0);
+        let cat = b.concat(hi, lo);
+        b.set_next(r, cat).unwrap();
+        let nl = b.finish().unwrap();
+        let text = emit(&nl);
+        let nl2 = parse(&text).unwrap();
+        assert_eq!(nl.len(), nl2.len());
+        assert_eq!(emit(&nl2), text, "emit is a fixpoint");
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let e = parse("input x 8\nnode y 8 add x zz\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("zz"));
+    }
+
+    #[test]
+    fn unconnected_reg_detected_at_validate() {
+        let e = parse("reg r 4 0\n").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.message.contains("next"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let nl = parse("# hello\n\ninput a 1\n").unwrap();
+        assert_eq!(nl.len(), 1);
+    }
+}

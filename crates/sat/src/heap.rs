@@ -1,0 +1,167 @@
+//! An indexed max-heap ordered by variable activity, for VSIDS decisions.
+
+use crate::types::Var;
+
+/// Max-heap of variables keyed by an external activity array.
+///
+/// Supports O(log n) insert/remove-max and O(log n) re-prioritisation when a
+/// variable's activity is bumped.
+#[derive(Clone, Debug, Default)]
+pub struct ActivityHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` when absent.
+    pos: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl ActivityHeap {
+    /// Creates an empty heap.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures the position table covers variable indices up to `n - 1`.
+    pub fn grow(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, ABSENT);
+        }
+    }
+
+    /// Whether the heap contains `v`.
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos
+            .get(v.index())
+            .is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Whether the heap is empty.
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of queued variables.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Inserts `v` (no-op when present).
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.grow(v.index() + 1);
+        if self.contains(v) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(v);
+        self.pos[v.index()] = i;
+        self.sift_up(i, activity);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.pos[top.index()] = ABSENT;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Re-establishes heap order after `v`'s activity increased.
+    pub fn bumped(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.pos.get(v.index()) {
+            if p != ABSENT {
+                self.sift_up(p, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()] <= activity[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.heap.len()
+                && activity[self.heap[l].index()] > activity[self.heap[largest].index()]
+            {
+                largest = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r].index()] > activity[self.heap[largest].index()]
+            {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a].index()] = a;
+        self.pos[self.heap[b].index()] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut h = ActivityHeap::new();
+        for i in 0..5 {
+            h.insert(Var(i), &activity);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&activity))
+            .map(|v| v.0)
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn bump_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = ActivityHeap::new();
+        for i in 0..3 {
+            h.insert(Var(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.bumped(Var(0), &activity);
+        assert_eq!(h.pop_max(&activity), Some(Var(0)));
+    }
+
+    #[test]
+    fn duplicate_insert_ignored() {
+        let activity = vec![1.0];
+        let mut h = ActivityHeap::new();
+        h.insert(Var(0), &activity);
+        h.insert(Var(0), &activity);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.pop_max(&activity), Some(Var(0)));
+        assert!(h.pop_max(&activity).is_none());
+    }
+}

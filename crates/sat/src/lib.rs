@@ -1,0 +1,31 @@
+//! A CDCL SAT solver, standing in for the commercial property verifier
+//! (JasperGold) in the paper's toolflow.
+//!
+//! Features: two-literal watching, first-UIP clause learning, VSIDS with
+//! phase saving, Luby restarts, activity-based learnt-clause reduction,
+//! incremental solving under assumptions (one unrolled circuit, thousands of
+//! per-property queries), and conflict budgets that surface as the paper's
+//! *undetermined* property outcomes.
+//!
+//! # Examples
+//!
+//! ```
+//! use sat::{Lit, Solver};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! // (a | b) & (!a | b)  =>  b
+//! s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+//! assert!(s.solve().is_sat());
+//! assert_eq!(s.value(b), Some(true));
+//! ```
+
+pub mod dimacs;
+mod heap;
+mod solver;
+mod types;
+
+pub use solver::{Solver, SolverStats};
+pub use types::{Lit, SolveResult, Var};

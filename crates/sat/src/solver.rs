@@ -1,0 +1,868 @@
+//! A CDCL SAT solver: watched literals, first-UIP learning with clause
+//! minimization, VSIDS with phase saving, Luby restarts, activity-based
+//! learnt-clause reduction, and conflict budgets (which produce the
+//! `Unknown` outcomes that surface as *undetermined* model-checking
+//! results, §V-B of the paper).
+//!
+//! Clauses live in a flat `u32` arena (header word, activity word, then
+//! literal codes) so the propagation loop touches one contiguous allocation
+//! — the difference between ~1M and tens of millions of propagations per
+//! second on unrolled-circuit CNFs.
+
+use crate::heap::ActivityHeap;
+use crate::types::{Lit, SolveResult, Var};
+
+const UNASSIGNED: i8 = -1;
+const VAR_DECAY: f64 = 0.95;
+const CLAUSE_DECAY: f32 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+const RESTART_BASE: u64 = 100;
+
+/// Offset of a clause in the arena.
+type ClauseRef = u32;
+
+const HDR_LEARNT: u32 = 1 << 31;
+const HDR_DELETED: u32 = 1 << 30;
+const HDR_LEN_MASK: u32 = (1 << 30) - 1;
+
+/// Flat clause storage: `[header, activity(f32 bits), lit0, lit1, ...]`.
+#[derive(Clone, Debug, Default)]
+struct Arena {
+    data: Vec<u32>,
+}
+
+impl Arena {
+    fn alloc(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+        let off = self.data.len() as u32;
+        let mut hdr = lits.len() as u32;
+        if learnt {
+            hdr |= HDR_LEARNT;
+        }
+        self.data.push(hdr);
+        self.data.push(0f32.to_bits());
+        self.data.extend(lits.iter().map(|l| l.code() as u32));
+        off
+    }
+
+    #[inline]
+    fn len(&self, c: ClauseRef) -> usize {
+        (self.data[c as usize] & HDR_LEN_MASK) as usize
+    }
+
+    #[inline]
+    fn is_learnt(&self, c: ClauseRef) -> bool {
+        self.data[c as usize] & HDR_LEARNT != 0
+    }
+
+    #[inline]
+    fn is_deleted(&self, c: ClauseRef) -> bool {
+        self.data[c as usize] & HDR_DELETED != 0
+    }
+
+    #[inline]
+    fn set_deleted(&mut self, c: ClauseRef) {
+        self.data[c as usize] |= HDR_DELETED;
+    }
+
+    #[inline]
+    fn lit(&self, c: ClauseRef, i: usize) -> Lit {
+        Lit::from_code(self.data[c as usize + 2 + i] as usize)
+    }
+
+    #[inline]
+    fn swap_lits(&mut self, c: ClauseRef, i: usize, j: usize) {
+        self.data.swap(c as usize + 2 + i, c as usize + 2 + j);
+    }
+
+    #[inline]
+    fn activity(&self, c: ClauseRef) -> f32 {
+        f32::from_bits(self.data[c as usize + 1])
+    }
+
+    #[inline]
+    fn set_activity(&mut self, c: ClauseRef, a: f32) {
+        self.data[c as usize + 1] = a.to_bits();
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// Cumulative statistics of a solver instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Unit propagations performed.
+    pub propagations: u64,
+    /// Branching decisions taken.
+    pub decisions: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnts: u64,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use sat::{Lit, Solver};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(&[Lit::neg(a)]);
+/// assert!(s.solve().is_sat());
+/// assert_eq!(s.value(b), Some(true));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    arena: Arena,
+    learnt_refs: Vec<ClauseRef>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<i8>,
+    phase: Vec<bool>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    clause_inc: f32,
+    heap: ActivityHeap,
+    seen: Vec<bool>,
+    ok: bool,
+    model: Vec<i8>,
+    stats: SolverStats,
+    conflict_budget: Option<u64>,
+    num_original: usize,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Self {
+            var_inc: 1.0,
+            clause_inc: 1.0,
+            ok: true,
+            ..Self::default()
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(UNASSIGNED);
+        self.phase.push(false);
+        self.reason.push(None);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.model.push(UNASSIGNED);
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Solver statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            learnts: self.learnt_refs.len() as u64,
+            ..self.stats
+        }
+    }
+
+    /// Sets a conflict budget applied to each subsequent solve call; `None`
+    /// removes the budget.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> i8 {
+        let a = self.assigns[l.var().index()];
+        if a == UNASSIGNED {
+            UNASSIGNED
+        } else if l.is_pos() {
+            a
+        } else {
+            1 - a
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause. Returns `false` if the solver is already in an
+    /// unsatisfiable state (now or as a result of this clause).
+    ///
+    /// # Panics
+    /// Panics if a literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert_eq!(self.decision_level(), 0, "add_clause above level 0");
+        if !self.ok {
+            return false;
+        }
+        for l in lits {
+            assert!(l.var().index() < self.num_vars(), "unallocated variable");
+        }
+        // Simplify: sort/dedupe, drop false literals, detect tautology.
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        let mut out = Vec::with_capacity(ls.len());
+        for &l in &ls {
+            if ls.binary_search(&!l).is_ok() {
+                return true; // tautology
+            }
+            match self.lit_value(l) {
+                1 => return true, // already satisfied at level 0
+                0 => continue,    // false at level 0: drop
+                _ => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(out[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(&out, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.arena.alloc(lits, learnt);
+        self.watches[lits[0].code()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].code()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
+        if learnt {
+            self.learnt_refs.push(cref);
+        } else {
+            self.num_original += 1;
+        }
+        cref
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(l), UNASSIGNED);
+        let v = l.var();
+        self.assigns[v.index()] = l.is_pos() as i8;
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = reason;
+        self.phase[v.index()] = l.is_pos();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                if self.lit_value(w.blocker) == 1 {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                // Make sure the false literal is at slot 1.
+                if self.arena.lit(cref, 0) == false_lit {
+                    self.arena.swap_lits(cref, 0, 1);
+                }
+                debug_assert_eq!(self.arena.lit(cref, 1), false_lit);
+                let first = self.arena.lit(cref, 0);
+                if first != w.blocker && self.lit_value(first) == 1 {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new watch.
+                let len = self.arena.len(cref);
+                for k in 2..len {
+                    let lk = self.arena.lit(cref, k);
+                    if self.lit_value(lk) != 0 {
+                        self.arena.swap_lits(cref, 1, k);
+                        self.watches[lk.code()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                if self.lit_value(first) == 0 {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                self.unchecked_enqueue(first, Some(cref));
+                i += 1;
+            }
+            let tail = std::mem::replace(&mut self.watches[false_lit.code()], ws);
+            self.watches[false_lit.code()].extend(tail);
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.bumped(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        if !self.arena.is_learnt(cref) {
+            return;
+        }
+        let a = self.arena.activity(cref) + self.clause_inc;
+        self.arena.set_activity(cref, a);
+        if a > 1e20 {
+            for &c in &self.learnt_refs {
+                let scaled = self.arena.activity(c) * 1e-20;
+                self.arena.set_activity(c, scaled);
+            }
+            self.clause_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis with basic clause minimization. Returns
+    /// the learnt clause (asserting literal first) and the backjump level.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var(0))]; // placeholder slot 0
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut to_clear: Vec<Var> = Vec::new();
+        loop {
+            self.bump_clause(confl);
+            let skip_first = p.is_some() as usize;
+            let len = self.arena.len(confl);
+            for k in skip_first..len {
+                let q = self.arena.lit(confl, k);
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    to_clear.push(v);
+                    self.bump_var(v);
+                    if self.level[v.index()] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            p = Some(pl);
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[pl.var().index()].expect("non-decision has a reason");
+        }
+        learnt[0] = !p.expect("found UIP");
+        // Basic clause minimization: drop a literal whose reason's other
+        // literals are all already in the learnt clause (seen) or at level
+        // 0 — it is implied by the rest of the clause.
+        let mut minimized = Vec::with_capacity(learnt.len());
+        minimized.push(learnt[0]);
+        for &q in &learnt[1..] {
+            let redundant = match self.reason[q.var().index()] {
+                None => false,
+                Some(cr) => {
+                    let len = self.arena.len(cr);
+                    (0..len).all(|k| {
+                        let r = self.arena.lit(cr, k);
+                        r.var() == q.var()
+                            || self.seen[r.var().index()]
+                            || self.level[r.var().index()] == 0
+                    })
+                }
+            };
+            if !redundant {
+                minimized.push(q);
+            }
+        }
+        let mut learnt = minimized;
+        // Backjump level: highest level among learnt[1..].
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()]
+                    > self.level[learnt[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        for v in to_clear {
+            self.seen[v.index()] = false;
+        }
+        (learnt, bt)
+    }
+
+    fn backtrack(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let bound = self.trail_lim[target as usize];
+        while self.trail.len() > bound {
+            let l = self.trail.pop().expect("non-empty trail");
+            let v = l.var();
+            self.assigns[v.index()] = UNASSIGNED;
+            self.reason[v.index()] = None;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self, l: Lit) {
+        self.trail_lim.push(self.trail.len());
+        self.unchecked_enqueue(l, None);
+        self.stats.decisions += 1;
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.assigns[v.index()] == UNASSIGNED {
+                return Some(Lit::new(v, self.phase[v.index()]));
+            }
+        }
+        None
+    }
+
+    fn locked(&self, cref: ClauseRef) -> bool {
+        let v = self.arena.lit(cref, 0).var();
+        self.assigns[v.index()] != UNASSIGNED && self.reason[v.index()] == Some(cref)
+    }
+
+    /// Removes the lower-activity half of the learnt clauses and rebuilds
+    /// watch lists. Runs at decision level 0 so the watch invariant can be
+    /// re-established by literal reordering.
+    fn reduce_db(&mut self) {
+        self.backtrack(0);
+        let mut removable: Vec<ClauseRef> = self
+            .learnt_refs
+            .iter()
+            .copied()
+            .filter(|&c| !self.locked(c) && self.arena.len(c) > 2)
+            .collect();
+        removable.sort_by(|&a, &b| {
+            self.arena
+                .activity(a)
+                .partial_cmp(&self.arena.activity(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for &c in &removable[..removable.len() / 2] {
+            self.arena.set_deleted(c);
+        }
+        self.learnt_refs.retain(|&c| !self.arena.is_deleted(c));
+        // Rebuild watches, reordering so the two best literals (true >
+        // unassigned > false) are watched.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        let mut all: Vec<ClauseRef> = Vec::new();
+        let mut off = 0usize;
+        while off < self.arena.data.len() {
+            let c = off as ClauseRef;
+            let len = self.arena.len(c);
+            if !self.arena.is_deleted(c) {
+                all.push(c);
+            }
+            off += 2 + len;
+        }
+        for cref in all {
+            let len = self.arena.len(cref);
+            let rank = |val: i8| -> u8 {
+                match val {
+                    1 => 0,
+                    UNASSIGNED => 1,
+                    _ => 2,
+                }
+            };
+            let mut ranked: Vec<(u8, usize)> = (0..len)
+                .map(|k| (rank(self.lit_value(self.arena.lit(cref, k))), k))
+                .collect();
+            ranked.sort_unstable();
+            let (b0, mut b1) = (ranked[0].1, ranked[1].1);
+            self.arena.swap_lits(cref, 0, b0);
+            if b1 == 0 {
+                b1 = b0;
+            }
+            self.arena.swap_lits(cref, 1, b1);
+            let (l0, l1) = (self.arena.lit(cref, 0), self.arena.lit(cref, 1));
+            self.watches[l0.code()].push(Watcher {
+                cref,
+                blocker: l1,
+            });
+            self.watches[l1.code()].push(Watcher {
+                cref,
+                blocker: l0,
+            });
+        }
+    }
+
+    fn luby(i: u64) -> u64 {
+        let mut size = 1u64;
+        let mut seq = 0u32;
+        while size < i + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        let mut x = i;
+        let mut sz = size;
+        let mut sq = seq;
+        while sz - 1 != x {
+            sz = (sz - 1) / 2;
+            sq -= 1;
+            x %= sz;
+        }
+        1u64 << sq
+    }
+
+    /// Solves the current formula.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_assuming(&[])
+    }
+
+    /// Solves under the given assumption literals. The clause database
+    /// (including learnt clauses) persists across calls, enabling the
+    /// incremental per-property queries issued by the model checker.
+    pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        let budget_start = self.stats.conflicts;
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_threshold = RESTART_BASE * Self::luby(self.stats.restarts);
+        let mut learnt_limit = (self.num_original as u64 / 3).max(2000);
+
+        let result = loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    break SolveResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack(bt);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let cref = self.attach_clause(&learnt, true);
+                    self.bump_clause(cref);
+                    self.unchecked_enqueue(learnt[0], Some(cref));
+                }
+                self.var_inc /= VAR_DECAY;
+                self.clause_inc /= CLAUSE_DECAY;
+                if let Some(b) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= b {
+                        break SolveResult::Unknown;
+                    }
+                }
+            } else {
+                // No conflict: maybe restart / reduce, then extend the
+                // assignment.
+                if conflicts_since_restart >= restart_threshold {
+                    self.stats.restarts += 1;
+                    conflicts_since_restart = 0;
+                    restart_threshold = RESTART_BASE * Self::luby(self.stats.restarts);
+                    self.backtrack(0);
+                    continue;
+                }
+                if self.learnt_refs.len() as u64 > learnt_limit + self.trail.len() as u64 {
+                    self.reduce_db();
+                    learnt_limit += learnt_limit / 2;
+                }
+                // Re-assert assumptions in order.
+                let mut next_decision = None;
+                let mut assumption_failed = false;
+                for &a in assumptions {
+                    match self.lit_value(a) {
+                        1 => continue,
+                        0 => {
+                            assumption_failed = true;
+                            break;
+                        }
+                        _ => {
+                            next_decision = Some(a);
+                            break;
+                        }
+                    }
+                }
+                if assumption_failed {
+                    break SolveResult::Unsat;
+                }
+                let decision = match next_decision {
+                    Some(a) => Some(a),
+                    None => self.pick_branch(),
+                };
+                match decision {
+                    Some(l) => self.decide(l),
+                    None => {
+                        self.model.copy_from_slice(&self.assigns);
+                        break SolveResult::Sat;
+                    }
+                }
+            }
+        };
+        self.backtrack(0);
+        result
+    }
+
+    /// The value of `v` in the most recent satisfying model, or `None` if
+    /// the variable was unconstrained/unassigned.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.model.get(v.index()) {
+            Some(&1) => Some(true),
+            Some(&0) => Some(false),
+            _ => None,
+        }
+    }
+
+    /// The value of a literal in the most recent model.
+    pub fn lit_model(&self, l: Lit) -> Option<bool> {
+        self.value(l.var()).map(|b| b == l.is_pos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn unit_conflict_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[Lit::pos(v[0])]);
+        assert!(!s.add_clause(&[Lit::neg(v[0])]));
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn forces_implied_assignment() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        // a, a->b, b->c
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::neg(v[0]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::neg(v[1]), Lit::pos(v[2])]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(v[2]), Some(true));
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // (a xor b), (b xor c), (a xor c) is unsat; drop one clause => sat.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let xor = |s: &mut Solver, a: Var, b: Var| {
+            s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+            s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        };
+        xor(&mut s, v[0], v[1]);
+        xor(&mut s, v[1], v[2]);
+        assert!(s.solve().is_sat());
+        xor(&mut s, v[0], v[2]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_unsat() {
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 3]; 4];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&row.map(Lit::pos));
+        }
+        for j in 0..3 {
+            for i1 in 0..4 {
+                for i2 in (i1 + 1)..4 {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn assumptions_are_transient() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert!(s
+            .solve_assuming(&[Lit::neg(v[0]), Lit::neg(v[1])])
+            .is_unsat());
+        // Same formula without assumptions stays sat.
+        assert!(s.solve().is_sat());
+        assert!(s.solve_assuming(&[Lit::neg(v[0])]).is_sat());
+        assert_eq!(s.value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn contradictory_assumptions_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        assert!(s
+            .solve_assuming(&[Lit::pos(v[0]), Lit::neg(v[0])])
+            .is_unsat());
+    }
+
+    #[test]
+    fn budget_yields_unknown_on_hard_instance() {
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 4]; 5];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&row.map(Lit::pos));
+        }
+        for j in 0..4 {
+            for i1 in 0..5 {
+                for i2 in (i1 + 1)..5 {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        // Deterministic pseudo-random 3-SAT; verify the model.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 20);
+        let mut state = 0x12345678u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut cls = Vec::new();
+        for _ in 0..60 {
+            let mut c = Vec::new();
+            for _ in 0..3 {
+                let var = v[(rnd() % 20) as usize];
+                c.push(Lit::new(var, rnd() % 2 == 0));
+            }
+            cls.push(c.clone());
+            s.add_clause(&c);
+        }
+        if s.solve().is_sat() {
+            for c in cls {
+                assert!(
+                    c.iter().any(|&l| s.lit_model(l) == Some(true)),
+                    "model violates clause"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_db_preserves_correctness() {
+        // Force many conflicts so reduction triggers, then confirm the
+        // formula's status is unchanged. Pigeonhole 6 into 5.
+        let mut s = Solver::new();
+        const P: usize = 6;
+        const H: usize = 5;
+        let mut p = vec![[Var(0); H]; P];
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&row.map(Lit::pos));
+        }
+        for j in 0..H {
+            for i1 in 0..P {
+                for i2 in (i1 + 1)..P {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+    }
+}

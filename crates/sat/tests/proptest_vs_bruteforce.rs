@@ -1,0 +1,85 @@
+//! Property-based cross-check: the CDCL solver must agree with brute-force
+//! enumeration on small random formulas, and every SAT model must satisfy
+//! all clauses.
+
+use proptest::prelude::*;
+use sat::{Lit, SolveResult, Solver, Var};
+
+const MAX_VARS: u32 = 10;
+
+fn clause_strategy() -> impl Strategy<Value = Vec<(u32, bool)>> {
+    prop::collection::vec((0..MAX_VARS, any::<bool>()), 1..4)
+}
+
+fn formula_strategy() -> impl Strategy<Value = Vec<Vec<(u32, bool)>>> {
+    prop::collection::vec(clause_strategy(), 1..40)
+}
+
+fn brute_force_sat(formula: &[Vec<(u32, bool)>]) -> bool {
+    for assignment in 0u32..(1 << MAX_VARS) {
+        let ok = formula.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|&(v, positive)| ((assignment >> v) & 1 == 1) == positive)
+        });
+        if ok {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(formula in formula_strategy()) {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..MAX_VARS).map(|_| s.new_var()).collect();
+        for clause in &formula {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&(v, positive)| Lit::new(vars[v as usize], positive))
+                .collect();
+            s.add_clause(&lits);
+        }
+        let expected = brute_force_sat(&formula);
+        let got = s.solve();
+        prop_assert_ne!(got, SolveResult::Unknown);
+        prop_assert_eq!(got.is_sat(), expected);
+        if got.is_sat() {
+            for clause in &formula {
+                let satisfied = clause.iter().any(|&(v, positive)| {
+                    s.value(vars[v as usize]).unwrap_or(false) == positive
+                });
+                prop_assert!(satisfied, "returned model violates a clause");
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_match_added_units(formula in formula_strategy(), forced in 0..MAX_VARS, polarity in any::<bool>()) {
+        // solve_assuming([l]) must agree with adding the unit clause [l].
+        let build = |with_unit: bool| -> (Solver, Vec<Var>) {
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..MAX_VARS).map(|_| s.new_var()).collect();
+            for clause in &formula {
+                let lits: Vec<Lit> = clause
+                    .iter()
+                    .map(|&(v, positive)| Lit::new(vars[v as usize], positive))
+                    .collect();
+                s.add_clause(&lits);
+            }
+            if with_unit {
+                s.add_clause(&[Lit::new(vars[forced as usize], polarity)]);
+            }
+            (s, vars)
+        };
+        let (mut with_unit, _) = build(true);
+        let (mut with_assumption, vars) = build(false);
+        let a = with_assumption
+            .solve_assuming(&[Lit::new(vars[forced as usize], polarity)]);
+        let u = with_unit.solve();
+        prop_assert_eq!(a.is_sat(), u.is_sat());
+    }
+}

@@ -1,0 +1,540 @@
+//! Cycle-accurate two-state simulator for the `netlist` IR.
+//!
+//! Used three ways in the reproduction:
+//!
+//! * ISA conformance testing of the `uarch` processor designs against the
+//!   `isa` golden model,
+//! * replaying model-checker witness traces (every `Reachable` outcome in the
+//!   test suite is validated by re-simulating the witness),
+//! * the SC-Safe (Definition V.1) experiment in `synthlc`, which compares
+//!   observation traces of low-equivalent executions.
+//!
+//! # Examples
+//!
+//! ```
+//! use netlist::Builder;
+//! use sim::Simulator;
+//!
+//! # fn main() -> Result<(), netlist::NetlistError> {
+//! let mut b = Builder::new();
+//! let x = b.input("x", 8);
+//! let acc = b.reg("acc", 8, 0);
+//! let sum = b.add(acc, x);
+//! b.set_next(acc, sum)?;
+//! let nl = b.finish()?;
+//!
+//! let mut simulator = Simulator::new(&nl);
+//! let x = nl.find("x").unwrap();
+//! let acc = nl.find("acc").unwrap();
+//! simulator.set_input(x, 5);
+//! simulator.step();
+//! simulator.set_input(x, 7);
+//! simulator.step();
+//! assert_eq!(simulator.value(acc), 12);
+//! # Ok(())
+//! # }
+//! ```
+
+use netlist::analysis::topo_order;
+use netlist::{mask, Netlist, Op, SignalId};
+use std::collections::HashMap;
+
+/// A cycle-accurate interpreter over a [`Netlist`].
+///
+/// Protocol per cycle: call [`Simulator::set_input`] for each input, read
+/// combinational values with [`Simulator::value`] (evaluation is implicit),
+/// then [`Simulator::step`] to advance the clock.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    nl: &'a Netlist,
+    order: Vec<SignalId>,
+    values: Vec<u64>,
+    dirty: bool,
+    cycle: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator in the reset state (registers at their init
+    /// values, inputs at 0).
+    ///
+    /// # Panics
+    /// Panics if the netlist is invalid (validate it first).
+    pub fn new(nl: &'a Netlist) -> Self {
+        nl.validate().expect("simulating an invalid netlist");
+        let order = topo_order(nl);
+        let mut s = Self {
+            nl,
+            order,
+            values: vec![0; nl.len()],
+            dirty: true,
+            cycle: 0,
+        };
+        for r in nl.regs() {
+            s.values[r.index()] = nl.reg_init(r);
+        }
+        s
+    }
+
+    /// Current cycle number (0 at reset).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Drives a primary input for the current cycle.
+    ///
+    /// # Panics
+    /// Panics if `id` is not an input or the value does not fit its width.
+    pub fn set_input(&mut self, id: SignalId, value: u64) {
+        assert!(
+            self.nl.node(id).op.is_input(),
+            "{} is not an input",
+            self.nl.display_name(id)
+        );
+        let w = self.nl.width(id);
+        assert_eq!(value & !mask(w), 0, "input value wider than {w} bits");
+        self.values[id.index()] = value;
+        self.dirty = true;
+    }
+
+    /// Drives several inputs at once.
+    pub fn set_inputs<I: IntoIterator<Item = (SignalId, u64)>>(&mut self, inputs: I) {
+        for (id, v) in inputs {
+            self.set_input(id, v);
+        }
+    }
+
+    fn eval(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        for &id in &self.order {
+            let node = self.nl.node(id);
+            let v = match &node.op {
+                Op::Input | Op::Reg { .. } => continue,
+                Op::Const(c) => *c,
+                Op::Unary(op, a) => op.eval(self.values[a.index()], self.nl.width(*a)),
+                Op::Binary(op, a, b) => op.eval(
+                    self.values[a.index()],
+                    self.values[b.index()],
+                    self.nl.width(*a),
+                ),
+                Op::Mux { sel, a, b } => {
+                    if self.values[sel.index()] != 0 {
+                        self.values[a.index()]
+                    } else {
+                        self.values[b.index()]
+                    }
+                }
+                Op::Slice { src, hi, lo } => {
+                    (self.values[src.index()] >> lo) & mask(hi - lo + 1)
+                }
+                Op::Concat { hi, lo } => {
+                    let lw = self.nl.width(*lo);
+                    (self.values[hi.index()] << lw) | self.values[lo.index()]
+                }
+            };
+            self.values[id.index()] = v;
+        }
+        self.dirty = false;
+    }
+
+    /// Reads the current (combinationally settled) value of a signal.
+    pub fn value(&mut self, id: SignalId) -> u64 {
+        self.eval();
+        self.values[id.index()]
+    }
+
+    /// Reads a signal by name.
+    ///
+    /// # Panics
+    /// Panics if no signal has that name.
+    pub fn value_of(&mut self, name: &str) -> u64 {
+        let id = self
+            .nl
+            .find(name)
+            .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        self.value(id)
+    }
+
+    /// Overwrites a register's current value (verification/experiment
+    /// support: e.g. installing a secret into the architectural state for
+    /// the SC-Safe experiment, Definition V.1).
+    ///
+    /// # Panics
+    /// Panics if `id` is not a register or the value does not fit.
+    pub fn poke_reg(&mut self, id: SignalId, value: u64) {
+        assert!(
+            self.nl.node(id).op.is_reg(),
+            "{} is not a register",
+            self.nl.display_name(id)
+        );
+        let w = self.nl.width(id);
+        assert_eq!(value & !mask(w), 0, "poke value wider than {w} bits");
+        self.values[id.index()] = value;
+        self.dirty = true;
+    }
+
+    /// Advances the clock one cycle: registers latch their next values.
+    pub fn step(&mut self) {
+        self.eval();
+        let regs = self.nl.regs();
+        let latched: Vec<(SignalId, u64)> = regs
+            .iter()
+            .map(|&r| (r, self.values[self.nl.reg_next(r).index()]))
+            .collect();
+        for (r, v) in latched {
+            self.values[r.index()] = v;
+        }
+        self.cycle += 1;
+        self.dirty = true;
+    }
+
+    /// Runs one full cycle with the given input assignment, returning after
+    /// the clock edge.
+    pub fn run_cycle(&mut self, inputs: &HashMap<SignalId, u64>) {
+        for (&id, &v) in inputs {
+            self.set_input(id, v);
+        }
+        self.step();
+    }
+}
+
+/// A recorded multi-cycle waveform of selected signals.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::Builder;
+/// use sim::{Recorder, Simulator};
+///
+/// # fn main() -> Result<(), netlist::NetlistError> {
+/// let mut b = Builder::new();
+/// let c = b.reg("c", 4, 0);
+/// let one = b.constant(1, 4);
+/// let n = b.add(c, one);
+/// b.set_next(c, n)?;
+/// let nl = b.finish()?;
+/// let c = nl.find("c").unwrap();
+///
+/// let mut simulator = Simulator::new(&nl);
+/// let mut rec = Recorder::new(vec![c]);
+/// for _ in 0..3 {
+///     rec.sample(&mut simulator);
+///     simulator.step();
+/// }
+/// assert_eq!(rec.column(c), vec![0, 1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    signals: Vec<SignalId>,
+    rows: Vec<Vec<u64>>,
+}
+
+impl Recorder {
+    /// Creates a recorder watching the given signals.
+    pub fn new(signals: Vec<SignalId>) -> Self {
+        Self {
+            signals,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Samples the watched signals at the current cycle.
+    pub fn sample(&mut self, simulator: &mut Simulator<'_>) {
+        let row = self
+            .signals
+            .iter()
+            .map(|&s| simulator.value(s))
+            .collect();
+        self.rows.push(row);
+    }
+
+    /// Number of sampled cycles.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether nothing has been sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The per-cycle values of one watched signal.
+    ///
+    /// # Panics
+    /// Panics if the signal is not watched.
+    pub fn column(&self, sig: SignalId) -> Vec<u64> {
+        let ix = self
+            .signals
+            .iter()
+            .position(|&s| s == sig)
+            .expect("signal not watched");
+        self.rows.iter().map(|r| r[ix]).collect()
+    }
+
+    /// The sampled rows, one per cycle, in watch order.
+    pub fn rows(&self) -> &[Vec<u64>] {
+        &self.rows
+    }
+
+    /// Renders an ASCII waveform table using the netlist's signal names.
+    pub fn render(&self, nl: &Netlist) -> String {
+        let mut out = String::new();
+        out.push_str("cycle");
+        for &s in &self.signals {
+            out.push_str(&format!("\t{}", nl.display_name(s)));
+        }
+        out.push('\n');
+        for (cyc, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!("{cyc}"));
+            for v in row {
+                out.push_str(&format!("\t{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Replays a per-cycle input script and returns the values of `watch`
+/// signals at every cycle *before* each clock edge.
+///
+/// This is the hook used to validate model-checker witnesses: the `mc` crate
+/// produces exactly this input-script shape.
+pub fn replay(
+    nl: &Netlist,
+    script: &[HashMap<SignalId, u64>],
+    watch: &[SignalId],
+) -> Vec<Vec<u64>> {
+    let mut simulator = Simulator::new(nl);
+    let mut out = Vec::with_capacity(script.len());
+    for inputs in script {
+        for (&id, &v) in inputs {
+            simulator.set_input(id, v);
+        }
+        out.push(watch.iter().map(|&s| simulator.value(s)).collect());
+        simulator.step();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::Builder;
+
+    #[test]
+    fn register_latches_on_step_not_eval() {
+        let mut b = Builder::new();
+        let x = b.input("x", 8);
+        let r = b.reg("r", 8, 0);
+        b.set_next(r, x).unwrap();
+        let nl = b.finish().unwrap();
+        let (x, r) = (nl.find("x").unwrap(), nl.find("r").unwrap());
+        let mut s = Simulator::new(&nl);
+        s.set_input(x, 42);
+        assert_eq!(s.value(r), 0, "reg holds init before edge");
+        s.step();
+        assert_eq!(s.value(r), 42, "reg latched at edge");
+    }
+
+    #[test]
+    fn mux_and_slices() {
+        let mut b = Builder::new();
+        let x = b.input("x", 8);
+        let sel = b.input("sel", 1);
+        let hi = b.slice(x, 7, 4);
+        let lo = b.slice(x, 3, 0);
+        let m = b.mux(sel, hi, lo);
+        let out = b.name(m, "out");
+        let _ = out;
+        let nl = b.finish().unwrap();
+        let mut s = Simulator::new(&nl);
+        s.set_input(nl.find("x").unwrap(), 0xa5);
+        s.set_input(nl.find("sel").unwrap(), 1);
+        assert_eq!(s.value_of("out"), 0xa);
+        s.set_input(nl.find("sel").unwrap(), 0);
+        assert_eq!(s.value_of("out"), 0x5);
+    }
+
+    #[test]
+    fn mem_array_reads_writes() {
+        let mut b = Builder::new();
+        let addr = b.input("addr", 2);
+        let data = b.input("data", 8);
+        let we = b.input("we", 1);
+        let mut mem = netlist::MemArray::new(&mut b, "m", 4, 8);
+        let rd = mem.read(&mut b, addr);
+        b.name(rd, "rd");
+        mem.write(we, addr, data);
+        mem.finish(&mut b).unwrap();
+        let nl = b.finish().unwrap();
+        let mut s = Simulator::new(&nl);
+        let (a, d, w) = (
+            nl.find("addr").unwrap(),
+            nl.find("data").unwrap(),
+            nl.find("we").unwrap(),
+        );
+        s.set_inputs([(a, 2), (d, 99), (w, 1)]);
+        s.step();
+        s.set_inputs([(a, 2), (d, 0), (w, 0)]);
+        assert_eq!(s.value_of("rd"), 99);
+        s.set_input(a, 1);
+        assert_eq!(s.value_of("rd"), 0);
+    }
+
+    #[test]
+    fn later_mem_writes_take_priority() {
+        let mut b = Builder::new();
+        let addr = b.input("addr", 2);
+        let d0 = b.input("d0", 8);
+        let d1 = b.input("d1", 8);
+        let en = b.input("en", 1);
+        let mut mem = netlist::MemArray::new(&mut b, "m", 4, 8);
+        let rd = mem.read(&mut b, addr);
+        b.name(rd, "rd");
+        mem.write(en, addr, d0);
+        mem.write(en, addr, d1); // queued later => wins
+        mem.finish(&mut b).unwrap();
+        let nl = b.finish().unwrap();
+        let mut s = Simulator::new(&nl);
+        s.set_inputs([
+            (nl.find("addr").unwrap(), 0),
+            (nl.find("d0").unwrap(), 1),
+            (nl.find("d1").unwrap(), 2),
+            (nl.find("en").unwrap(), 1),
+        ]);
+        s.step();
+        s.set_input(nl.find("en").unwrap(), 0);
+        assert_eq!(s.value_of("rd"), 2);
+    }
+
+    #[test]
+    fn replay_matches_manual_stepping() {
+        let mut b = Builder::new();
+        let x = b.input("x", 8);
+        let acc = b.reg("acc", 8, 0);
+        let sum = b.add(acc, x);
+        b.set_next(acc, sum).unwrap();
+        let nl = b.finish().unwrap();
+        let (x, acc) = (nl.find("x").unwrap(), nl.find("acc").unwrap());
+        let script: Vec<HashMap<SignalId, u64>> = (1..=4)
+            .map(|i| HashMap::from([(x, i as u64)]))
+            .collect();
+        let vals = replay(&nl, &script, &[acc]);
+        assert_eq!(
+            vals.iter().map(|r| r[0]).collect::<Vec<_>>(),
+            vec![0, 1, 3, 6]
+        );
+    }
+
+    #[test]
+    fn recorder_renders_names() {
+        let mut b = Builder::new();
+        let c = b.reg("cnt", 4, 0);
+        let one = b.constant(1, 4);
+        let n = b.add(c, one);
+        b.set_next(c, n).unwrap();
+        let nl = b.finish().unwrap();
+        let c = nl.find("cnt").unwrap();
+        let mut s = Simulator::new(&nl);
+        let mut rec = Recorder::new(vec![c]);
+        rec.sample(&mut s);
+        s.step();
+        rec.sample(&mut s);
+        let table = rec.render(&nl);
+        assert!(table.contains("cnt"));
+        assert_eq!(rec.column(c), vec![0, 1]);
+    }
+
+    #[test]
+    fn shift_ops_match_semantics() {
+        let mut b = Builder::new();
+        let x = b.input("x", 8);
+        let amt = b.input("amt", 4);
+        let l = b.shl(x, amt);
+        let r = b.shr(x, amt);
+        b.name(l, "l");
+        b.name(r, "r");
+        let nl = b.finish().unwrap();
+        let mut s = Simulator::new(&nl);
+        s.set_inputs([(nl.find("x").unwrap(), 0x81), (nl.find("amt").unwrap(), 1)]);
+        assert_eq!(s.value_of("l"), 0x02);
+        assert_eq!(s.value_of("r"), 0x40);
+        s.set_input(nl.find("amt").unwrap(), 9);
+        assert_eq!(s.value_of("l"), 0, "overshift is zero");
+        assert_eq!(s.value_of("r"), 0);
+    }
+}
+
+/// Writes a recorded waveform as a minimal VCD (Value Change Dump) file
+/// body, viewable in standard waveform viewers.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::Builder;
+/// use sim::{Recorder, Simulator};
+///
+/// # fn main() -> Result<(), netlist::NetlistError> {
+/// let mut b = Builder::new();
+/// let c = b.reg("c", 4, 0);
+/// let one = b.constant(1, 4);
+/// let n = b.add(c, one);
+/// b.set_next(c, n)?;
+/// let nl = b.finish()?;
+/// let c = nl.find("c").unwrap();
+/// let mut s = Simulator::new(&nl);
+/// let mut rec = Recorder::new(vec![c]);
+/// rec.sample(&mut s);
+/// s.step();
+/// rec.sample(&mut s);
+/// let vcd = sim::to_vcd(&rec, &nl, &[c]);
+/// assert!(vcd.contains("$var"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_vcd(rec: &Recorder, nl: &Netlist, signals: &[SignalId]) -> String {
+    let mut out = String::new();
+    out.push_str("$timescale 1ns $end\n$scope module dut $end\n");
+    let idcode = |i: usize| -> String {
+        // VCD identifier characters: printable ASCII 33..=126.
+        let mut n = i;
+        let mut s = String::new();
+        loop {
+            s.push((33 + (n % 94)) as u8 as char);
+            n /= 94;
+            if n == 0 {
+                break;
+            }
+        }
+        s
+    };
+    for (i, &sig) in signals.iter().enumerate() {
+        out.push_str(&format!(
+            "$var wire {} {} {} $end\n",
+            nl.width(sig),
+            idcode(i),
+            nl.display_name(sig)
+        ));
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+    let mut last: Vec<Option<u64>> = vec![None; signals.len()];
+    for (t, _) in rec.rows().iter().enumerate() {
+        out.push_str(&format!("#{t}\n"));
+        for (i, &sig) in signals.iter().enumerate() {
+            let v = rec.column(sig)[t];
+            if last[i] != Some(v) {
+                last[i] = Some(v);
+                if nl.width(sig) == 1 {
+                    out.push_str(&format!("{}{}\n", v & 1, idcode(i)));
+                } else {
+                    out.push_str(&format!("b{:b} {}\n", v, idcode(i)));
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,305 @@
+//! SVA-style property construction: monitors and the paper's property
+//! templates, compiled into netlist circuits.
+//!
+//! The paper generates thousands of SystemVerilog Assertions from templates
+//! (§V-B, §V-C1) and hands them to a property verifier. Here, each property
+//! becomes a 1-bit *monitor signal* woven into the design under verification
+//! with [`netlist::Builder::from_netlist`]; the `mc` crate then evaluates
+//! `cover`/`assume` over those signals. This module provides:
+//!
+//! * temporal building blocks ([`sticky`], [`delay`], [`seq_then`],
+//!   [`visit_counter`], [`consecutive_counter`]) — the `##N` / "visited"
+//!   vocabulary of the templates,
+//! * the four template shapes of the paper
+//!   ([`templates::dominates_cover`], [`templates::exclusive_cover`],
+//!   [`templates::pl_set_cover`], [`templates::decision_taint_cover`]),
+//! * [`Property`] bookkeeping so synthesis passes can report per-property
+//!   statistics (§VII-B3).
+//!
+//! # Examples
+//!
+//! ```
+//! use netlist::Builder;
+//!
+//! let mut b = Builder::new();
+//! let pulse = b.input("pulse", 1);
+//! let seen = sva::sticky(&mut b, pulse, "seen_pulse");
+//! assert_eq!(seen.width, 1);
+//! ```
+
+use netlist::{Builder, Wire};
+
+pub mod ltl;
+pub mod templates;
+
+/// Kind of a registered property.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PropertyKind {
+    /// Search for a trace where the signal is high at some cycle.
+    Cover,
+    /// Constrain traces to those where the signal is high at every cycle.
+    Assume,
+}
+
+/// A named property over a monitor signal.
+#[derive(Clone, Debug)]
+pub struct Property {
+    /// Human-readable name (template instantiations embed PL names).
+    pub name: String,
+    /// Cover or assume.
+    pub kind: PropertyKind,
+    /// The 1-bit monitor signal.
+    pub signal: netlist::SignalId,
+}
+
+/// An ordered collection of properties attached to one monitored design.
+#[derive(Clone, Debug, Default)]
+pub struct PropertyList {
+    items: Vec<Property>,
+}
+
+impl PropertyList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a cover property.
+    pub fn cover(&mut self, name: impl Into<String>, sig: Wire) {
+        assert_eq!(sig.width, 1, "cover signal must be 1 bit");
+        self.items.push(Property {
+            name: name.into(),
+            kind: PropertyKind::Cover,
+            signal: sig.id,
+        });
+    }
+
+    /// Registers an assume property.
+    pub fn assume(&mut self, name: impl Into<String>, sig: Wire) {
+        assert_eq!(sig.width, 1, "assume signal must be 1 bit");
+        self.items.push(Property {
+            name: name.into(),
+            kind: PropertyKind::Assume,
+            signal: sig.id,
+        });
+    }
+
+    /// All registered properties.
+    pub fn iter(&self) -> impl Iterator<Item = &Property> {
+        self.items.iter()
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no properties are registered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Looks a property up by name.
+    pub fn find(&self, name: &str) -> Option<&Property> {
+        self.items.iter().find(|p| p.name == name)
+    }
+}
+
+/// Monotone "has ever been high" monitor: output is high from the first
+/// cycle `sig` is high, inclusive, onwards.
+///
+/// This is the `pl_visited` vocabulary of the paper's templates.
+pub fn sticky(b: &mut Builder, sig: Wire, name: &str) -> Wire {
+    let r = b.reg(&format!("{name}__sticky"), 1, 0);
+    let now = b.or(r, sig);
+    b.set_next(r, now).expect("fresh monitor register");
+    b.name(now, name)
+}
+
+/// Delays a 1-bit signal by `n` cycles (the `##n` operator). Cycle 0..n-1
+/// outputs are 0.
+pub fn delay(b: &mut Builder, sig: Wire, n: usize, name: &str) -> Wire {
+    let mut cur = sig;
+    for i in 0..n {
+        let r = b.reg(&format!("{name}__d{i}"), 1, 0);
+        b.set_next(r, cur).expect("fresh monitor register");
+        cur = r;
+    }
+    b.name(cur, name)
+}
+
+/// The sequence `first ##1 second`: high when `second` is high one cycle
+/// after `first` was.
+pub fn seq_then(b: &mut Builder, first: Wire, second: Wire, name: &str) -> Wire {
+    let d = delay(b, first, 1, &format!("{name}__first_d1"));
+    let both = b.and(d, second);
+    b.name(both, name)
+}
+
+/// Counts cycles in which `sig` was high (saturating at the counter's max).
+///
+/// Used for revisit-count enumeration (§V-B6): the value of `l` for a
+/// `Row(l)` node.
+pub fn visit_counter(b: &mut Builder, sig: Wire, width: u8, name: &str) -> Wire {
+    let r = b.reg(&format!("{name}__cnt"), width, 0);
+    let one = b.constant(1, width);
+    let max = b.constant(netlist::mask(width), width);
+    let at_max = b.eq(r, max);
+    let bumped = b.add(r, one);
+    let held = b.mux(at_max, r, bumped);
+    let next = b.mux(sig, held, r);
+    b.set_next(r, next).expect("fresh monitor register");
+    b.name(r, name)
+}
+
+/// Counts the length of the *current* run of consecutive high cycles
+/// (resets to 0 when `sig` is low), and the maximum run seen so far.
+///
+/// Returns `(current_run, max_run)`. Distinguishes consecutive from
+/// non-consecutive revisits (§III-B, §V-B4).
+pub fn consecutive_counter(
+    b: &mut Builder,
+    sig: Wire,
+    width: u8,
+    name: &str,
+) -> (Wire, Wire) {
+    let run = b.reg(&format!("{name}__run"), width, 0);
+    let max_run = b.reg(&format!("{name}__maxrun"), width, 0);
+    let one = b.constant(1, width);
+    let zero = b.constant(0, width);
+    let cap = b.constant(netlist::mask(width), width);
+    let at_cap = b.eq(run, cap);
+    let bumped = b.add(run, one);
+    let grown = b.mux(at_cap, run, bumped);
+    let next_run = b.mux(sig, grown, zero);
+    b.set_next(run, next_run).expect("fresh monitor register");
+    let bigger = b.ult(max_run, next_run);
+    let next_max = b.mux(bigger, next_run, max_run);
+    b.set_next(max_run, next_max)
+        .expect("fresh monitor register");
+    let cur = b.name(next_run, &format!("{name}__current"));
+    let max = b.name(max_run, name);
+    (cur, max)
+}
+
+/// High on the cycle where `sig` goes from low to high.
+pub fn rose(b: &mut Builder, sig: Wire, name: &str) -> Wire {
+    let prev = b.reg(&format!("{name}__prev"), 1, 0);
+    b.set_next(prev, sig).expect("fresh monitor register");
+    let nprev = b.not(prev);
+    let r = b.and(sig, nprev);
+    b.name(r, name)
+}
+
+/// High on the cycle where `sig` goes from high to low.
+pub fn fell(b: &mut Builder, sig: Wire, name: &str) -> Wire {
+    let prev = b.reg(&format!("{name}__prev"), 1, 0);
+    b.set_next(prev, sig).expect("fresh monitor register");
+    let nsig = b.not(sig);
+    let f = b.and(prev, nsig);
+    b.name(f, name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::Builder;
+    use sim::Simulator;
+
+    fn pulse_design() -> (netlist::Netlist, netlist::SignalId) {
+        let mut b = Builder::new();
+        let p = b.input("p", 1);
+        sticky(&mut b, p, "seen");
+        delay(&mut b, p, 2, "d2");
+        seq_then(&mut b, p, p, "pp");
+        visit_counter(&mut b, p, 3, "cnt");
+        consecutive_counter(&mut b, p, 3, "run");
+        rose(&mut b, p, "rose");
+        fell(&mut b, p, "fell");
+        let nl = b.finish().unwrap();
+        let p = nl.find("p").unwrap();
+        (nl, p)
+    }
+
+    fn drive(pattern: &[u64], read: &[&str]) -> Vec<Vec<u64>> {
+        let (nl, p) = pulse_design();
+        let mut s = Simulator::new(&nl);
+        let mut out = Vec::new();
+        for &v in pattern {
+            s.set_input(p, v);
+            out.push(read.iter().map(|n| s.value_of(n)).collect());
+            s.step();
+        }
+        out
+    }
+
+    #[test]
+    fn sticky_latches_inclusively() {
+        let vals = drive(&[0, 1, 0, 0], &["seen"]);
+        assert_eq!(
+            vals.iter().map(|r| r[0]).collect::<Vec<_>>(),
+            vec![0, 1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn delay_shifts_by_n() {
+        let vals = drive(&[1, 0, 0, 0], &["d2"]);
+        assert_eq!(
+            vals.iter().map(|r| r[0]).collect::<Vec<_>>(),
+            vec![0, 0, 1, 0]
+        );
+    }
+
+    #[test]
+    fn seq_then_matches_back_to_back() {
+        let vals = drive(&[1, 1, 0, 1], &["pp"]);
+        assert_eq!(
+            vals.iter().map(|r| r[0]).collect::<Vec<_>>(),
+            vec![0, 1, 0, 0]
+        );
+    }
+
+    #[test]
+    fn visit_counter_counts_highs() {
+        let vals = drive(&[1, 0, 1, 1], &["cnt"]);
+        // Register reads lag by one cycle: counts of highs seen *before* t.
+        assert_eq!(
+            vals.iter().map(|r| r[0]).collect::<Vec<_>>(),
+            vec![0, 1, 1, 2]
+        );
+    }
+
+    #[test]
+    fn consecutive_counter_tracks_runs() {
+        let vals = drive(&[1, 1, 0, 1], &["run__current", "run"]);
+        let cur: Vec<u64> = vals.iter().map(|r| r[0]).collect();
+        let max: Vec<u64> = vals.iter().map(|r| r[1]).collect();
+        assert_eq!(cur, vec![1, 2, 0, 1], "current run includes this cycle");
+        assert_eq!(max, vec![0, 1, 2, 2], "max run is registered");
+    }
+
+    #[test]
+    fn rose_and_fell_are_edges() {
+        let vals = drive(&[0, 1, 1, 0], &["rose", "fell"]);
+        assert_eq!(
+            vals.iter().map(|r| r[0]).collect::<Vec<_>>(),
+            vec![0, 1, 0, 0]
+        );
+        assert_eq!(
+            vals.iter().map(|r| r[1]).collect::<Vec<_>>(),
+            vec![0, 0, 0, 1]
+        );
+    }
+
+    #[test]
+    fn property_list_bookkeeping() {
+        let mut b = Builder::new();
+        let p = b.input("p", 1);
+        let mut props = PropertyList::new();
+        props.cover("p_high", p);
+        props.assume("p_low_never", p);
+        assert_eq!(props.len(), 2);
+        assert_eq!(props.find("p_high").unwrap().kind, PropertyKind::Cover);
+    }
+}

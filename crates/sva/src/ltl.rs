@@ -1,0 +1,357 @@
+//! A bounded linear-temporal-logic layer (§III-C: "linear temporal logic
+//! (LTL) property generation (from property templates)").
+//!
+//! Two semantics are provided and kept in agreement by property tests:
+//!
+//! * [`eval`] — a reference interpreter over finite traces (bounded LTL
+//!   with the standard finite-trace weak/strong next distinction),
+//! * [`compile`] — compilation into a netlist monitor whose output at cycle
+//!   `t` equals the formula's truth at `t` *for past/bounded-future
+//!   fragments*; unbounded futures (`F`, `G`, `U`) are compiled in their
+//!   bounded forms `F≤k`, `G≤k`, `U≤k`.
+//!
+//! The model checker consumes only the compiled monitors; the interpreter
+//! exists so monitor compilation itself is tested against an executable
+//! specification.
+
+use crate::delay;
+use netlist::{Builder, Wire};
+
+/// A bounded-LTL formula over named 1-bit signals.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Ltl {
+    /// The signal with this name.
+    Atom(String),
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// Negation.
+    Not(Box<Ltl>),
+    /// Conjunction.
+    And(Box<Ltl>, Box<Ltl>),
+    /// Disjunction.
+    Or(Box<Ltl>, Box<Ltl>),
+    /// Strong next: there is a next cycle and the formula holds there.
+    Next(Box<Ltl>),
+    /// Bounded eventually: the formula holds within `k` cycles (inclusive
+    /// of now).
+    Finally(usize, Box<Ltl>),
+    /// Bounded globally: the formula holds for the next `k` cycles
+    /// (inclusive of now), clipped at the trace end.
+    Globally(usize, Box<Ltl>),
+    /// Bounded until: the right formula holds within `k` cycles and the
+    /// left holds at every cycle before that.
+    Until(usize, Box<Ltl>, Box<Ltl>),
+    /// Past operator: the formula held at some cycle so far (inclusive).
+    Once(Box<Ltl>),
+    /// Past operator: the formula held at the previous cycle (false at
+    /// cycle 0).
+    Yesterday(Box<Ltl>),
+}
+
+impl Ltl {
+    /// Atom constructor.
+    pub fn atom(name: impl Into<String>) -> Ltl {
+        Ltl::Atom(name.into())
+    }
+
+    /// Boolean helpers for readable construction.
+    pub fn and(self, other: Ltl) -> Ltl {
+        Ltl::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Ltl) -> Ltl {
+        Ltl::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    pub fn negate(self) -> Ltl {
+        Ltl::Not(Box::new(self))
+    }
+
+    /// Implication `self -> other`.
+    pub fn implies(self, other: Ltl) -> Ltl {
+        self.negate().or(other)
+    }
+
+    /// `##1 self` (strong next).
+    pub fn next(self) -> Ltl {
+        Ltl::Next(Box::new(self))
+    }
+
+    /// `F<=k self`.
+    pub fn finally(self, k: usize) -> Ltl {
+        Ltl::Finally(k, Box::new(self))
+    }
+
+    /// `G<=k self`.
+    pub fn globally(self, k: usize) -> Ltl {
+        Ltl::Globally(k, Box::new(self))
+    }
+
+    /// The atoms referenced by the formula.
+    pub fn atoms(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Ltl::Atom(n) => out.push(n),
+            Ltl::True | Ltl::False => {}
+            Ltl::Not(a) | Ltl::Next(a) | Ltl::Once(a) | Ltl::Yesterday(a) => {
+                a.collect_atoms(out)
+            }
+            Ltl::Finally(_, a) | Ltl::Globally(_, a) => a.collect_atoms(out),
+            Ltl::And(a, b) | Ltl::Or(a, b) => {
+                a.collect_atoms(out);
+                b.collect_atoms(out);
+            }
+            Ltl::Until(_, a, b) => {
+                a.collect_atoms(out);
+                b.collect_atoms(out);
+            }
+        }
+    }
+
+    /// How many future cycles the formula looks ahead (its compilation
+    /// latency).
+    pub fn horizon(&self) -> usize {
+        match self {
+            Ltl::Atom(_) | Ltl::True | Ltl::False => 0,
+            Ltl::Not(a) | Ltl::Once(a) | Ltl::Yesterday(a) => a.horizon(),
+            Ltl::Next(a) => 1 + a.horizon(),
+            Ltl::Finally(k, a) | Ltl::Globally(k, a) => k + a.horizon(),
+            Ltl::And(a, b) | Ltl::Or(a, b) => a.horizon().max(b.horizon()),
+            Ltl::Until(k, a, b) => k + a.horizon().max(b.horizon()),
+        }
+    }
+}
+
+/// A finite trace: per atom, a vector of per-cycle boolean values (all the
+/// same length).
+pub type TraceMap<'a> = std::collections::HashMap<&'a str, Vec<bool>>;
+
+/// Reference semantics: does `f` hold at cycle `t` of the trace?
+///
+/// Finite-trace conventions: `Next` is strong (false at the last cycle);
+/// bounded `Globally` clips at the trace end (vacuously true beyond it).
+///
+/// # Panics
+/// Panics if an atom is missing from the trace map.
+pub fn eval(f: &Ltl, trace: &TraceMap<'_>, t: usize) -> bool {
+    let len = trace.values().next().map(Vec::len).unwrap_or(0);
+    match f {
+        Ltl::Atom(n) => trace
+            .get(n.as_str())
+            .unwrap_or_else(|| panic!("atom `{n}` missing from trace"))
+            .get(t)
+            .copied()
+            .unwrap_or(false),
+        Ltl::True => true,
+        Ltl::False => false,
+        Ltl::Not(a) => !eval(a, trace, t),
+        Ltl::And(a, b) => eval(a, trace, t) && eval(b, trace, t),
+        Ltl::Or(a, b) => eval(a, trace, t) || eval(b, trace, t),
+        Ltl::Next(a) => t + 1 < len && eval(a, trace, t + 1),
+        Ltl::Finally(k, a) => (t..=t + k).any(|u| u < len && eval(a, trace, u)),
+        Ltl::Globally(k, a) => (t..=t + k).all(|u| u >= len || eval(a, trace, u)),
+        Ltl::Until(k, a, b) => (t..=t + k).any(|u| {
+            u < len && eval(b, trace, u) && (t..u).all(|v| eval(a, trace, v))
+        }),
+        Ltl::Once(a) => (0..=t).any(|u| u < len && eval(a, trace, u)),
+        Ltl::Yesterday(a) => t > 0 && eval(a, trace, t - 1),
+    }
+}
+
+/// Compiles `f` into a monitor wire.
+///
+/// Because hardware cannot look into the future, the compiled monitor is
+/// *delayed by the formula's [`Ltl::horizon`]*: the returned wire at cycle
+/// `t + horizon` equals the formula's truth at `t`, for every `t` such
+/// that the whole look-ahead window fits inside the trace. Past operators
+/// compile to registers, with warm-up masking so pre-trace cycles never
+/// contribute.
+///
+/// # Panics
+/// Panics if an atom name is not found in the builder's netlist.
+pub fn compile(b: &mut Builder, f: &Ltl, name: &str) -> Wire {
+    let w = compile_node(b, f, name, &mut 0);
+    b.name(w, name)
+}
+
+fn fresh_tag(name: &str, fresh: &mut usize) -> String {
+    *fresh += 1;
+    format!("{name}__m{fresh}")
+}
+
+/// Pads a wire by `n` cycles with uniquely named delay registers.
+fn pad(b: &mut Builder, w: Wire, n: usize, name: &str, fresh: &mut usize) -> Wire {
+    if n == 0 {
+        return w;
+    }
+    let t = fresh_tag(name, fresh);
+    delay(b, w, n, &t)
+}
+
+/// A warm-up mask: 0 for the first `h` cycles, then 1 — marks the cycles
+/// at which a horizon-`h` subformula's output is meaningful.
+fn warmup(b: &mut Builder, h: usize, name: &str, fresh: &mut usize) -> Wire {
+    let one = b.one();
+    pad(b, one, h, name, fresh)
+}
+
+/// Compiles a node at its own natural alignment: the returned wire at
+/// cycle `t` equals the subformula's truth at `t - horizon(f)` (and 0
+/// during the first `horizon(f)` warm-up cycles).
+fn compile_node(b: &mut Builder, f: &Ltl, name: &str, fresh: &mut usize) -> Wire {
+    match f {
+        Ltl::Atom(n) => b.wire_named(n),
+        Ltl::True => b.one(),
+        Ltl::False => b.zero(),
+        Ltl::Not(a) => {
+            let x = compile_node(b, a, name, fresh);
+            b.not(x)
+        }
+        Ltl::And(a, c) => {
+            let (ha, hc) = (a.horizon(), c.horizon());
+            let h = ha.max(hc);
+            let x = compile_node(b, a, name, fresh);
+            let x = pad(b, x, h - ha, name, fresh);
+            let y = compile_node(b, c, name, fresh);
+            let y = pad(b, y, h - hc, name, fresh);
+            b.and(x, y)
+        }
+        Ltl::Or(a, c) => {
+            let (ha, hc) = (a.horizon(), c.horizon());
+            let h = ha.max(hc);
+            let x = compile_node(b, a, name, fresh);
+            let x = pad(b, x, h - ha, name, fresh);
+            let y = compile_node(b, c, name, fresh);
+            let y = pad(b, y, h - hc, name, fresh);
+            b.or(x, y)
+        }
+        // Next(a) at t - (ha + 1) is a's value at t - ha: the child's
+        // natural output, horizon bumped by one.
+        Ltl::Next(a) => compile_node(b, a, name, fresh),
+        Ltl::Finally(k, a) => {
+            // Output at t = OR over i of a(t - h + i), h = k + ha: the
+            // child's output padded by k - i.
+            let x = compile_node(b, a, name, fresh);
+            let mut acc = b.zero();
+            for i in 0..=*k {
+                let tap = pad(b, x, k - i, name, fresh);
+                acc = b.or(acc, tap);
+            }
+            acc
+        }
+        Ltl::Globally(k, a) => {
+            let x = compile_node(b, a, name, fresh);
+            let mut acc = b.one();
+            for i in 0..=*k {
+                let tap = pad(b, x, k - i, name, fresh);
+                acc = b.and(acc, tap);
+            }
+            acc
+        }
+        Ltl::Until(k, a, c) => {
+            let (ha, hc) = (a.horizon(), c.horizon());
+            let h = k + ha.max(hc);
+            let xa = compile_node(b, a, name, fresh);
+            let xc = compile_node(b, c, name, fresh);
+            let mut acc = b.zero();
+            for u in 0..=*k {
+                let rhs = pad(b, xc, h - hc - u, name, fresh);
+                let mut arm = rhs;
+                for v in 0..u {
+                    let lhs = pad(b, xa, h - ha - v, name, fresh);
+                    arm = b.and(arm, lhs);
+                }
+                acc = b.or(acc, arm);
+            }
+            acc
+        }
+        Ltl::Once(a) => {
+            // Mask the child's warm-up cycles so pre-trace values never
+            // latch into the sticky register.
+            let ha = a.horizon();
+            let x = compile_node(b, a, name, fresh);
+            let mask = warmup(b, ha, name, fresh);
+            let gated = b.and(x, mask);
+            let t = fresh_tag(name, fresh);
+            crate::sticky(b, gated, &t)
+        }
+        Ltl::Yesterday(a) => {
+            let ha = a.horizon();
+            let x = compile_node(b, a, name, fresh);
+            let mask = warmup(b, ha, name, fresh);
+            let gated = b.and(x, mask);
+            pad(b, gated, 1, name, fresh)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(pairs: &[(&'static str, &[u8])]) -> TraceMap<'static> {
+        pairs
+            .iter()
+            .map(|(n, v)| (*n, v.iter().map(|&x| x != 0).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn eval_basics() {
+        let t = tr(&[("a", &[1, 0, 1, 0]), ("b", &[0, 0, 1, 1])]);
+        let f = Ltl::atom("a").and(Ltl::atom("b"));
+        assert!(!eval(&f, &t, 0));
+        assert!(eval(&f, &t, 2));
+        let g = Ltl::atom("a").next();
+        assert!(!eval(&g, &t, 0), "a is false at 1");
+        assert!(eval(&g, &t, 1), "a is true at 2");
+        assert!(!eval(&Ltl::atom("b").next(), &t, 3), "strong next at end");
+    }
+
+    #[test]
+    fn eval_bounded_temporal() {
+        let t = tr(&[("p", &[0, 0, 1, 0, 0])]);
+        assert!(eval(&Ltl::atom("p").finally(2), &t, 0));
+        assert!(!eval(&Ltl::atom("p").finally(1), &t, 0));
+        assert!(eval(&Ltl::atom("p").negate().globally(1), &t, 0));
+        assert!(!eval(&Ltl::atom("p").negate().globally(2), &t, 0));
+        // until: !p until p within 3
+        let u = Ltl::Until(
+            3,
+            Box::new(Ltl::atom("p").negate()),
+            Box::new(Ltl::atom("p")),
+        );
+        assert!(eval(&u, &t, 0));
+    }
+
+    #[test]
+    fn eval_past_operators() {
+        let t = tr(&[("p", &[0, 1, 0, 0])]);
+        let once = Ltl::Once(Box::new(Ltl::atom("p")));
+        assert!(!eval(&once, &t, 0));
+        assert!(eval(&once, &t, 1));
+        assert!(eval(&once, &t, 3));
+        let yest = Ltl::Yesterday(Box::new(Ltl::atom("p")));
+        assert!(!eval(&yest, &t, 0));
+        assert!(!eval(&yest, &t, 1));
+        assert!(eval(&yest, &t, 2));
+    }
+
+    #[test]
+    fn horizon_accounting() {
+        let f = Ltl::atom("a").next().finally(2);
+        assert_eq!(f.horizon(), 3);
+        assert_eq!(Ltl::Once(Box::new(Ltl::atom("a"))).horizon(), 0);
+    }
+}

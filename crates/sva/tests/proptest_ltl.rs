@@ -1,0 +1,88 @@
+//! LTL monitor-compilation equivalence (property-based): for random
+//! bounded-LTL formulas and random traces, the compiled hardware monitor
+//! (delayed by the formula's horizon) must agree with the reference
+//! interpreter at every cycle where the full look-ahead window fits inside
+//! the trace.
+
+use netlist::Builder;
+use proptest::prelude::*;
+use sim::Simulator;
+use sva::ltl::{eval, Ltl, TraceMap};
+
+fn arb_ltl(depth: u32) -> BoxedStrategy<Ltl> {
+    let leaf = prop_oneof![
+        Just(Ltl::atom("a")),
+        Just(Ltl::atom("b")),
+        Just(Ltl::True),
+        Just(Ltl::False),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.negate()),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.and(g)),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.or(g)),
+            inner.clone().prop_map(|f| f.next()),
+            (0usize..3, inner.clone()).prop_map(|(k, f)| f.finally(k)),
+            (0usize..3, inner.clone()).prop_map(|(k, f)| f.globally(k)),
+            (0usize..3, inner.clone(), inner.clone())
+                .prop_map(|(k, f, g)| Ltl::Until(k, Box::new(f), Box::new(g))),
+            inner.clone().prop_map(|f| Ltl::Once(Box::new(f))),
+            inner.prop_map(|f| Ltl::Yesterday(Box::new(f))),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compiled_monitor_matches_interpreter(
+        f in arb_ltl(3),
+        a_trace in prop::collection::vec(any::<bool>(), 10..16),
+        b_seed in prop::collection::vec(any::<bool>(), 10..16),
+    ) {
+        let len = a_trace.len().min(b_seed.len());
+        let a_trace = &a_trace[..len];
+        let b_trace = &b_seed[..len];
+        let horizon = f.horizon();
+        prop_assume!(horizon + 1 < len);
+
+        // Build: two inputs, compile the formula.
+        let mut b = Builder::new();
+        let _a = b.input("a", 1);
+        let _bw = b.input("b", 1);
+        sva::ltl::compile(&mut b, &f, "mon");
+        let nl = b.finish().expect("monitor netlist valid");
+        let (ai, bi, mi) = (
+            nl.find("a").unwrap(),
+            nl.find("b").unwrap(),
+            nl.find("mon").unwrap(),
+        );
+
+        // Simulate, recording the monitor output per cycle.
+        let mut s = Simulator::new(&nl);
+        let mut mon = Vec::new();
+        for t in 0..len {
+            s.set_input(ai, a_trace[t] as u64);
+            s.set_input(bi, b_trace[t] as u64);
+            mon.push(s.value(mi) != 0);
+            s.step();
+        }
+
+        let mut tm: TraceMap<'_> = TraceMap::new();
+        tm.insert("a", a_trace.to_vec());
+        tm.insert("b", b_trace.to_vec());
+        for t in 0..len - horizon {
+            let expect = eval(&f, &tm, t);
+            prop_assert_eq!(
+                mon[t + horizon],
+                expect,
+                "formula {:?} at cycle {} (horizon {})",
+                f,
+                t,
+                horizon
+            );
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Deriving the six leakage contracts of Table I from µPATHs and leakage
+//! signatures.
+//!
+//! Each derivation follows the ✓-columns of Table I: which signature
+//! components (transponder `P`, decision source `src`, intrinsic `T^N` /
+//! dynamic `T^D` / static `T^S` transmitters, arguments `a`) and which
+//! µPATH information (`µ`) a contract consumes.
+
+use crate::harness::{Operand, TxKind};
+use crate::signatures::{LeakageReport, LeakageSignature};
+use isa::Opcode;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A channel reference: transponder + decision source, the identity of one
+/// leakage function.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct ChannelRef {
+    /// The transponder.
+    pub transponder: Opcode,
+    /// The decision-source PL class.
+    pub src: String,
+}
+
+impl std::fmt::Display for ChannelRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}_{}", self.transponder, self.src)
+    }
+}
+
+fn channel(s: &LeakageSignature) -> ChannelRef {
+    ChannelRef {
+        transponder: s.transponder,
+        src: s.src.clone(),
+    }
+}
+
+fn has_kind(s: &LeakageSignature, kinds: &[TxKind]) -> bool {
+    s.inputs.iter().any(|t| kinds.contains(&t.kind))
+}
+
+/// §II-B / §IV-C channel classification on a signature: *dynamic* iff
+/// modulated by an intrinsic or dynamic transmitter; *static* iff modulated
+/// by a static transmitter (a channel can be both).
+pub fn is_dynamic_channel(s: &LeakageSignature) -> bool {
+    has_kind(
+        s,
+        &[TxKind::Intrinsic, TxKind::DynamicOlder, TxKind::DynamicYounger],
+    )
+}
+
+/// See [`is_dynamic_channel`].
+pub fn is_static_channel(s: &LeakageSignature) -> bool {
+    has_kind(s, &[TxKind::Static])
+}
+
+/// The canonical constant-time contract (§II-B): transmitters and their
+/// unsafe operands.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CtContract {
+    /// Transmitter opcode → unsafe operands.
+    pub unsafe_operands: BTreeMap<Opcode, BTreeSet<Operand>>,
+}
+
+impl CtContract {
+    /// Renders one line per transmitter.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (op, operands) in &self.unsafe_operands {
+            let ops: Vec<String> = operands.iter().map(|o| o.to_string()).collect();
+            out.push_str(&format!("{op}: unsafe({})\n", ops.join(", ")));
+        }
+        out
+    }
+}
+
+/// MI6's contract: contention-based dynamic channels (for data-independent
+/// scheduling) and static channels (for the purge instruction /
+/// partitioning).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Mi6Contract {
+    /// Channels modulated by intrinsic/dynamic transmitters.
+    pub dynamic_channels: BTreeSet<ChannelRef>,
+    /// Channels modulated by static transmitters.
+    pub static_channels: BTreeSet<ChannelRef>,
+}
+
+/// OISA's contract: arithmetic units that a transmitter may occupy for an
+/// operand-dependent number of cycles.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct OisaContract {
+    /// (transmitter, unit PL class) pairs needing operand-independent-mode
+    /// control logic.
+    pub input_dependent_units: BTreeSet<(Opcode, String)>,
+}
+
+/// The STT/SDO/SPT shared fine-grained contract.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SttContract {
+    /// Explicit channels: sources of µPATH variability for intrinsic
+    /// transmitters (T^N ✓, a ✓).
+    pub explicit_channels: BTreeSet<ChannelRef>,
+    /// Implicit channels: sources of variability due to *other*
+    /// (dynamic/static) transmitters' arguments.
+    pub implicit_channels: BTreeSet<ChannelRef>,
+    /// Implicit branches: transponders whose behaviour depends on other
+    /// transmitters' operands.
+    pub implicit_branches: BTreeSet<Opcode>,
+    /// Prediction-based channels (static transmitters: persistent predictor
+    /// state, Table I row `T^S ✓`).
+    pub prediction_based: BTreeSet<ChannelRef>,
+    /// Resolution-based channels (dynamic transmitters: in-flight
+    /// resolution, Table I row `T^D ✓`).
+    pub resolution_based: BTreeSet<ChannelRef>,
+}
+
+/// SDO's addition: per explicit-channel transmitter, the µPATH repertoire
+/// from which data-oblivious variants are derived.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SdoContract {
+    /// Transmitter → number of realizable µPATHs (the variant basis).
+    pub variant_basis: BTreeMap<Opcode, usize>,
+}
+
+/// Dolma's contract components.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DolmaContract {
+    /// Micro-ops with operand-dependent timing (intrinsic transmitters).
+    pub variable_time_micro_ops: BTreeSet<Opcode>,
+    /// Contention-based dynamic channels they create.
+    pub contention_channels: BTreeSet<ChannelRef>,
+    /// Inducive micro-ops: execute variably as a function of resolvent
+    /// micro-ops' operands (the transponders of dynamic transmitters).
+    pub inducive_micro_ops: BTreeSet<Opcode>,
+    /// Resolvent micro-ops: the dynamic transmitters themselves.
+    pub resolvent_micro_ops: BTreeSet<Opcode>,
+    /// The decision source at which an inducive micro-op's variation
+    /// resolves (prediction resolution points).
+    pub resolution_points: BTreeSet<ChannelRef>,
+    /// Persistent-state-modifying micro-ops (static transmitters).
+    pub persistent_state_modifying: BTreeSet<Opcode>,
+}
+
+/// All six contracts of Table I.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Contracts {
+    /// Constant-time (also consumed by SpecShield/ConTExt/SCT and SPT).
+    pub ct: CtContract,
+    /// MI6.
+    pub mi6: Mi6Contract,
+    /// OISA.
+    pub oisa: OisaContract,
+    /// STT (shared with SDO and SPT).
+    pub stt: SttContract,
+    /// SDO's data-oblivious variant basis.
+    pub sdo: SdoContract,
+    /// Dolma.
+    pub dolma: DolmaContract,
+}
+
+/// Derives every contract from a leakage report.
+pub fn derive_contracts(report: &LeakageReport) -> Contracts {
+    let mut c = Contracts::default();
+    for s in &report.signatures {
+        let ch = channel(s);
+        for t in &s.inputs {
+            c.ct.unsafe_operands
+                .entry(t.opcode)
+                .or_default()
+                .insert(t.operand);
+            match t.kind {
+                TxKind::Intrinsic => {
+                    c.stt.explicit_channels.insert(ch.clone());
+                    c.dolma.variable_time_micro_ops.insert(t.opcode);
+                    if !["IF", "ID", "scbIss", "scbFin", "scbCmt"].contains(&s.src.as_str())
+                    {
+                        c.oisa
+                            .input_dependent_units
+                            .insert((t.opcode, s.src.clone()));
+                    }
+                }
+                TxKind::DynamicOlder | TxKind::DynamicYounger => {
+                    c.stt.implicit_channels.insert(ch.clone());
+                    c.stt.implicit_branches.insert(s.transponder);
+                    c.stt.resolution_based.insert(ch.clone());
+                    c.dolma.inducive_micro_ops.insert(s.transponder);
+                    c.dolma.resolvent_micro_ops.insert(t.opcode);
+                    c.dolma.resolution_points.insert(ch.clone());
+                    c.dolma.contention_channels.insert(ch.clone());
+                }
+                TxKind::Static => {
+                    c.stt.implicit_channels.insert(ch.clone());
+                    c.stt.implicit_branches.insert(s.transponder);
+                    c.stt.prediction_based.insert(ch.clone());
+                    c.dolma.persistent_state_modifying.insert(t.opcode);
+                }
+            }
+        }
+        if is_dynamic_channel(s) {
+            c.mi6.dynamic_channels.insert(ch.clone());
+        }
+        if is_static_channel(s) {
+            c.mi6.static_channels.insert(ch.clone());
+        }
+    }
+    // SDO variant basis: µPATH counts for every explicit-channel
+    // transmitter.
+    let explicit_transmitters: BTreeSet<Opcode> = report
+        .signatures
+        .iter()
+        .flat_map(|s| s.inputs.iter())
+        .filter(|t| t.kind == TxKind::Intrinsic)
+        .map(|t| t.opcode)
+        .collect();
+    for i in &report.mupath {
+        if explicit_transmitters.contains(&i.opcode) {
+            c.sdo.variant_basis.insert(i.opcode, i.paths.len());
+        }
+    }
+    c
+}
+
+/// Renders the Table I mapping: which signature components were consumed by
+/// each contract, with the counts this design produced.
+pub fn render_table1(c: &Contracts) -> String {
+    let mut out = String::new();
+    out.push_str("Contract component                          | derived from        | count\n");
+    out.push_str("--------------------------------------------+---------------------+------\n");
+    out.push_str(&format!(
+        "Constant-time contract (CT/SCT/SpecShield…) | T, a                | {}\n",
+        c.ct.unsafe_operands.len()
+    ));
+    out.push_str(&format!(
+        "MI6 contention-based dynamic channels       | P, src, T^N, T^D, a | {}\n",
+        c.mi6.dynamic_channels.len()
+    ));
+    out.push_str(&format!(
+        "MI6 static channels                         | P, src, T^S         | {}\n",
+        c.mi6.static_channels.len()
+    ));
+    out.push_str(&format!(
+        "OISA input-dependent arithmetic units       | T^N, a, src         | {}\n",
+        c.oisa.input_dependent_units.len()
+    ));
+    out.push_str(&format!(
+        "STT/SDO/SPT explicit channels               | src, T^N, a         | {}\n",
+        c.stt.explicit_channels.len()
+    ));
+    out.push_str(&format!(
+        "STT/SDO/SPT implicit channels               | src, T^D, T^S, a    | {}\n",
+        c.stt.implicit_channels.len()
+    ));
+    out.push_str(&format!(
+        "STT/SDO/SPT implicit branches               | P, T^D, T^S, a      | {}\n",
+        c.stt.implicit_branches.len()
+    ));
+    out.push_str(&format!(
+        "STT prediction-based channels               | src, T^S, a         | {}\n",
+        c.stt.prediction_based.len()
+    ));
+    out.push_str(&format!(
+        "STT resolution-based channels               | src, T^D, a         | {}\n",
+        c.stt.resolution_based.len()
+    ));
+    out.push_str(&format!(
+        "SDO data-oblivious variant basis            | µ, T^N, a           | {}\n",
+        c.sdo.variant_basis.len()
+    ));
+    out.push_str(&format!(
+        "Dolma variable-time micro-ops               | T^N, a              | {}\n",
+        c.dolma.variable_time_micro_ops.len()
+    ));
+    out.push_str(&format!(
+        "Dolma inducive micro-ops                    | P, T^D              | {}\n",
+        c.dolma.inducive_micro_ops.len()
+    ));
+    out.push_str(&format!(
+        "Dolma resolvent micro-ops                   | T^D                 | {}\n",
+        c.dolma.resolvent_micro_ops.len()
+    ));
+    out.push_str(&format!(
+        "Dolma prediction resolution points          | src, T^D            | {}\n",
+        c.dolma.resolution_points.len()
+    ));
+    out.push_str(&format!(
+        "Dolma persistent-state-modifying micro-ops  | T^S                 | {}\n",
+        c.dolma.persistent_state_modifying.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signatures::LeakageReport;
+    use mc::CheckStats;
+
+    fn sig(
+        p: Opcode,
+        src: &str,
+        inputs: &[(Opcode, Operand, TxKind)],
+    ) -> LeakageSignature {
+        LeakageSignature {
+            transponder: p,
+            src: src.into(),
+            inputs: inputs
+                .iter()
+                .map(|&(opcode, operand, kind)| crate::TypedTransmitter {
+                    opcode,
+                    operand,
+                    kind,
+                })
+                .collect(),
+            outputs: vec![],
+            has_primary: true,
+        }
+    }
+
+    fn report(signatures: Vec<LeakageSignature>) -> LeakageReport {
+        let transmitters = signatures
+            .iter()
+            .flat_map(|s| s.inputs.iter().copied())
+            .collect();
+        let transponders = signatures.iter().map(|s| s.transponder).collect();
+        LeakageReport {
+            design: "test".into(),
+            mupath: vec![],
+            signatures,
+            candidate_transponders: vec![],
+            transponders,
+            transmitters,
+            mupath_stats: CheckStats::default(),
+            ift_stats: CheckStats::default(),
+        }
+    }
+
+    #[test]
+    fn intrinsic_signature_maps_to_explicit_channel_and_ct() {
+        let r = report(vec![sig(
+            Opcode::Div,
+            "divU",
+            &[(Opcode::Div, Operand::Rs1, TxKind::Intrinsic)],
+        )]);
+        let c = derive_contracts(&r);
+        assert!(c.ct.unsafe_operands[&Opcode::Div].contains(&Operand::Rs1));
+        assert_eq!(c.stt.explicit_channels.len(), 1);
+        assert!(c.stt.implicit_channels.is_empty());
+        assert!(c.dolma.variable_time_micro_ops.contains(&Opcode::Div));
+        assert!(c
+            .oisa
+            .input_dependent_units
+            .contains(&(Opcode::Div, "divU".into())));
+        assert!(c.mi6.dynamic_channels.len() == 1);
+        assert!(c.mi6.static_channels.is_empty());
+    }
+
+    #[test]
+    fn dynamic_signature_maps_to_implicit_channel_and_dolma_pairs() {
+        let r = report(vec![sig(
+            Opcode::Lw,
+            "ldReq",
+            &[(Opcode::Sw, Operand::Rs1, TxKind::DynamicOlder)],
+        )]);
+        let c = derive_contracts(&r);
+        assert!(c.stt.implicit_channels.len() == 1);
+        assert!(c.stt.implicit_branches.contains(&Opcode::Lw));
+        assert!(c.stt.resolution_based.len() == 1, "dynamic => resolution");
+        assert!(c.stt.prediction_based.is_empty());
+        assert!(c.dolma.inducive_micro_ops.contains(&Opcode::Lw));
+        assert!(c.dolma.resolvent_micro_ops.contains(&Opcode::Sw));
+        assert!(c.oisa.input_dependent_units.is_empty(), "not intrinsic");
+    }
+
+    #[test]
+    fn static_signature_maps_to_prediction_and_persistence() {
+        let r = report(vec![sig(
+            Opcode::Lw,
+            "lkup",
+            &[(Opcode::Lw, Operand::Rs1, TxKind::Static)],
+        )]);
+        let c = derive_contracts(&r);
+        assert!(c.stt.prediction_based.len() == 1, "static => prediction");
+        assert!(c.dolma.persistent_state_modifying.contains(&Opcode::Lw));
+        assert!(c.mi6.static_channels.len() == 1);
+        assert!(c.mi6.dynamic_channels.is_empty());
+    }
+
+    #[test]
+    fn channel_classification_can_be_both() {
+        let s = sig(
+            Opcode::Lw,
+            "lkup",
+            &[
+                (Opcode::Lw, Operand::Rs1, TxKind::Intrinsic),
+                (Opcode::Lw, Operand::Rs1, TxKind::Static),
+            ],
+        );
+        assert!(is_dynamic_channel(&s) && is_static_channel(&s));
+    }
+
+    #[test]
+    fn table1_render_counts_match() {
+        let r = report(vec![
+            sig(
+                Opcode::Div,
+                "divU",
+                &[(Opcode::Div, Operand::Rs1, TxKind::Intrinsic)],
+            ),
+            sig(
+                Opcode::Lw,
+                "ldReq",
+                &[(Opcode::Sw, Operand::Rs1, TxKind::DynamicOlder)],
+            ),
+        ]);
+        let c = derive_contracts(&r);
+        let table = render_table1(&c);
+        assert!(table.contains("Constant-time contract"));
+        assert!(table.lines().count() >= 16, "all sixteen rows rendered");
+    }
+}

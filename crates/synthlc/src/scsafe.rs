@@ -1,0 +1,147 @@
+//! The hardware side-channel safety definition (Definition V.1) as an
+//! executable experiment.
+//!
+//! `SC-Safe(M, R)` quantifies over programs, policies, and pairs of
+//! low-equivalent initial architectural states: the receiver R must obtain
+//! identical observation traces. Here the receiver is the paper's
+//! `R_µPATH`: it observes, each cycle, which PLs are occupied by in-flight
+//! instructions (not by whom, and not any data). This module runs a program
+//! twice on the simulator from two initial states that differ only in
+//! designated *secret* locations and compares the observation traces — the
+//! empirical complement to the synthesis-side guarantees, used by tests to
+//! confirm that synthesized leaks are real and hardened variants are tight.
+
+use isa::Instr;
+use sim::Simulator;
+use uarch::Design;
+
+/// Where a secret lives in the initial architectural state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SecretLocation {
+    /// An architectural register (1..=3; r0 is hardwired).
+    Reg(u8),
+    /// A data-memory word.
+    Mem(usize),
+}
+
+/// The result of one SC-Safe experiment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScSafeResult {
+    /// `true` when the observation traces diverged (the program leaks on
+    /// this microarchitecture under `R_µPATH`).
+    pub violated: bool,
+    /// First cycle at which the traces diverged.
+    pub diverging_cycle: Option<usize>,
+    /// Cycles each run needed to commit the program (observable timing).
+    pub cycles: (usize, usize),
+}
+
+/// The per-cycle `R_µPATH` observation: for every µFSM state (PL), whether
+/// it is occupied (by any instruction).
+fn observe(design: &Design, s: &mut Simulator<'_>) -> Vec<bool> {
+    let ann = &design.annotations;
+    let mut obs = Vec::new();
+    for ufsm in &ann.ufsms {
+        for st in ufsm.candidate_states(&design.netlist) {
+            let occupied = ufsm
+                .vars
+                .iter()
+                .enumerate()
+                .all(|(vi, &var)| s.value(var) == st.state.0[vi]);
+            obs.push(occupied);
+        }
+    }
+    obs
+}
+
+fn run_with_secret(
+    design: &Design,
+    program: &[Instr],
+    secret_at: SecretLocation,
+    secret: u64,
+    commits_expected: usize,
+    max_cycles: usize,
+) -> (Vec<Vec<bool>>, usize) {
+    let mut s = Simulator::new(&design.netlist);
+    match secret_at {
+        SecretLocation::Reg(r) => {
+            assert!((1..=3).contains(&r), "secret register must be r1..r3");
+            let id = design.annotations.arf[(r - 1) as usize];
+            s.poke_reg(id, secret);
+        }
+        SecretLocation::Mem(w) => {
+            let id = design.annotations.amem[w];
+            s.poke_reg(id, secret);
+        }
+    }
+    let commit = design.annotations.commit;
+    let mut trace = Vec::new();
+    let mut committed = 0;
+    let mut cycles = 0;
+    while committed < commits_expected && cycles < max_cycles {
+        let pc = s.value(design.pc) as usize;
+        let word = program.get(pc).copied().unwrap_or_else(Instr::nop).encode();
+        s.set_input(design.fetch_instr_input, word as u64);
+        s.set_input(design.fetch_valid_input, 1);
+        if s.value(commit) == 1 {
+            committed += 1;
+        }
+        trace.push(observe(design, &mut s));
+        s.step();
+        cycles += 1;
+    }
+    // Drain post-commit activity (store buffers) under observation.
+    s.set_input(design.fetch_valid_input, 0);
+    for _ in 0..8 {
+        trace.push(observe(design, &mut s));
+        s.step();
+    }
+    (trace, cycles)
+}
+
+/// Runs Definition V.1 for one program / secret location / pair of secret
+/// values. The program must be `ArchCtrl`: its instruction sequence must
+/// not branch on the secret (the caller's obligation; violating it makes
+/// the result about architectural, not microarchitectural, leakage).
+pub fn check_sc_safe(
+    design: &Design,
+    program: &[Instr],
+    secret_at: SecretLocation,
+    secret_a: u64,
+    secret_b: u64,
+    commits_expected: usize,
+) -> ScSafeResult {
+    let max_cycles = 64 + commits_expected * (design.max_latency + 4);
+    let (ta, ca) = run_with_secret(
+        design,
+        program,
+        secret_at,
+        secret_a,
+        commits_expected,
+        max_cycles,
+    );
+    let (tb, cb) = run_with_secret(
+        design,
+        program,
+        secret_at,
+        secret_b,
+        commits_expected,
+        max_cycles,
+    );
+    let n = ta.len().max(tb.len());
+    let mut diverging_cycle = None;
+    for t in 0..n {
+        match (ta.get(t), tb.get(t)) {
+            (Some(a), Some(b)) if a == b => continue,
+            _ => {
+                diverging_cycle = Some(t);
+                break;
+            }
+        }
+    }
+    ScSafeResult {
+        violated: diverging_cycle.is_some(),
+        diverging_cycle,
+        cycles: (ca, cb),
+    }
+}

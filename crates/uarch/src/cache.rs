@@ -1,0 +1,558 @@
+//! MiniCache: a standalone L1 data-cache + controller DUV, the analogue of
+//! the paper's CVA6 Cache experiment (§VII-A2).
+//!
+//! Organisation (scaled like the paper scales CVA6's cache to 128 B):
+//! 2-way set-associative, 4 sets, 1-byte lines, write-through,
+//! no-write-allocate; per-way data banks; a 1-entry write buffer; a 1-entry
+//! miss handler with a 2-cycle memory latency; a single memory port shared
+//! by refills and write-throughs; a single response port with fixed
+//! priority.
+//!
+//! The DUV's "instructions" are memory transactions: the request input
+//! carries `{we, addr, data}` and each accepted request gets a fresh
+//! transaction id — the PCR-style instruction identifier (§III-C:
+//! "memory transaction identifiers"). `Opcode::Lw`/`Opcode::Sw` name the
+//! two transaction types via [`crate::Design::type_values`].
+//!
+//! Leakage structure this reproduces (§VII-A2, Fig. 4c/5 `ST_wBVld`):
+//!
+//! * read hit vs miss paths (`rdBank*` vs `mshr`/`refill`),
+//! * write hit vs miss paths (`wrTag` + `wrBank*` vs `wrTag` alone),
+//! * *static* LD transmitters: an earlier read's refill changes a later
+//!   transaction's hit/miss — tag state persists,
+//! * port/response contention between reads and writes (dynamic channels).
+
+use crate::{Design, TypeField};
+use isa::Opcode;
+use netlist::annotate::{Annotations, FsmState, NamedState, UFsm};
+use netlist::{Builder, MemArray};
+
+const W: u8 = 8;
+/// Transaction-id width (the "PC" analogue).
+const IDW: u8 = 8;
+/// Memory latency in cycles for a refill.
+const MEM_LAT: u64 = 2;
+
+/// Number of backing-memory words (the cache's address space; request
+/// address bits above `[3:0]` are ignored).
+pub const CACHE_ADDR_SPACE: usize = 16;
+
+/// Builds the MiniCache DUV.
+///
+/// # Panics
+/// Panics only on internal DSL misuse.
+pub fn build_cache() -> Design {
+    let mut b = Builder::new();
+    let one1 = b.one();
+    let zero1 = b.zero();
+
+    // Request: [16] we, [15:8] addr, [7:0] data.
+    let in_req = b.input("in_req", 17);
+    let in_valid = b.input("in_valid", 1);
+
+    let txid = b.reg("txid", IDW, 0);
+
+    // Lookup stage.
+    let lk_v = b.reg("lk_v", 1, 0);
+    let lk_id = b.reg("lk_id", IDW, 0);
+    let lk_we = b.reg("lk_we", 1, 0);
+    let lk_addr = b.reg("lk_addr", W, 0); // operand register (taint source)
+    let lk_data = b.reg("lk_data", W, 0); // operand register (taint source)
+
+    // Read-hit bank stages (one per way).
+    let rb0_v = b.reg("rb0_v", 1, 0);
+    let rb0_id = b.reg("rb0_id", IDW, 0);
+    let rb0_set = b.reg("rb0_set", 2, 0);
+    let rb1_v = b.reg("rb1_v", 1, 0);
+    let rb1_id = b.reg("rb1_id", IDW, 0);
+    let rb1_set = b.reg("rb1_set", 2, 0);
+
+    // Miss handler.
+    let mh_v = b.reg("mh_v", 1, 0);
+    let mh_id = b.reg("mh_id", IDW, 0);
+    let mh_addr = b.reg("mh_addr", W, 0);
+    let mh_cnt = b.reg("mh_cnt", 2, 0);
+
+    // Refill stage.
+    let rf_v = b.reg("rf_v", 1, 0);
+    let rf_id = b.reg("rf_id", IDW, 0);
+    let rf_data = b.reg("rf_data", W, 0);
+
+    // Write buffer + write-tag stage + per-bank write stages.
+    let wb_v = b.reg("wb_v", 1, 0);
+    let wb_id = b.reg("wb_id", IDW, 0);
+    let wb_addr = b.reg("wb_addr", W, 0);
+    let wb_data = b.reg("wb_data", W, 0);
+    let wt_v = b.reg("wt_v", 1, 0);
+    let wt_id = b.reg("wt_id", IDW, 0);
+    let wt_addr = b.reg("wt_addr", W, 0);
+    let wt_data = b.reg("wt_data", W, 0);
+    let wk0_v = b.reg("wk0_v", 1, 0);
+    let wk0_id = b.reg("wk0_id", IDW, 0);
+    let wk0_set = b.reg("wk0_set", 2, 0);
+    let wk0_data = b.reg("wk0_data", W, 0);
+    let wk1_v = b.reg("wk1_v", 1, 0);
+    let wk1_id = b.reg("wk1_id", IDW, 0);
+    let wk1_set = b.reg("wk1_set", 2, 0);
+    let wk1_data = b.reg("wk1_data", W, 0);
+
+    // Response stage.
+    let rsp_v = b.reg("rsp_v", 1, 0);
+    let rsp_id = b.reg("rsp_id", IDW, 0);
+    let rsp_data = b.reg("rsp_data", W, 0);
+
+    // Tag/valid arrays: 4 sets x 2 ways, 2-bit tags; victim toggles.
+    let mut tag = Vec::new();
+    let mut val = Vec::new();
+    for way in 0..2 {
+        let mut trow = Vec::new();
+        let mut vrow = Vec::new();
+        for set in 0..4 {
+            trow.push(b.reg(&format!("tag{way}_{set}"), 2, 0));
+            vrow.push(b.reg(&format!("val{way}_{set}"), 1, 0));
+        }
+        tag.push(trow);
+        val.push(vrow);
+    }
+    let vic: Vec<_> = (0..4).map(|s| b.reg(&format!("vic{s}"), 1, 0)).collect();
+
+    // Data banks (one per way) and backing memory.
+    let mut bank0 = MemArray::new(&mut b, "bank0", 4, W);
+    let mut bank1 = MemArray::new(&mut b, "bank1", 4, W);
+    let mut bmem = MemArray::new(&mut b, "bmem", CACHE_ADDR_SPACE, W);
+
+    // ---- request fields --------------------------------------------------
+    let req_we = b.bit(in_req, 16);
+    let req_addr = b.slice(in_req, 15, 8);
+    let req_data = b.slice(in_req, 7, 0);
+
+    // ---- lookup-stage combinational --------------------------------------
+    let set_ix = b.slice(lk_addr, 1, 0);
+    let tag_ix = b.slice(lk_addr, 3, 2);
+    let mut hit0 = zero1;
+    let mut hit1 = zero1;
+    for s in 0..4 {
+        let at = b.eq_const(set_ix, s as u64);
+        let m0 = b.eq(tag[0][s], tag_ix);
+        let h0 = b.and(val[0][s], m0);
+        let h0 = b.and(h0, at);
+        hit0 = b.or(hit0, h0);
+        let m1 = b.eq(tag[1][s], tag_ix);
+        let h1 = b.and(val[1][s], m1);
+        let h1 = b.and(h1, at);
+        hit1 = b.or(hit1, h1);
+    }
+    let hit = b.or(hit0, hit1);
+    let hit = b.name(hit, "lk_hit");
+
+    // Dispatch availability out of the lookup stage. Reads wait for the
+    // whole write path to drain (write-buffer forwarding hazard avoided
+    // conservatively — itself a contention channel).
+    let no_write_inflight = {
+        let a = b.not(wb_v);
+        let c = b.not(wt_v);
+        let d = b.not(wk0_v);
+        let e = b.not(wk1_v);
+        let ac = b.and(a, c);
+        let de = b.and(d, e);
+        b.and(ac, de)
+    };
+    let rd = b.not(lk_we);
+    let nrb0 = b.not(rb0_v);
+    let nrb1 = b.not(rb1_v);
+    let rd_hit_ok = {
+        let free = b.mux(hit0, nrb0, nrb1);
+        let h = b.and(hit, free);
+        let r = b.and(rd, h);
+        b.and(r, no_write_inflight)
+    };
+    let rd_miss_ok = {
+        let nh = b.not(hit);
+        let nm = b.not(mh_v);
+        let m = b.and(nh, nm);
+        let r = b.and(rd, m);
+        b.and(r, no_write_inflight)
+    };
+    let wr_ok = {
+        let nwb = b.not(wb_v);
+        b.and(lk_we, nwb)
+    };
+    let lk_advance = {
+        let any = b.or(rd_hit_ok, rd_miss_ok);
+        let any = b.or(any, wr_ok);
+        b.and(lk_v, any)
+    };
+    let lk_advance = b.name(lk_advance, "lk_advance");
+    let disp_rb0 = {
+        let x = b.and(lk_advance, rd_hit_ok);
+        b.and(x, hit0)
+    };
+    let disp_rb1 = {
+        let x = b.and(lk_advance, rd_hit_ok);
+        let nh0 = b.not(hit0);
+        let y = b.and(x, hit1);
+        b.and(y, nh0)
+    };
+    let disp_mh = b.and(lk_advance, rd_miss_ok);
+    let disp_wb = b.and(lk_advance, wr_ok);
+
+    let lk_free = {
+        let nv = b.not(lk_v);
+        b.or(nv, lk_advance)
+    };
+    let req_fire = b.and(in_valid, lk_free);
+    let req_fire = b.name(req_fire, "req_fire");
+
+    // ---- memory port and refill -------------------------------------------
+    let mh_last = b.eq_const(mh_cnt, 1);
+    let rf_free = b.not(rf_v);
+    let refill_fire = {
+        let x = b.and(mh_v, mh_last);
+        b.and(x, rf_free)
+    };
+    let refill_fire = b.name(refill_fire, "refill_fire");
+    let mh_set = b.slice(mh_addr, 1, 0);
+    let mh_tag = b.slice(mh_addr, 3, 2);
+    let bmem_ix_r = b.slice(mh_addr, 3, 0);
+    let refill_data = bmem.read(&mut b, bmem_ix_r);
+
+    // Victim way: an invalid way if one exists, else the per-set toggle.
+    let mut vic_way = zero1;
+    let mut inv0 = zero1;
+    let mut inv1 = zero1;
+    for s in 0..4 {
+        let at = b.eq_const(mh_set, s as u64);
+        let v = b.and(at, vic[s]);
+        vic_way = b.or(vic_way, v);
+        let n0 = b.not(val[0][s]);
+        let n1 = b.not(val[1][s]);
+        let i0 = b.and(at, n0);
+        let i1 = b.and(at, n1);
+        inv0 = b.or(inv0, i0);
+        inv1 = b.or(inv1, i1);
+    }
+    let vic_final = {
+        let w1 = b.mux(inv1, one1, vic_way);
+        b.mux(inv0, zero1, w1)
+    };
+
+    // ---- write path combinational --------------------------------------------
+    let wt_set = b.slice(wt_addr, 1, 0);
+    let wt_tag = b.slice(wt_addr, 3, 2);
+    let mut wt_hit0 = zero1;
+    let mut wt_hit1 = zero1;
+    for s in 0..4 {
+        let at = b.eq_const(wt_set, s as u64);
+        let m0 = b.eq(tag[0][s], wt_tag);
+        let h0 = b.and(val[0][s], m0);
+        let h0 = b.and(h0, at);
+        wt_hit0 = b.or(wt_hit0, h0);
+        let m1 = b.eq(tag[1][s], wt_tag);
+        let h1 = b.and(val[1][s], m1);
+        let h1 = b.and(h1, at);
+        wt_hit1 = b.or(wt_hit1, h1);
+    }
+    // Write-through fires when the memory port is free (refill priority)
+    // and the hit bank stage (if any) is free.
+    let port_free_for_wt = b.not(refill_fire);
+    let nwk0 = b.not(wk0_v);
+    let nwk1 = b.not(wk1_v);
+    let wt_bank_ok = {
+        let ok0 = b.mux(wt_hit0, nwk0, one1);
+        let ok1 = b.mux(wt_hit1, nwk1, one1);
+        b.and(ok0, ok1)
+    };
+    let wt_fire = {
+        let x = b.and(wt_v, port_free_for_wt);
+        b.and(x, wt_bank_ok)
+    };
+    let wt_fire = b.name(wt_fire, "wt_fire");
+    let bmem_ix_w = b.slice(wt_addr, 3, 0);
+    bmem.write(wt_fire, bmem_ix_w, wt_data);
+
+    // ---- response arbitration (priority: refill > rb0 > rb1) ---------------
+    let rsp_free = one1; // the response stage always drains in one cycle
+    let _ = rsp_free;
+    let grant_rf = rf_v;
+    let grant_rb0 = {
+        let n = b.not(grant_rf);
+        b.and(rb0_v, n)
+    };
+    let grant_rb1 = {
+        let n = b.not(grant_rf);
+        let x = b.and(rb1_v, n);
+        b.and(x, nrb0)
+    };
+    // The write responds as it retires from wrTag, when no read response
+    // competes.
+    let grant_wt = {
+        let n = b.not(grant_rf);
+        let x = b.and(wt_fire, n);
+        let y = b.and(x, nrb0);
+        b.and(y, nrb1)
+    };
+    // A write-through that cannot respond this cycle keeps its slot.
+    let wt_retire = grant_wt;
+    let rb0_data = bank0.read(&mut b, rb0_set);
+    let rb1_data = bank1.read(&mut b, rb1_set);
+    let rsp_next_v = {
+        let a = b.or(grant_rf, grant_rb0);
+        let c = b.or(grant_rb1, grant_wt);
+        b.or(a, c)
+    };
+    let rsp_next_id = {
+        let mut id = wt_id;
+        id = b.mux(grant_rb1, rb1_id, id);
+        id = b.mux(grant_rb0, rb0_id, id);
+        id = b.mux(grant_rf, rf_id, id);
+        id
+    };
+    let zero_w = b.constant(0, W);
+    let rsp_next_data = {
+        let mut d = zero_w;
+        d = b.mux(grant_wt, wt_data, d);
+        d = b.mux(grant_rb1, rb1_data, d);
+        d = b.mux(grant_rb0, rb0_data, d);
+        d = b.mux(grant_rf, rf_data, d);
+        d
+    };
+
+    // ---- array writes ----------------------------------------------------------
+    for s in 0..4 {
+        let at_mh = b.eq_const(mh_set, s as u64);
+        let install = b.and(refill_fire, at_mh);
+        let nv = b.not(vic_final);
+        let to0 = b.and(install, nv);
+        let to1 = b.and(install, vic_final);
+        let t0n = b.mux(to0, mh_tag, tag[0][s]);
+        b.set_next(tag[0][s], t0n).expect("tag0");
+        let t1n = b.mux(to1, mh_tag, tag[1][s]);
+        b.set_next(tag[1][s], t1n).expect("tag1");
+        let v0n = b.or(val[0][s], to0);
+        b.set_next(val[0][s], v0n).expect("val0");
+        let v1n = b.or(val[1][s], to1);
+        b.set_next(val[1][s], v1n).expect("val1");
+        let flip = b.not(vic[s]);
+        let vic_n = b.mux(install, flip, vic[s]);
+        b.set_next(vic[s], vic_n).expect("vic");
+    }
+    {
+        let nv = b.not(vic_final);
+        let rf_to0 = b.and(refill_fire, nv);
+        let rf_to1 = b.and(refill_fire, vic_final);
+        bank0.write(rf_to0, mh_set, refill_data);
+        bank1.write(rf_to1, mh_set, refill_data);
+        // Write-hit bank updates happen from the wk stages.
+        bank0.write(wk0_v, wk0_set, wk0_data);
+        bank1.write(wk1_v, wk1_set, wk1_data);
+    }
+    bank0.finish(&mut b).expect("bank0");
+    bank1.finish(&mut b).expect("bank1");
+    bmem.finish(&mut b).expect("bmem");
+
+    // ---- register next-state wiring ----------------------------------------------
+    let one_id = b.constant(1, IDW);
+    let txid_inc = b.add(txid, one_id);
+    let txid_next = b.mux(req_fire, txid_inc, txid);
+    b.set_next(txid, txid_next).expect("txid");
+
+    let lk_v_next = {
+        let stay = b.mux(lk_advance, zero1, lk_v);
+        b.or(req_fire, stay)
+    };
+    b.set_next(lk_v, lk_v_next).expect("lk_v");
+    let lk_id_next = b.mux(req_fire, txid, lk_id);
+    b.set_next(lk_id, lk_id_next).expect("lk_id");
+    let lk_we_next = b.mux(req_fire, req_we, lk_we);
+    b.set_next(lk_we, lk_we_next).expect("lk_we");
+    let lk_addr_next = b.mux(req_fire, req_addr, lk_addr);
+    b.set_next(lk_addr, lk_addr_next).expect("lk_addr");
+    let lk_data_next = b.mux(req_fire, req_data, lk_data);
+    b.set_next(lk_data, lk_data_next).expect("lk_data");
+
+    // Read-hit bank stages: occupied for one cycle, drained when granted.
+    let rb0_next = {
+        let stay = b.mux(grant_rb0, zero1, rb0_v);
+        b.or(disp_rb0, stay)
+    };
+    b.set_next(rb0_v, rb0_next).expect("rb0_v");
+    let rb0_id_next = b.mux(disp_rb0, lk_id, rb0_id);
+    b.set_next(rb0_id, rb0_id_next).expect("rb0_id");
+    let rb0_set_next = b.mux(disp_rb0, set_ix, rb0_set);
+    b.set_next(rb0_set, rb0_set_next).expect("rb0_set");
+    let rb1_next = {
+        let stay = b.mux(grant_rb1, zero1, rb1_v);
+        b.or(disp_rb1, stay)
+    };
+    b.set_next(rb1_v, rb1_next).expect("rb1_v");
+    let rb1_id_next = b.mux(disp_rb1, lk_id, rb1_id);
+    b.set_next(rb1_id, rb1_id_next).expect("rb1_id");
+    let rb1_set_next = b.mux(disp_rb1, set_ix, rb1_set);
+    b.set_next(rb1_set, rb1_set_next).expect("rb1_set");
+
+    // Miss handler: counts down MEM_LAT, then refills.
+    let mh_v_next = {
+        let leave = b.mux(refill_fire, zero1, mh_v);
+        b.or(disp_mh, leave)
+    };
+    b.set_next(mh_v, mh_v_next).expect("mh_v");
+    let mh_id_next = b.mux(disp_mh, lk_id, mh_id);
+    b.set_next(mh_id, mh_id_next).expect("mh_id");
+    let mh_addr_next = b.mux(disp_mh, lk_addr, mh_addr);
+    b.set_next(mh_addr, mh_addr_next).expect("mh_addr");
+    let mh_cnt_next = {
+        let one2 = b.constant(1, 2);
+        let lat = b.constant(MEM_LAT, 2);
+        let dec = b.sub(mh_cnt, one2);
+        let counting = {
+            let n = b.not(mh_last);
+            b.and(mh_v, n)
+        };
+        let run = b.mux(counting, dec, mh_cnt);
+        b.mux(disp_mh, lat, run)
+    };
+    b.set_next(mh_cnt, mh_cnt_next).expect("mh_cnt");
+
+    // Refill stage: one cycle (granted with top priority).
+    b.set_next(rf_v, refill_fire).expect("rf_v");
+    let rf_id_next = b.mux(refill_fire, mh_id, rf_id);
+    b.set_next(rf_id, rf_id_next).expect("rf_id");
+    let rf_data_next = b.mux(refill_fire, refill_data, rf_data);
+    b.set_next(rf_data, rf_data_next).expect("rf_data");
+
+    // Write buffer -> write-tag handoff.
+    let wt_free = {
+        let nv = b.not(wt_v);
+        b.or(nv, wt_retire)
+    };
+    let wb_advance = b.and(wb_v, wt_free);
+    let wb_v_next = {
+        let stay = b.mux(wb_advance, zero1, wb_v);
+        b.or(disp_wb, stay)
+    };
+    b.set_next(wb_v, wb_v_next).expect("wb_v");
+    let wb_id_next = b.mux(disp_wb, lk_id, wb_id);
+    b.set_next(wb_id, wb_id_next).expect("wb_id");
+    let wb_addr_next = b.mux(disp_wb, lk_addr, wb_addr);
+    b.set_next(wb_addr, wb_addr_next).expect("wb_addr");
+    let wb_data_next = b.mux(disp_wb, lk_data, wb_data);
+    b.set_next(wb_data, wb_data_next).expect("wb_data");
+
+    let wt_v_next = {
+        let stay = b.mux(wt_retire, zero1, wt_v);
+        b.or(wb_advance, stay)
+    };
+    b.set_next(wt_v, wt_v_next).expect("wt_v");
+    let wt_id_next = b.mux(wb_advance, wb_id, wt_id);
+    b.set_next(wt_id, wt_id_next).expect("wt_id");
+    let wt_addr_next = b.mux(wb_advance, wb_addr, wt_addr);
+    b.set_next(wt_addr, wt_addr_next).expect("wt_addr");
+    let wt_data_next = b.mux(wb_advance, wb_data, wt_data);
+    b.set_next(wt_data, wt_data_next).expect("wt_data");
+
+    // Bank-write stages: triggered by a write-through hit, 1 cycle.
+    let wk0_trig = b.and(wt_retire, wt_hit0);
+    let wk1_trig = b.and(wt_retire, wt_hit1);
+    b.set_next(wk0_v, wk0_trig).expect("wk0_v");
+    let wk0_id_next = b.mux(wk0_trig, wt_id, wk0_id);
+    b.set_next(wk0_id, wk0_id_next).expect("wk0_id");
+    let wk0_set_next = b.mux(wk0_trig, wt_set, wk0_set);
+    b.set_next(wk0_set, wk0_set_next).expect("wk0_set");
+    let wk0_data_next = b.mux(wk0_trig, wt_data, wk0_data);
+    b.set_next(wk0_data, wk0_data_next).expect("wk0_data");
+    b.set_next(wk1_v, wk1_trig).expect("wk1_v");
+    let wk1_id_next = b.mux(wk1_trig, wt_id, wk1_id);
+    b.set_next(wk1_id, wk1_id_next).expect("wk1_id");
+    let wk1_set_next = b.mux(wk1_trig, wt_set, wk1_set);
+    b.set_next(wk1_set, wk1_set_next).expect("wk1_set");
+    let wk1_data_next = b.mux(wk1_trig, wt_data, wk1_data);
+    b.set_next(wk1_data, wk1_data_next).expect("wk1_data");
+
+    // Response stage.
+    b.set_next(rsp_v, rsp_next_v).expect("rsp_v");
+    let rsp_id_next = b.mux(rsp_next_v, rsp_next_id, rsp_id);
+    b.set_next(rsp_id, rsp_id_next).expect("rsp_id");
+    let rsp_data_next = b.mux(rsp_next_v, rsp_next_data, rsp_data);
+    b.set_next(rsp_data, rsp_data_next).expect("rsp_data");
+    b.name(rsp_v, "resp_fire_reg");
+    b.name(rsp_id, "resp_id_reg");
+    b.name(rsp_data, "resp_data_reg");
+
+    let netlist = b.finish().expect("MiniCache netlist is valid");
+    let f = |n: &str| netlist.find(n).unwrap_or_else(|| panic!("missing {n}"));
+    let single = |name: &str, state: &str, var: &str, pcr: &str| UFsm {
+        name: name.into(),
+        pcr: f(pcr),
+        vars: vec![f(var)],
+        idle: vec![FsmState(vec![0])],
+        states: Some(vec![NamedState {
+            name: state.into(),
+            state: FsmState(vec![1]),
+        }]),
+        pcr_added: false,
+    };
+    let amem: Vec<_> = (0..CACHE_ADDR_SPACE)
+        .map(|i| f(&format!("bmem[{i}]")))
+        .collect();
+    let mut persistent = Vec::new();
+    for way in 0..2 {
+        for set in 0..4 {
+            persistent.push(f(&format!("tag{way}_{set}")));
+            persistent.push(f(&format!("val{way}_{set}")));
+        }
+    }
+    for set in 0..4 {
+        persistent.push(f(&format!("vic{set}")));
+        persistent.push(f(&format!("bank0[{set}]")));
+        persistent.push(f(&format!("bank1[{set}]")));
+    }
+    let annotations = Annotations {
+        ifr: f("lk_addr"),
+        fetch_valid: f("lk_v"),
+        fetch_pc: f("lk_id"),
+        commit: f("rsp_v"),
+        commit_pc: f("rsp_id"),
+        operand_regs: vec![f("lk_addr"), f("lk_data")],
+        arf: vec![],
+        amem,
+        ufsms: vec![
+            single("u_lk", "lkup", "lk_v", "lk_id"),
+            single("u_rb0", "rdBank0", "rb0_v", "rb0_id"),
+            single("u_rb1", "rdBank1", "rb1_v", "rb1_id"),
+            single("u_mh", "mshr", "mh_v", "mh_id"),
+            single("u_rf", "refill", "rf_v", "rf_id"),
+            single("u_wb", "wbVld", "wb_v", "wb_id"),
+            single("u_wt", "wrTag", "wt_v", "wt_id"),
+            single("u_wk0", "wrBank0", "wk0_v", "wk0_id"),
+            single("u_wk1", "wrBank1", "wk1_v", "wk1_id"),
+            single("u_rsp", "resp", "rsp_v", "rsp_id"),
+        ],
+        persistent,
+        added_loc: 9,
+    };
+    annotations
+        .validate(&netlist)
+        .expect("MiniCache annotations are consistent");
+    let fetch_instr_input = f("in_req");
+    let fetch_valid_input = f("in_valid");
+    let fetch_fire_sig = f("req_fire");
+    let pc_sig = f("txid");
+    let issue_valid_sig = f("lk_v");
+    Design {
+        name: "MiniCache".into(),
+        netlist,
+        annotations,
+        fetch_instr_input,
+        fetch_valid_input,
+        fetch_fire: fetch_fire_sig,
+        issue_fire: fetch_fire_sig,
+        issue_pc: pc_sig,
+        issue_valid: issue_valid_sig,
+        rs_fields: None,
+        pc: pc_sig,
+        isa: vec![Opcode::Lw, Opcode::Sw],
+        type_field: TypeField { hi: 16, lo: 16 },
+        type_values: vec![(Opcode::Lw, 0), (Opcode::Sw, 1)],
+        max_latency: 10,
+    }
+}

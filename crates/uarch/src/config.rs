@@ -1,0 +1,128 @@
+//! Configuration of the MiniCva6 core and its paper-variants.
+
+/// Multiplier timing policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MulPolicy {
+    /// Fixed latency in cycles (operand-independent — the "safe" design).
+    Fixed(u8),
+    /// The zero-skip optimisation of CVA6-MUL (§I-A, Fig. 1): one cycle when
+    /// either operand is zero, otherwise `slow` cycles.
+    ZeroSkip {
+        /// Latency for non-zero operands (the paper's CVA6-MUL uses 4).
+        slow: u8,
+    },
+}
+
+impl MulPolicy {
+    /// The worst-case multiplier latency under this policy.
+    pub fn max_latency(self) -> u8 {
+        match self {
+            MulPolicy::Fixed(n) => n,
+            MulPolicy::ZeroSkip { slow } => slow,
+        }
+    }
+}
+
+/// Divider timing policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DivPolicy {
+    /// Data-independent latency (a hardened divider).
+    Fixed(u8),
+    /// Serial early-terminating divider: latency grows with the number of
+    /// significant bits in the dividend (1 + ceil(sigbits/2) cycles,
+    /// 1..=5 for the 8-bit datapath) — the CVA6-style intrinsic
+    /// transmitter (§VII-A1 reports 1..66 for the 64-bit CVA6).
+    EarlyTerminate,
+}
+
+impl DivPolicy {
+    /// The worst-case divider latency under this policy.
+    pub fn max_latency(self) -> u8 {
+        match self {
+            DivPolicy::Fixed(n) => n,
+            DivPolicy::EarlyTerminate => 5,
+        }
+    }
+}
+
+/// Configuration of a [`crate::build_core`] instantiation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CoreConfig {
+    /// Multiplier policy; `ZeroSkip` yields the CVA6-MUL variant.
+    pub mul: MulPolicy,
+    /// Divider policy.
+    pub div: DivPolicy,
+    /// Operand-packing decode (the CVA6-OP variant, §III-A): an `ADD` whose
+    /// source operands are both narrow (upper nibble zero) issues after one
+    /// decode cycle; wide operands take an extra decode cycle.
+    pub op_packing: bool,
+    /// Scoreboard entries (2 or 4).
+    pub scb_entries: usize,
+    /// Seeded functional bug: `JALR` fails to squash the fetch stage on
+    /// redirect (the §VII-B2 bug-surfacing experiment analogue).
+    pub bug_jalr_no_squash: bool,
+    /// Seeded microarchitectural bug: an incorrect occupancy comparison
+    /// makes the scoreboard appear full one entry early, so the last entry
+    /// is never used — the analogue of the paper's CVA6 SCB
+    /// under-utilisation bug (§VII-B2, "incorrect counter width
+    /// declaration"). Surfaced by §V-B1 DUV PL reachability: the last
+    /// entry's PLs become unreachable.
+    pub bug_scb_underutilized: bool,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self {
+            mul: MulPolicy::Fixed(2),
+            div: DivPolicy::EarlyTerminate,
+            op_packing: false,
+            scb_entries: 2,
+            bug_jalr_no_squash: false,
+            bug_scb_underutilized: false,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// The CVA6-MUL variant of §I-A / Fig. 1.
+    pub fn cva6_mul() -> Self {
+        Self {
+            mul: MulPolicy::ZeroSkip { slow: 4 },
+            ..Self::default()
+        }
+    }
+
+    /// The CVA6-OP variant of §III-A / Fig. 2.
+    pub fn cva6_op() -> Self {
+        Self {
+            op_packing: true,
+            ..Self::default()
+        }
+    }
+
+    /// A fully hardened core: every functional unit data-independent.
+    /// Used as the negative control — SynthLC should find *no* intrinsic
+    /// arithmetic transmitters on it.
+    pub fn hardened() -> Self {
+        Self {
+            mul: MulPolicy::Fixed(2),
+            div: DivPolicy::Fixed(5),
+            ..Self::default()
+        }
+    }
+
+    /// A conservative upper bound on one instruction's total latency from
+    /// fetch to commit, assuming it can stall behind `window` older
+    /// in-flight instructions. Used to justify complete BMC bounds
+    /// (`DESIGN.md` §4).
+    pub fn max_instr_latency(&self, window: usize) -> usize {
+        let fu = self
+            .mul
+            .max_latency()
+            .max(self.div.max_latency())
+            .max(4 /* LSU stall + drain worst case */) as usize;
+        // fetch + decode(+packing) + fu + scb wait + commit + store drain
+        let own = 2 + 2 + fu + 2 + 2;
+        own + window * (fu + 3)
+    }
+}

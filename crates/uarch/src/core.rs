@@ -1,0 +1,1148 @@
+//! MiniCva6: a speculative, scoreboard-based, in-order-issue /
+//! out-of-order-completion pipeline — the reproduction's CVA6 analogue.
+//!
+//! Microarchitecture (all µFSM-tracked, mirroring the paper's §III-C):
+//!
+//! ```text
+//!   in_instr/in_valid ──► IF (ifr, if_pc) ──► ID (decode, hazards, issue)
+//!                                              │ op_a/op_b operand regs
+//!          ┌──────────────┬────────────┬───────┴─────┬──────────────┐
+//!        aluU           mulU         divU           ldReq/Stall/Fin stU
+//!        1 cycle        1 or N       1..5 cycles    memory port     1 cycle
+//!        (branches      cycles       (early-term    arbitration      │
+//!         redirect)     (zero-skip)   serial div)                 specSTB
+//!          └──────────────┴────────────┴─────────────┴───────┐       │
+//!                           scoreboard (scbIss/scbFin per entry)     │
+//!                                  in-order commit (scbCmt) ───► comSTB ──► dmem
+//! ```
+//!
+//! Leakage-relevant mechanisms reproduced from the paper's evaluation:
+//!
+//! * serial divider with data-dependent latency (intrinsic DIV/REM
+//!   transmitters, §VII-A1),
+//! * optional zero-skip multiplier (CVA6-MUL, Fig. 1),
+//! * optional operand-packing decode (CVA6-OP, Fig. 2),
+//! * store-to-load page-offset stalling (`LD_issue`, Fig. 4b/5),
+//! * committed-store-buffer drain stalled by younger loads taking the
+//!   single memory port (the paper's novel `ST_comSTB` channel, §VII-A1),
+//! * branch/JALR squash of younger fetched instructions (dynamic
+//!   control-flow transmitters),
+//! * FIFO scoreboard with in-order commit (secondary leakage through
+//!   `scbFin` stalls).
+
+use crate::config::{CoreConfig, DivPolicy, MulPolicy};
+use crate::Design;
+use isa::Opcode;
+use netlist::annotate::{Annotations, FsmState, NamedState, UFsm};
+use netlist::{Builder, MemArray, Wire};
+
+/// Width of the datapath.
+const W: u8 = 8;
+/// Width of the PC.
+const PCW: u8 = 8;
+/// LD-unit states.
+const LD_IDLE: u64 = 0;
+const LD_REQ: u64 = 1;
+const LD_STALL: u64 = 2;
+const LD_FIN: u64 = 3;
+
+/// Builds a MiniCva6 core netlist plus its annotations.
+///
+/// # Panics
+/// Panics only on internal DSL misuse (a bug in this constructor).
+pub fn build_core(cfg: &CoreConfig) -> Design {
+    let n_scb = cfg.scb_entries;
+    assert!(
+        n_scb == 2 || n_scb == 4,
+        "scb_entries must be 2 or 4 (power of two ring)"
+    );
+    let scb_ptr_w: u8 = if n_scb == 2 { 1 } else { 2 };
+
+    let mut b = Builder::new();
+    let one1 = b.one();
+    let zero1 = b.zero();
+
+    // ---- primary inputs -----------------------------------------------
+    let in_instr = b.input("in_instr", 16);
+    let in_valid = b.input("in_valid", 1);
+
+    // ---- state declarations -------------------------------------------
+    let pc = b.reg("pc", PCW, 0);
+    let ifr = b.reg("ifr", 16, 0);
+    let if_valid = b.reg("if_valid", 1, 0);
+    let if_pc = b.reg("if_pc", PCW, 0);
+
+    let id_instr = b.reg("id_instr", 16, 0);
+    let id_valid = b.reg("id_valid", 1, 0);
+    let id_pc = b.reg("id_pc", PCW, 0);
+    let id_wait = b.reg("id_wait", 1, 0); // operand-packing extra decode cycle
+
+    let op_a = b.reg("op_a", W, 0); // operand registers (taint sources)
+    let op_b = b.reg("op_b", W, 0);
+
+    // ALU (1-cycle unit; also resolves branches/jumps).
+    let alu_v = b.reg("alu_v", 1, 0);
+    let alu_pc = b.reg("alu_pc", PCW, 0);
+    let alu_op = b.reg("alu_op", 5, 0);
+    let alu_imm = b.reg("alu_imm", W, 0); // sign-extended immediate
+    let alu_idx = b.reg("alu_idx", scb_ptr_w, 0);
+
+    // MUL unit.
+    let mul_busy = b.reg("mul_busy", 1, 0);
+    let mul_first = b.reg("mul_first", 1, 0);
+    let mul_pc = b.reg("mul_pc", PCW, 0);
+    let mul_cnt = b.reg("mul_cnt", 3, 0);
+    let mul_res = b.reg("mul_res", W, 0);
+    let mul_hi = b.reg("mul_hi", 1, 0);
+    let mul_idx = b.reg("mul_idx", scb_ptr_w, 0);
+
+    // DIV unit.
+    let div_busy = b.reg("div_busy", 1, 0);
+    let div_first = b.reg("div_first", 1, 0);
+    let div_pc = b.reg("div_pc", PCW, 0);
+    let div_cnt = b.reg("div_cnt", 3, 0);
+    let div_res = b.reg("div_res", W, 0);
+    let div_op = b.reg("div_op", 2, 0); // 0=div 1=divu 2=rem 3=remu
+    let div_idx = b.reg("div_idx", scb_ptr_w, 0);
+
+    // LD unit.
+    let ld_state = b.reg("ld_state", 2, LD_IDLE);
+    let ld_pc = b.reg("ld_pc", PCW, 0);
+    let ld_imm = b.reg("ld_imm", W, 0);
+    let ld_addr = b.reg("ld_addr", W, 0);
+    let ld_data = b.reg("ld_data", W, 0);
+    let ld_first = b.reg("ld_first", 1, 0); // address-generation cycle
+    let ld_idx = b.reg("ld_idx", scb_ptr_w, 0);
+
+    // ST unit (1-cycle address/data generation).
+    let st_v = b.reg("st_v", 1, 0);
+    let st_pc = b.reg("st_pc", PCW, 0);
+    let st_imm = b.reg("st_imm", W, 0);
+    let st_idx = b.reg("st_idx", scb_ptr_w, 0);
+
+    // Speculative store buffer (1 entry).
+    let sb_v = b.reg("sb_v", 1, 0);
+    let sb_pc = b.reg("sb_pc", PCW, 0);
+    let sb_addr = b.reg("sb_addr", W, 0);
+    let sb_data = b.reg("sb_data", W, 0);
+
+    // Committed store buffer (1 entry).
+    let cb_v = b.reg("cb_v", 1, 0);
+    let cb_pc = b.reg("cb_pc", PCW, 0);
+    let cb_addr = b.reg("cb_addr", W, 0);
+    let cb_data = b.reg("cb_data", W, 0);
+
+    // Memory-request stage: the cycle a committed store drains to memory
+    // (the paper's memRq PL, Fig. 5 ST_comSTB).
+    let mq_v = b.reg("mq_v", 1, 0);
+    let mq_pc = b.reg("mq_pc", PCW, 0);
+
+    // Scoreboard ring.
+    let mut sc_v = Vec::new();
+    let mut sc_done = Vec::new();
+    let mut sc_pc = Vec::new();
+    let mut sc_rd = Vec::new();
+    let mut sc_wen = Vec::new();
+    let mut sc_res = Vec::new();
+    let mut sc_store = Vec::new();
+    for i in 0..n_scb {
+        sc_v.push(b.reg(&format!("sc{i}_v"), 1, 0));
+        sc_done.push(b.reg(&format!("sc{i}_done"), 1, 0));
+        sc_pc.push(b.reg(&format!("sc{i}_pc"), PCW, 0));
+        sc_rd.push(b.reg(&format!("sc{i}_rd"), 2, 0));
+        sc_wen.push(b.reg(&format!("sc{i}_wen"), 1, 0));
+        sc_res.push(b.reg(&format!("sc{i}_res"), W, 0));
+        sc_store.push(b.reg(&format!("sc{i}_store"), 1, 0));
+    }
+    let scb_head = b.reg("scb_head", scb_ptr_w, 0);
+    let scb_tail = b.reg("scb_tail", scb_ptr_w, 0);
+
+    let cf_pending = b.reg("cf_pending", 1, 0);
+
+    // Commit stage (the scbCmt PL).
+    let cm_v = b.reg("cm_v", 1, 0);
+    let cm_pc = b.reg("cm_pc", PCW, 0);
+
+    // Architectural register file (r0 hardwired to zero, so 3 registers).
+    let arf1 = b.reg("arf1", W, 0);
+    let arf2 = b.reg("arf2", W, 0);
+    let arf3 = b.reg("arf3", W, 0);
+
+    // Data memory.
+    let mut dmem = MemArray::new(&mut b, "dmem", isa::MEM_WORDS, W);
+
+    // ---- helpers --------------------------------------------------------
+    let opc = |b: &mut Builder, field: Wire, o: Opcode| b.eq_const(field, o.bits() as u64);
+    let offset_of = |b: &mut Builder, addr: Wire| b.slice(addr, isa::OFFSET_BITS - 1, 0);
+
+    // ---- decode (combinational, from ID) --------------------------------
+    let d_op = b.slice(id_instr, 15, 11);
+    let d_rd = b.slice(id_instr, 10, 9);
+    let d_rs1 = {
+        let w = b.slice(id_instr, 8, 7);
+        b.name(w, "d_rs1")
+    };
+    let d_rs2 = {
+        let w = b.slice(id_instr, 6, 5);
+        b.name(w, "d_rs2")
+    };
+    let d_imm5 = b.slice(id_instr, 4, 0);
+    let d_imm = b.sext(d_imm5, W);
+
+    let arf_read = |b: &mut Builder, ix: Wire| -> Wire {
+        let zero = b.constant(0, W);
+        let is1 = b.eq_const(ix, 1);
+        let is2 = b.eq_const(ix, 2);
+        let is3 = b.eq_const(ix, 3);
+        b.select(&[(is1, arf1), (is2, arf2), (is3, arf3)], zero)
+    };
+    let rs1_val = arf_read(&mut b, d_rs1);
+    let rs2_val = arf_read(&mut b, d_rs2);
+
+    // Opcode classes.
+    let class = |b: &mut Builder, ops: &[Opcode]| -> Wire {
+        let bits: Vec<Wire> = ops.iter().map(|&o| opc(b, d_op, o)).collect();
+        b.any(&bits)
+    };
+    let is_mul = class(&mut b, &[Opcode::Mul, Opcode::Mulh]);
+    let is_div = class(
+        &mut b,
+        &[Opcode::Div, Opcode::Divu, Opcode::Rem, Opcode::Remu],
+    );
+    let is_ld = class(&mut b, &[Opcode::Lw]);
+    let is_sw = class(&mut b, &[Opcode::Sw]);
+    let is_branch = class(
+        &mut b,
+        &[
+            Opcode::Beq,
+            Opcode::Bne,
+            Opcode::Blt,
+            Opcode::Bge,
+            Opcode::Bltu,
+            Opcode::Bgeu,
+        ],
+    );
+    let is_jal = class(&mut b, &[Opcode::Jal]);
+    let is_jalr = class(&mut b, &[Opcode::Jalr]);
+    let is_cf = {
+        let t = b.or(is_branch, is_jal);
+        b.or(t, is_jalr)
+    };
+    let mem_or_mul_or_div = {
+        let t = b.or(is_mul, is_div);
+        let u = b.or(is_ld, is_sw);
+        b.or(t, u)
+    };
+    let is_alu_class = b.not(mem_or_mul_or_div); // incl. NOP, cf, arith, imm
+
+    // Register-read requirements (mirrors `Opcode::reads_rs1/rs2`).
+    let reads_rs1 = {
+        let nop = opc(&mut b, d_op, Opcode::Nop);
+        let jal = is_jal;
+        let either = b.or(nop, jal);
+        b.not(either)
+    };
+    let reads_rs2 = {
+        // rrr arithmetic + branches + sw.
+        let rrr = class(
+            &mut b,
+            &[
+                Opcode::Add,
+                Opcode::Sub,
+                Opcode::And,
+                Opcode::Or,
+                Opcode::Xor,
+                Opcode::Sll,
+                Opcode::Srl,
+                Opcode::Slt,
+                Opcode::Sltu,
+                Opcode::Mul,
+                Opcode::Mulh,
+                Opcode::Div,
+                Opcode::Divu,
+                Opcode::Rem,
+                Opcode::Remu,
+                Opcode::Sw,
+            ],
+        );
+        b.or(rrr, is_branch)
+    };
+    let writes_rd = {
+        let nop = opc(&mut b, d_op, Opcode::Nop);
+        let no_wr = {
+            let t = b.or(nop, is_sw);
+            b.or(t, is_branch)
+        };
+        let rd_nonzero = {
+            let z = b.eq_const(d_rd, 0);
+            b.not(z)
+        };
+        let w = b.not(no_wr);
+        b.and(w, rd_nonzero)
+    };
+
+    // ---- hazards ---------------------------------------------------------
+    let pending = |b: &mut Builder, r: Wire| -> Wire {
+        let mut hit = b.zero();
+        for i in 0..n_scb {
+            let same = b.eq(sc_rd[i], r);
+            let wen = b.and(sc_v[i], sc_wen[i]);
+            let h = b.and(wen, same);
+            hit = b.or(hit, h);
+        }
+        hit
+    };
+    let raw1 = {
+        let p = pending(&mut b, d_rs1);
+        b.and(p, reads_rs1)
+    };
+    let raw2 = {
+        let p = pending(&mut b, d_rs2);
+        b.and(p, reads_rs2)
+    };
+    let raw_hazard = b.or(raw1, raw2);
+
+
+    // ---- ALU / branch resolution (at the unit, one cycle after issue) ----
+    let a = op_a;
+    let bb = op_b;
+    let imm = alu_imm;
+    let aop = alu_op;
+    let use_imm = {
+        let ops = [
+            Opcode::Addi,
+            Opcode::Andi,
+            Opcode::Ori,
+            Opcode::Xori,
+            Opcode::Slti,
+        ];
+        let bits: Vec<Wire> = ops.iter().map(|&o| opc(&mut b, aop, o)).collect();
+        b.any(&bits)
+    };
+    let rhs = b.mux(use_imm, imm, bb);
+    let sum = b.add(a, rhs);
+    let diff = b.sub(a, rhs);
+    let and_r = b.and(a, rhs);
+    let or_r = b.or(a, rhs);
+    let xor_r = b.xor(a, rhs);
+    let sll_r = b.shl(a, rhs);
+    let srl_r = b.shr(a, rhs);
+    let a_sign = b.bit(a, 7);
+    let r_sign = b.bit(rhs, 7);
+    let ult_r = b.ult(a, rhs);
+    let slt_r = {
+        let differ = b.xor(a_sign, r_sign);
+        b.mux(differ, a_sign, ult_r)
+    };
+    let slt_w = b.zext(slt_r, W);
+    let ult_w = b.zext(ult_r, W);
+    let link = {
+        let one = b.constant(1, PCW);
+        b.add(alu_pc, one)
+    };
+    let eq_ab = b.eq(a, bb);
+    let alu_result = {
+        let mut arms = Vec::new();
+        for (o, val) in [
+            (Opcode::Add, sum),
+            (Opcode::Addi, sum),
+            (Opcode::Sub, diff),
+            (Opcode::And, and_r),
+            (Opcode::Andi, and_r),
+            (Opcode::Or, or_r),
+            (Opcode::Ori, or_r),
+            (Opcode::Xor, xor_r),
+            (Opcode::Xori, xor_r),
+            (Opcode::Sll, sll_r),
+            (Opcode::Srl, srl_r),
+            (Opcode::Slt, slt_w),
+            (Opcode::Slti, slt_w),
+            (Opcode::Sltu, ult_w),
+            (Opcode::Jal, link),
+            (Opcode::Jalr, link),
+        ] {
+            let c = opc(&mut b, aop, o);
+            arms.push((c, val));
+        }
+        let zero = b.constant(0, W);
+        b.select(&arms, zero)
+    };
+    // Branch outcome.
+    let a_lt_s = slt_r;
+    let a_lt_u = ult_r;
+    let taken = {
+        let beq = opc(&mut b, aop, Opcode::Beq);
+        let bne = opc(&mut b, aop, Opcode::Bne);
+        let blt = opc(&mut b, aop, Opcode::Blt);
+        let bge = opc(&mut b, aop, Opcode::Bge);
+        let bltu = opc(&mut b, aop, Opcode::Bltu);
+        let bgeu = opc(&mut b, aop, Opcode::Bgeu);
+        let neq = b.not(eq_ab);
+        let ges = b.not(a_lt_s);
+        let geu = b.not(a_lt_u);
+        let mut t = b.zero();
+        for (c, v) in [
+            (beq, eq_ab),
+            (bne, neq),
+            (blt, a_lt_s),
+            (bge, ges),
+            (bltu, a_lt_u),
+            (bgeu, geu),
+        ] {
+            let x = b.and(c, v);
+            t = b.or(t, x);
+        }
+        t
+    };
+    let alu_is_jal = opc(&mut b, aop, Opcode::Jal);
+    let alu_is_jalr = opc(&mut b, aop, Opcode::Jalr);
+    let jump = b.or(alu_is_jal, alu_is_jalr);
+    let redirect = {
+        let t = b.or(taken, jump);
+        b.and(alu_v, t)
+    };
+    let redirect = b.name(redirect, "redirect");
+    let br_target = b.add(alu_pc, imm);
+    let jalr_target = b.add(a, imm);
+    let target = b.mux(alu_is_jalr, jalr_target, br_target);
+
+    // Seeded bug: JALR fails to squash the fetch stage.
+    let squash_if = if cfg.bug_jalr_no_squash {
+        let nj = b.not(alu_is_jalr);
+        b.and(redirect, nj)
+    } else {
+        redirect
+    };
+
+    // ---- MUL unit ---------------------------------------------------------
+    let prod16 = {
+        let az = b.zext(a, 16);
+        let bz = b.zext(bb, 16);
+        b.mul(az, bz)
+    };
+    let prod_lo = b.slice(prod16, 7, 0);
+    let prod_hi = b.slice(prod16, 15, 8);
+    let mul_value = b.mux(mul_hi, prod_hi, prod_lo);
+    let mul_lat: Wire = match cfg.mul {
+        MulPolicy::Fixed(n) => b.constant(n as u64, 3),
+        MulPolicy::ZeroSkip { slow } => {
+            let az = b.is_zero(a);
+            let bz = b.is_zero(bb);
+            let any_zero = b.or(az, bz);
+            let fast = b.constant(1, 3);
+            let slow_c = b.constant(slow as u64, 3);
+            b.mux(any_zero, fast, slow_c)
+        }
+    };
+    let mul_done = {
+        let lat1 = b.eq_const(mul_lat, 1);
+        let f = b.and(mul_first, lat1);
+        let later = {
+            let nf = b.not(mul_first);
+            let c1 = b.eq_const(mul_cnt, 1);
+            b.and(nf, c1)
+        };
+        let d = b.or(f, later);
+        b.and(mul_busy, d)
+    };
+    let mul_out = b.mux(mul_first, mul_value, mul_res);
+
+    // ---- DIV unit (restoring divider + sign fixups) ------------------------
+    let div_signed = {
+        let d = b.eq_const(div_op, 0);
+        let r = b.eq_const(div_op, 2);
+        b.or(d, r)
+    };
+    let b_sign = b.bit(bb, 7);
+    let a_abs = {
+        let na = b.neg(a);
+        let sel = b.and(div_signed, a_sign);
+        b.mux(sel, na, a)
+    };
+    let b_abs = {
+        let nb = b.neg(bb);
+        let sel = b.and(div_signed, b_sign);
+        b.mux(sel, nb, bb)
+    };
+    // Restoring division: 8 iterations over 9-bit remainders.
+    let (qu, ru) = {
+        let mut rem = b.constant(0, 9);
+        let b9 = b.zext(b_abs, 9);
+        let mut qbits: Vec<Wire> = Vec::new();
+        for i in (0..8).rev() {
+            let abit = b.bit(a_abs, i);
+            let shifted = {
+                let lo8 = b.slice(rem, 7, 0);
+                b.concat(lo8, abit) // rem = (rem << 1) | a[i]
+            };
+            let ge = b.ule(b9, shifted);
+            let sub = b.sub(shifted, b9);
+            rem = b.mux(ge, sub, shifted);
+            qbits.push(ge);
+        }
+        // qbits[0] is the MSB.
+        let mut q = qbits[0];
+        for &bit in &qbits[1..] {
+            q = b.concat(q, bit);
+        }
+        let r8 = b.slice(rem, 7, 0);
+        (q, r8)
+    };
+    let q_neg = b.neg(qu);
+    let r_neg = b.neg(ru);
+    let q_sign_differs = b.xor(a_sign, b_sign);
+    let q_signed = {
+        let sel = b.and(div_signed, q_sign_differs);
+        b.mux(sel, q_neg, qu)
+    };
+    let r_signed = {
+        let sel = b.and(div_signed, a_sign);
+        b.mux(sel, r_neg, ru)
+    };
+    let b_zero = b.is_zero(bb);
+    let overflow = {
+        let amin = b.eq_const(a, 0x80);
+        let bneg1 = b.eq_const(bb, 0xff);
+        let o = b.and(amin, bneg1);
+        b.and(div_signed, o)
+    };
+    let div_is_rem = b.bit(div_op, 1); // 2=rem, 3=remu
+    let all_ones = b.constant(0xff, W);
+    let zero_w = b.constant(0, W);
+    let x80 = b.constant(0x80, W);
+    let div_value = {
+        // quotient path
+        let q_ok = b.mux(overflow, x80, q_signed);
+        let q_final = b.mux(b_zero, all_ones, q_ok);
+        // remainder path
+        let r_ok = b.mux(overflow, zero_w, r_signed);
+        let r_final = b.mux(b_zero, a, r_ok);
+        b.mux(div_is_rem, r_final, q_final)
+    };
+    let div_lat: Wire = match cfg.div {
+        DivPolicy::Fixed(n) => b.constant(n as u64, 3),
+        DivPolicy::EarlyTerminate => {
+            // 1 + (a!=0) + (a>=4) + (a>=16) + (a>=64), range 1..=5, with a
+            // one-cycle early-out on a zero divisor (so both operands shape
+            // the latency, as in CVA6's serial divider).
+            let one3 = b.constant(1, 3);
+            let nz = b.red_or(a);
+            let hi2 = b.slice(a, 7, 2);
+            let ge4 = b.red_or(hi2);
+            let hi4 = b.slice(a, 7, 4);
+            let ge16 = b.red_or(hi4);
+            let hi6 = b.slice(a, 7, 6);
+            let ge64 = b.red_or(hi6);
+            let mut lat = one3;
+            for bit in [nz, ge4, ge16, ge64] {
+                let ext = b.zext(bit, 3);
+                lat = b.add(lat, ext);
+            }
+            let bz = b.is_zero(bb);
+            b.mux(bz, one3, lat)
+        }
+    };
+    let div_done = {
+        let lat1 = b.eq_const(div_lat, 1);
+        let f = b.and(div_first, lat1);
+        let later = {
+            let nf = b.not(div_first);
+            let c1 = b.eq_const(div_cnt, 1);
+            b.and(nf, c1)
+        };
+        let d = b.or(f, later);
+        b.and(div_busy, d)
+    };
+    let div_out = b.mux(div_first, div_value, div_res);
+
+    // ---- structural hazards and the issue decision -----------------------
+    // A unit is free for a new dispatch iff it is idle or *actually
+    // completing this cycle* (its `done` strobe, which accounts for the
+    // freshly-computed latency on the first busy cycle).
+    let mul_free = {
+        let nb = b.not(mul_busy);
+        b.or(nb, mul_done)
+    };
+    let div_free = {
+        let nb = b.not(div_busy);
+        b.or(nb, div_done)
+    };
+    let ld_free = {
+        let idle = b.eq_const(ld_state, LD_IDLE);
+        let fin = b.eq_const(ld_state, LD_FIN);
+        b.or(idle, fin)
+    };
+    let st_free = {
+        let nsv = b.not(st_v);
+        let nsb = b.not(sb_v);
+        let free = b.and(nsv, nsb);
+        // A store may not issue while a load is in flight: this keeps every
+        // speculative-STB entry *older* than any checking load, so the
+        // store-to-load stall can never deadlock against FIFO commit order.
+        b.and(free, ld_free)
+    };
+    let scb_space = {
+        let mut tail_full = zero1;
+        for (i, &v) in sc_v.iter().enumerate() {
+            let at = b.eq_const(scb_tail, i as u64);
+            let f = b.and(at, v);
+            tail_full = b.or(tail_full, f);
+        }
+        if cfg.bug_scb_underutilized {
+            // Seeded bug: also treat "the entry *behind* the tail is still
+            // valid" as full — the ring never reaches full occupancy, so
+            // the deepest simultaneous occupancy is n-1 entries (the
+            // paper's under-utilised-SCB symptom).
+            let one_p = b.constant(1, scb_ptr_w);
+            let next_tail = b.add(scb_tail, one_p);
+            let mut next_full = zero1;
+            for (i, &v) in sc_v.iter().enumerate() {
+                let at = b.eq_const(next_tail, i as u64);
+                let f = b.and(at, v);
+                next_full = b.or(next_full, f);
+            }
+            let either = b.or(tail_full, next_full);
+            b.not(either)
+        } else {
+            b.not(tail_full)
+        }
+    };
+    let fu_ok = {
+        let m = b.mux(is_mul, mul_free, one1);
+        let d = b.mux(is_div, div_free, one1);
+        let l = b.mux(is_ld, ld_free, one1);
+        let s = b.mux(is_sw, st_free, one1);
+        let md = b.and(m, d);
+        let ls = b.and(l, s);
+        b.and(md, ls)
+    };
+
+    // Operand-packing decode stall (CVA6-OP): a wide ADD takes one extra
+    // decode cycle.
+    let packing_stall = if cfg.op_packing {
+        let is_add = opc(&mut b, d_op, Opcode::Add);
+        let both = b.or(rs1_val, rs2_val);
+        let upper = b.slice(both, 7, 4);
+        let wide = b.red_or(upper);
+        let first_cycle = b.not(id_wait);
+        let aw = b.and(is_add, wide);
+        b.and(aw, first_cycle)
+    } else {
+        zero1
+    };
+
+    let no_cf_block = b.not(cf_pending);
+    let issue_fire = {
+        let h = b.not(raw_hazard);
+        let p = b.not(packing_stall);
+        let a = b.and(id_valid, no_cf_block);
+        let c = b.and(h, p);
+        let d = b.and(fu_ok, scb_space);
+        let ac = b.and(a, c);
+        b.and(ac, d)
+    };
+    let issue_fire = b.name(issue_fire, "issue_fire");
+
+    // ---- LD unit -----------------------------------------------------------
+    let ld_req = b.eq_const(ld_state, LD_REQ);
+    let ld_stall_now = b.eq_const(ld_state, LD_STALL);
+    let ld_fin_now = b.eq_const(ld_state, LD_FIN);
+    // Address generation on the first REQ cycle.
+    let ld_agu = b.add(a, ld_imm);
+    let ld_eff_addr = b.mux(ld_first, ld_agu, ld_addr);
+    let ld_off = offset_of(&mut b, ld_eff_addr);
+    let sb_off = offset_of(&mut b, sb_addr);
+    let cb_off = offset_of(&mut b, cb_addr);
+    let conflict = {
+        let m1 = b.eq(ld_off, sb_off);
+        let c1 = b.and(sb_v, m1);
+        let m2 = b.eq(ld_off, cb_off);
+        let c2 = b.and(cb_v, m2);
+        b.or(c1, c2)
+    };
+    let ld_checking = b.or(ld_req, ld_stall_now);
+    let ld_takes_port = {
+        let nc = b.not(conflict);
+        b.and(ld_checking, nc)
+    };
+    let ld_takes_port = b.name(ld_takes_port, "ld_takes_port");
+    let mem_addr3 = b.slice(ld_eff_addr, 2, 0);
+    let ld_rdata = dmem.read(&mut b, mem_addr3);
+
+    // ---- committed store buffer drain ---------------------------------------
+    let drain = {
+        let np = b.not(ld_takes_port);
+        b.and(cb_v, np)
+    };
+    let drain = b.name(drain, "stb_drain");
+    let cb_addr3 = b.slice(cb_addr, 2, 0);
+    dmem.write(drain, cb_addr3, cb_data);
+
+    // ---- ST unit (address/data generation cycle) ----------------------------
+    let st_addr_gen = b.add(a, st_imm);
+    let st_done = st_v;
+
+    // ---- scoreboard writes ---------------------------------------------------
+    // Completion events: (strobe, index, result).
+    let alu_done = alu_v;
+    let ld_done = ld_fin_now;
+    let completions: Vec<(Wire, Wire, Wire)> = vec![
+        (alu_done, alu_idx, alu_result),
+        (mul_done, mul_idx, mul_out),
+        (div_done, div_idx, div_out),
+        (ld_done, ld_idx, ld_data),
+        (st_done, st_idx, zero_w),
+    ];
+
+    // ---- commit ---------------------------------------------------------------
+    let mut head_v = b.zero();
+    let mut head_done = b.zero();
+    let mut head_store = b.zero();
+    let mut head_pc = b.constant(0, PCW);
+    let mut head_rd = b.constant(0, 2);
+    let mut head_wen = b.zero();
+    let mut head_res = b.constant(0, W);
+    for i in 0..n_scb {
+        let at = b.eq_const(scb_head, i as u64);
+        head_v = {
+            let x = b.and(at, sc_v[i]);
+            b.or(head_v, x)
+        };
+        head_done = {
+            let x = b.and(at, sc_done[i]);
+            b.or(head_done, x)
+        };
+        head_store = {
+            let x = b.and(at, sc_store[i]);
+            b.or(head_store, x)
+        };
+        head_pc = b.mux(at, sc_pc[i], head_pc);
+        head_rd = b.mux(at, sc_rd[i], head_rd);
+        head_wen = b.mux(at, sc_wen[i], head_wen);
+        head_res = b.mux(at, sc_res[i], head_res);
+    }
+    let store_ok = {
+        let ncb = b.not(cb_v);
+        b.mux(head_store, ncb, one1)
+    };
+    let commit_fire = {
+        let hd = b.and(head_v, head_done);
+        b.and(hd, store_ok)
+    };
+    let commit_fire = b.name(commit_fire, "commit_fire");
+    let commit_pc_now = b.name(head_pc, "commit_pc_now");
+    let _ = commit_pc_now;
+
+    // ARF writes at commit.
+    let commit_wr = b.and(commit_fire, head_wen);
+    for (ix, arf) in [(1u64, arf1), (2, arf2), (3, arf3)] {
+        let sel = b.eq_const(head_rd, ix);
+        let wr = b.and(commit_wr, sel);
+        let next = b.mux(wr, head_res, arf);
+        b.set_next(arf, next).expect("arf next");
+    }
+
+    // ---- fetch handshake --------------------------------------------------------
+    let id_free = {
+        let ninv = b.not(id_valid);
+        b.or(ninv, issue_fire)
+    };
+    let if_to_id = b.and(if_valid, id_free);
+    let if_free = {
+        let ninv = b.not(if_valid);
+        b.or(ninv, if_to_id)
+    };
+    let fetch_fire = {
+        let nr = b.not(redirect);
+        let f = b.and(in_valid, if_free);
+        b.and(f, nr)
+    };
+    let fetch_fire = b.name(fetch_fire, "fetch_fire");
+
+    // ---- next-state wiring --------------------------------------------------------
+    let one_pc = b.constant(1, PCW);
+    let pc_inc = b.add(pc, one_pc);
+    let pc_next = {
+        let advanced = b.mux(fetch_fire, pc_inc, pc);
+        b.mux(redirect, target, advanced)
+    };
+    b.set_next(pc, pc_next).expect("pc");
+
+    let ifr_next = b.mux(fetch_fire, in_instr, ifr);
+    b.set_next(ifr, ifr_next).expect("ifr");
+    let if_pc_next = b.mux(fetch_fire, pc, if_pc);
+    b.set_next(if_pc, if_pc_next).expect("if_pc");
+    let if_valid_next = {
+        let after_move = b.mux(if_to_id, zero1, if_valid);
+        let with_fetch = b.mux(fetch_fire, one1, after_move);
+        b.mux(squash_if, zero1, with_fetch)
+    };
+    b.set_next(if_valid, if_valid_next).expect("if_valid");
+
+    let id_valid_next = {
+        let after_issue = b.mux(issue_fire, zero1, id_valid);
+        let with_fill = b.mux(if_to_id, one1, after_issue);
+        b.mux(redirect, zero1, with_fill)
+    };
+    b.set_next(id_valid, id_valid_next).expect("id_valid");
+    let id_instr_next = b.mux(if_to_id, ifr, id_instr);
+    b.set_next(id_instr, id_instr_next).expect("id_instr");
+    let id_pc_next = b.mux(if_to_id, if_pc, id_pc);
+    b.set_next(id_pc, id_pc_next).expect("id_pc");
+    let id_wait_next = {
+        let set = b.mux(packing_stall, one1, id_wait);
+        let cleared = b.mux(if_to_id, zero1, set);
+        b.mux(redirect, zero1, cleared)
+    };
+    b.set_next(id_wait, id_wait_next).expect("id_wait");
+
+    // Operand registers: latched at issue.
+    let op_a_next = b.mux(issue_fire, rs1_val, op_a);
+    b.set_next(op_a, op_a_next).expect("op_a");
+    let op_b_next = b.mux(issue_fire, rs2_val, op_b);
+    b.set_next(op_b, op_b_next).expect("op_b");
+
+    // Dispatch strobes.
+    let disp_alu = b.and(issue_fire, is_alu_class);
+    let disp_mul = b.and(issue_fire, is_mul);
+    let disp_div = b.and(issue_fire, is_div);
+    let disp_ld = b.and(issue_fire, is_ld);
+    let disp_st = b.and(issue_fire, is_sw);
+
+    // ALU regs.
+    b.set_next(alu_v, disp_alu).expect("alu_v");
+    let alu_pc_next = b.mux(disp_alu, id_pc, alu_pc);
+    b.set_next(alu_pc, alu_pc_next).expect("alu_pc");
+    let alu_op_next = b.mux(disp_alu, d_op, alu_op);
+    b.set_next(alu_op, alu_op_next).expect("alu_op");
+    let alu_imm_next = b.mux(disp_alu, d_imm, alu_imm);
+    b.set_next(alu_imm, alu_imm_next).expect("alu_imm");
+    let alu_idx_next = b.mux(disp_alu, scb_tail, alu_idx);
+    b.set_next(alu_idx, alu_idx_next).expect("alu_idx");
+
+    // MUL regs.
+    let mul_busy_next = {
+        let keep = {
+            let nd = b.not(mul_done);
+            b.and(mul_busy, nd)
+        };
+        b.or(disp_mul, keep)
+    };
+    b.set_next(mul_busy, mul_busy_next).expect("mul_busy");
+    b.set_next(mul_first, disp_mul).expect("mul_first");
+    let mul_pc_next = b.mux(disp_mul, id_pc, mul_pc);
+    b.set_next(mul_pc, mul_pc_next).expect("mul_pc");
+    let mul_idx_next = b.mux(disp_mul, scb_tail, mul_idx);
+    b.set_next(mul_idx, mul_idx_next).expect("mul_idx");
+    let is_mulh_d = opc(&mut b, d_op, Opcode::Mulh);
+    let mul_hi_next = b.mux(disp_mul, is_mulh_d, mul_hi);
+    b.set_next(mul_hi, mul_hi_next).expect("mul_hi");
+    let mul_res_next = {
+        let capture = b.and(mul_busy, mul_first);
+        b.mux(capture, mul_value, mul_res)
+    };
+    b.set_next(mul_res, mul_res_next).expect("mul_res");
+    let mul_cnt_next = {
+        let one3 = b.constant(1, 3);
+        let dec = b.sub(mul_cnt, one3);
+        let lat_m1 = b.sub(mul_lat, one3);
+        let first_load = b.mux(mul_first, lat_m1, dec);
+        let nd = b.not(mul_done);
+        let running = b.and(mul_busy, nd);
+        b.mux(running, first_load, mul_cnt)
+    };
+    b.set_next(mul_cnt, mul_cnt_next).expect("mul_cnt");
+
+    // DIV regs.
+    let div_busy_next = {
+        let keep = {
+            let nd = b.not(div_done);
+            b.and(div_busy, nd)
+        };
+        b.or(disp_div, keep)
+    };
+    b.set_next(div_busy, div_busy_next).expect("div_busy");
+    b.set_next(div_first, disp_div).expect("div_first");
+    let div_pc_next = b.mux(disp_div, id_pc, div_pc);
+    b.set_next(div_pc, div_pc_next).expect("div_pc");
+    let div_idx_next = b.mux(disp_div, scb_tail, div_idx);
+    b.set_next(div_idx, div_idx_next).expect("div_idx");
+    let div_kind = {
+        // 0=div 1=divu 2=rem 3=remu from opcode
+        let divu = opc(&mut b, d_op, Opcode::Divu);
+        let rem = opc(&mut b, d_op, Opcode::Rem);
+        let remu = opc(&mut b, d_op, Opcode::Remu);
+        let bit0 = b.or(divu, remu);
+        let bit1 = b.or(rem, remu);
+        b.concat(bit1, bit0)
+    };
+    let div_op_next = b.mux(disp_div, div_kind, div_op);
+    b.set_next(div_op, div_op_next).expect("div_op");
+    let div_res_next = {
+        let capture = b.and(div_busy, div_first);
+        b.mux(capture, div_value, div_res)
+    };
+    b.set_next(div_res, div_res_next).expect("div_res");
+    let div_cnt_next = {
+        let one3 = b.constant(1, 3);
+        let dec = b.sub(div_cnt, one3);
+        let lat_m1 = b.sub(div_lat, one3);
+        let first_load = b.mux(div_first, lat_m1, dec);
+        let nd = b.not(div_done);
+        let running = b.and(div_busy, nd);
+        b.mux(running, first_load, div_cnt)
+    };
+    b.set_next(div_cnt, div_cnt_next).expect("div_cnt");
+
+    // LD regs.
+    let ld_state_next = {
+        let req_c = b.constant(LD_REQ, 2);
+        let stall_c = b.constant(LD_STALL, 2);
+        let fin_c = b.constant(LD_FIN, 2);
+        let idle_c = b.constant(LD_IDLE, 2);
+        // REQ/STALL: port -> FIN, conflict -> STALL.
+        let checking_next = b.mux(ld_takes_port, fin_c, stall_c);
+        let mut next = idle_c;
+        let in_check = ld_checking;
+        next = b.mux(in_check, checking_next, next);
+        next = b.mux(ld_fin_now, idle_c, next);
+        b.mux(disp_ld, req_c, next)
+    };
+    b.set_next(ld_state, ld_state_next).expect("ld_state");
+    b.set_next(ld_first, disp_ld).expect("ld_first");
+    let ld_pc_next = b.mux(disp_ld, id_pc, ld_pc);
+    b.set_next(ld_pc, ld_pc_next).expect("ld_pc");
+    let ld_imm_next = b.mux(disp_ld, d_imm, ld_imm);
+    b.set_next(ld_imm, ld_imm_next).expect("ld_imm");
+    let ld_idx_next = b.mux(disp_ld, scb_tail, ld_idx);
+    b.set_next(ld_idx, ld_idx_next).expect("ld_idx");
+    let ld_addr_next = {
+        let capture = b.and(ld_checking, ld_first);
+        b.mux(capture, ld_agu, ld_addr)
+    };
+    b.set_next(ld_addr, ld_addr_next).expect("ld_addr");
+    let ld_data_next = b.mux(ld_takes_port, ld_rdata, ld_data);
+    b.set_next(ld_data, ld_data_next).expect("ld_data");
+
+    // ST regs.
+    b.set_next(st_v, disp_st).expect("st_v");
+    let st_pc_next = b.mux(disp_st, id_pc, st_pc);
+    b.set_next(st_pc, st_pc_next).expect("st_pc");
+    let st_imm_next = b.mux(disp_st, d_imm, st_imm);
+    b.set_next(st_imm, st_imm_next).expect("st_imm");
+    let st_idx_next = b.mux(disp_st, scb_tail, st_idx);
+    b.set_next(st_idx, st_idx_next).expect("st_idx");
+
+    // Speculative STB: filled by the ST unit, emptied at commit.
+    let commit_store = b.and(commit_fire, head_store);
+    let sb_v_next = {
+        let cleared = b.mux(commit_store, zero1, sb_v);
+        b.or(st_v, cleared)
+    };
+    b.set_next(sb_v, sb_v_next).expect("sb_v");
+    let sb_pc_next = b.mux(st_v, st_pc, sb_pc);
+    b.set_next(sb_pc, sb_pc_next).expect("sb_pc");
+    let sb_addr_next = b.mux(st_v, st_addr_gen, sb_addr);
+    b.set_next(sb_addr, sb_addr_next).expect("sb_addr");
+    let sb_data_next = b.mux(st_v, bb, sb_data);
+    b.set_next(sb_data, sb_data_next).expect("sb_data");
+
+    // Committed STB: filled at store commit, emptied by drain.
+    let cb_v_next = {
+        let drained = b.mux(drain, zero1, cb_v);
+        b.or(commit_store, drained)
+    };
+    b.set_next(cb_v, cb_v_next).expect("cb_v");
+    let cb_pc_next = b.mux(commit_store, sb_pc, cb_pc);
+    b.set_next(cb_pc, cb_pc_next).expect("cb_pc");
+    let cb_addr_next = b.mux(commit_store, sb_addr, cb_addr);
+    b.set_next(cb_addr, cb_addr_next).expect("cb_addr");
+    let cb_data_next = b.mux(commit_store, sb_data, cb_data);
+    b.set_next(cb_data, cb_data_next).expect("cb_data");
+
+    // Scoreboard entries.
+    for i in 0..n_scb {
+        let at_tail = b.eq_const(scb_tail, i as u64);
+        let alloc = b.and(issue_fire, at_tail);
+        let at_head = b.eq_const(scb_head, i as u64);
+        let retire = b.and(commit_fire, at_head);
+        let v_next = {
+            let cleared = b.mux(retire, zero1, sc_v[i]);
+            b.or(alloc, cleared)
+        };
+        b.set_next(sc_v[i], v_next).expect("sc_v");
+        let mut done_next = sc_done[i];
+        let mut res_next = sc_res[i];
+        for (strobe, idx, value) in &completions {
+            let here = b.eq_const(*idx, i as u64);
+            let ev = b.and(*strobe, here);
+            let ev = b.and(ev, sc_v[i]);
+            done_next = b.or(done_next, ev);
+            res_next = b.mux(ev, *value, res_next);
+        }
+        let done_next = b.mux(alloc, zero1, done_next);
+        b.set_next(sc_done[i], done_next).expect("sc_done");
+        let res_next = b.mux(alloc, zero_w, res_next);
+        b.set_next(sc_res[i], res_next).expect("sc_res");
+        let pc_next = b.mux(alloc, id_pc, sc_pc[i]);
+        b.set_next(sc_pc[i], pc_next).expect("sc_pc");
+        let rd_next = b.mux(alloc, d_rd, sc_rd[i]);
+        b.set_next(sc_rd[i], rd_next).expect("sc_rd");
+        let wen_next = b.mux(alloc, writes_rd, sc_wen[i]);
+        b.set_next(sc_wen[i], wen_next).expect("sc_wen");
+        let store_next = b.mux(alloc, is_sw, sc_store[i]);
+        b.set_next(sc_store[i], store_next).expect("sc_store");
+    }
+    let one_ptr = b.constant(1, scb_ptr_w);
+    let tail_next = {
+        let inc = b.add(scb_tail, one_ptr);
+        b.mux(issue_fire, inc, scb_tail)
+    };
+    b.set_next(scb_tail, tail_next).expect("scb_tail");
+    let head_next = {
+        let inc = b.add(scb_head, one_ptr);
+        b.mux(commit_fire, inc, scb_head)
+    };
+    b.set_next(scb_head, head_next).expect("scb_head");
+
+    // Control-flow pending: set at cf issue, cleared at ALU resolution.
+    let cf_issue = b.and(issue_fire, is_cf);
+    let cf_next = {
+        let cleared = b.mux(alu_v, zero1, cf_pending);
+        b.or(cf_issue, cleared)
+    };
+    b.set_next(cf_pending, cf_next).expect("cf_pending");
+
+    // Memory-request stage.
+    b.set_next(mq_v, drain).expect("mq_v");
+    let mq_pc_next = b.mux(drain, cb_pc, mq_pc);
+    b.set_next(mq_pc, mq_pc_next).expect("mq_pc");
+
+    // Commit stage.
+    b.set_next(cm_v, commit_fire).expect("cm_v");
+    let cm_pc_next = b.mux(commit_fire, head_pc, cm_pc);
+    b.set_next(cm_pc, cm_pc_next).expect("cm_pc");
+
+    dmem.finish(&mut b).expect("dmem wiring");
+
+    // ---- finish + annotations --------------------------------------------------
+    let netlist = b.finish().expect("MiniCva6 netlist is valid");
+    let f = |n: &str| netlist.find(n).unwrap_or_else(|| panic!("missing {n}"));
+
+    let single = |name: &str, state_name: &str, var: &str, pcr: &str, added: bool| UFsm {
+        name: name.into(),
+        pcr: f(pcr),
+        vars: vec![f(var)],
+        idle: vec![FsmState(vec![0])],
+        states: Some(vec![NamedState {
+            name: state_name.into(),
+            state: FsmState(vec![1]),
+        }]),
+        pcr_added: added,
+    };
+    let mut ufsms = vec![
+        single("u_if", "IF", "if_valid", "if_pc", false),
+        single("u_id", "ID", "id_valid", "id_pc", false),
+        single("u_alu", "aluU", "alu_v", "alu_pc", false),
+        single("u_mul", "mulU", "mul_busy", "mul_pc", true),
+        single("u_div", "divU", "div_busy", "div_pc", true),
+        UFsm {
+            name: "u_ld".into(),
+            pcr: f("ld_pc"),
+            vars: vec![f("ld_state")],
+            idle: vec![FsmState(vec![LD_IDLE])],
+            states: Some(vec![
+                NamedState {
+                    name: "ldReq".into(),
+                    state: FsmState(vec![LD_REQ]),
+                },
+                NamedState {
+                    name: "ldStall".into(),
+                    state: FsmState(vec![LD_STALL]),
+                },
+                NamedState {
+                    name: "ldFin".into(),
+                    state: FsmState(vec![LD_FIN]),
+                },
+            ]),
+            pcr_added: true,
+        },
+        single("u_st", "stU", "st_v", "st_pc", true),
+        single("u_sb", "specSTB", "sb_v", "sb_pc", true),
+        single("u_cb", "comSTB", "cb_v", "cb_pc", true),
+        single("u_mq", "memRq", "mq_v", "mq_pc", true),
+        single("u_cm", "scbCmt", "cm_v", "cm_pc", false),
+    ];
+    for i in 0..n_scb {
+        ufsms.push(UFsm {
+            name: format!("u_scb{i}"),
+            pcr: f(&format!("sc{i}_pc")),
+            vars: vec![f(&format!("sc{i}_v")), f(&format!("sc{i}_done"))],
+            idle: vec![FsmState(vec![0, 0]), FsmState(vec![0, 1])],
+            states: Some(vec![
+                NamedState {
+                    name: format!("scbIss{i}"),
+                    state: FsmState(vec![1, 0]),
+                },
+                NamedState {
+                    name: format!("scbFin{i}"),
+                    state: FsmState(vec![1, 1]),
+                },
+            ]),
+            pcr_added: false,
+        });
+    }
+
+    let amem: Vec<_> = (0..isa::MEM_WORDS)
+        .map(|i| f(&format!("dmem[{i}]")))
+        .collect();
+    let annotations = Annotations {
+        ifr: f("ifr"),
+        fetch_valid: f("if_valid"),
+        fetch_pc: f("if_pc"),
+        commit: f("commit_fire"),
+        commit_pc: f("commit_pc_now"),
+        operand_regs: vec![f("op_a"), f("op_b")],
+        arf: vec![f("arf1"), f("arf2"), f("arf3")],
+        amem,
+        ufsms,
+        persistent: vec![],
+        // The PCRs marked `pcr_added` plus the commit-stage registers are
+        // verification-support state; this counts their DSL statements.
+        added_loc: 14,
+    };
+    annotations
+        .validate(&netlist)
+        .expect("MiniCva6 annotations are consistent");
+
+    let name = match (cfg.op_packing, cfg.mul) {
+        (true, _) => "MiniCva6-OP",
+        (false, MulPolicy::ZeroSkip { .. }) => "MiniCva6-MUL",
+        _ => "MiniCva6",
+    };
+    let fetch_instr_input = f("in_instr");
+    let fetch_valid_input = f("in_valid");
+    let fetch_fire_sig = f("fetch_fire");
+    let issue_fire_sig = f("issue_fire");
+    let issue_pc_sig = f("id_pc");
+    let issue_valid_sig = f("id_valid");
+    let rs_fields = Some((f("d_rs1"), f("d_rs2")));
+    let pc_sig = f("pc");
+    Design {
+        name: name.into(),
+        netlist,
+        annotations,
+        fetch_instr_input,
+        fetch_valid_input,
+        fetch_fire: fetch_fire_sig,
+        issue_fire: issue_fire_sig,
+        issue_pc: issue_pc_sig,
+        issue_valid: issue_valid_sig,
+        rs_fields,
+        pc: pc_sig,
+        isa: Opcode::ALL.to_vec(),
+        type_field: crate::TypeField { hi: 15, lo: 11 },
+        type_values: vec![],
+        max_latency: cfg.max_instr_latency(1),
+    }
+}

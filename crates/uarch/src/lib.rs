@@ -1,0 +1,90 @@
+//! Processor designs under verification: the reproduction's analogue of the
+//! paper's CVA6 SystemVerilog inputs (§VI).
+//!
+//! * [`build_core`] — MiniCva6, a speculative scoreboard pipeline with the
+//!   paper's leakage mechanisms (variable-latency divide, optional zero-skip
+//!   multiply and operand packing, store-buffer interactions, branch
+//!   squash). Variants via [`CoreConfig`].
+//! * [`build_tiny`] — TinyCore, a stall-free 3-stage pipeline with exactly
+//!   one µPATH per instruction (the RTL2µSPEC regime).
+//! * [`cache::build_cache`] — MiniCache, a standalone L1 data-cache DUV for
+//!   the modular-verification experiment (§VII-A2).
+//!
+//! Every design comes with its [`netlist::annotate::Annotations`] (µFSMs,
+//! IFR, commit, operand registers — the Table II metadata).
+
+pub mod cache;
+mod config;
+mod core;
+mod tiny;
+
+pub use crate::core::build_core;
+pub use config::{CoreConfig, DivPolicy, MulPolicy};
+pub use tiny::build_tiny;
+
+use netlist::annotate::Annotations;
+use netlist::{Netlist, SignalId};
+
+/// Where the instruction-type (opcode) field lives within the value driven
+/// on [`Design::fetch_instr_input`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TypeField {
+    /// High bit (inclusive).
+    pub hi: u8,
+    /// Low bit (inclusive).
+    pub lo: u8,
+}
+
+/// A design under verification: netlist + metadata + harness hook signals.
+#[derive(Clone, Debug)]
+pub struct Design {
+    /// Human-readable design name.
+    pub name: String,
+    /// The elaborated netlist.
+    pub netlist: Netlist,
+    /// The §V-A metadata bundle.
+    pub annotations: Annotations,
+    /// Primary input carrying instruction encodings (the frontend is
+    /// black-boxed, as in §VI: the checker drives fetched instructions).
+    pub fetch_instr_input: SignalId,
+    /// Primary input: instruction valid this cycle.
+    pub fetch_valid_input: SignalId,
+    /// 1-bit strobe: an instruction is latched into the IFR this cycle.
+    pub fetch_fire: SignalId,
+    /// 1-bit strobe: the decode stage issues this cycle.
+    pub issue_fire: SignalId,
+    /// PC register of the instruction at the issue stage (valid when
+    /// `issue_fire` is high).
+    pub issue_pc: SignalId,
+    /// 1-bit: the issue/decode stage holds a valid instruction.
+    pub issue_valid: SignalId,
+    /// The decoded source-register index fields at the issue/decode stage
+    /// (`rs1`, `rs2`), when the design reads an architectural register
+    /// file. `None` for request-driven DUVs like the cache.
+    pub rs_fields: Option<(SignalId, SignalId)>,
+    /// The fetch program counter register.
+    pub pc: SignalId,
+    /// Instructions implemented by the design.
+    pub isa: Vec<isa::Opcode>,
+    /// Location of the type field within `fetch_instr_input`.
+    pub type_field: TypeField,
+    /// Per-opcode type-field values when they differ from
+    /// [`isa::Opcode::bits`] (e.g. the cache DUV encodes LW/SW as a 1-bit
+    /// read/write flag). Empty = identity encoding.
+    pub type_values: Vec<(isa::Opcode, u64)>,
+    /// Conservative bound on one instruction's fetch-to-retire latency,
+    /// used to size complete BMC bounds.
+    pub max_latency: usize,
+}
+
+impl Design {
+    /// The type-field value that selects `op` on this design's request
+    /// input.
+    pub fn type_encoding(&self, op: isa::Opcode) -> u64 {
+        self.type_values
+            .iter()
+            .find(|(o, _)| *o == op)
+            .map(|(_, v)| *v)
+            .unwrap_or(op.bits() as u64)
+    }
+}

@@ -1,0 +1,219 @@
+//! TinyCore: a 3-stage, stall-free, single-path pipeline.
+//!
+//! Every instruction takes exactly IF → EX → WB, one cycle each, with no
+//! hazards, no speculation, and data-independent timing. This is the regime
+//! RTL2µSPEC (the paper's predecessor) could already handle: exactly one
+//! µPATH per instruction. It serves as (i) a fast smoke-test target for the
+//! synthesis pipeline and (ii) the negative control — RTL2MµPATH must find
+//! a *single* µPATH per instruction here, and SynthLC must find no
+//! transmitters.
+//!
+//! The ISA subset is combinational-friendly: ADD/SUB/AND/OR/XOR/ADDI only,
+//! operating on the same 4-register file as MiniCva6; other opcodes execute
+//! as NOPs.
+
+use crate::Design;
+use isa::Opcode;
+use netlist::annotate::{Annotations, FsmState, NamedState, UFsm};
+use netlist::Builder;
+
+const W: u8 = 8;
+const PCW: u8 = 8;
+
+/// Builds the TinyCore netlist plus annotations.
+///
+/// # Panics
+/// Panics only on internal DSL misuse.
+pub fn build_tiny() -> Design {
+    let mut b = Builder::new();
+    let in_instr = b.input("in_instr", 16);
+    let in_valid = b.input("in_valid", 1);
+
+    let pc = b.reg("pc", PCW, 0);
+    let ifr = b.reg("ifr", 16, 0);
+    let if_valid = b.reg("if_valid", 1, 0);
+    let if_pc = b.reg("if_pc", PCW, 0);
+    let ex_instr = b.reg("ex_instr", 16, 0);
+    let ex_valid = b.reg("ex_valid", 1, 0);
+    let ex_pc = b.reg("ex_pc", PCW, 0);
+    let op_a = b.reg("op_a", W, 0);
+    let op_b = b.reg("op_b", W, 0);
+    let wb_valid = b.reg("wb_valid", 1, 0);
+    let wb_pc = b.reg("wb_pc", PCW, 0);
+    let wb_rd = b.reg("wb_rd", 2, 0);
+    let wb_res = b.reg("wb_res", W, 0);
+    let wb_wen = b.reg("wb_wen", 1, 0);
+    let arf1 = b.reg("arf1", W, 0);
+    let arf2 = b.reg("arf2", W, 0);
+    let arf3 = b.reg("arf3", W, 0);
+
+    // Stall-free: fetch whenever the input offers an instruction.
+    let fetch_fire = b.name(in_valid, "fetch_fire");
+    let one_pc = b.constant(1, PCW);
+    let pc_inc = b.add(pc, one_pc);
+    let pc_next = b.mux(fetch_fire, pc_inc, pc);
+    b.set_next(pc, pc_next).expect("pc");
+    let ifr_next = b.mux(fetch_fire, in_instr, ifr);
+    b.set_next(ifr, ifr_next).expect("ifr");
+    let ifpc_next = b.mux(fetch_fire, pc, if_pc);
+    b.set_next(if_pc, ifpc_next).expect("if_pc");
+    b.set_next(if_valid, fetch_fire).expect("if_valid");
+
+    // Decode at IF -> EX boundary: read the register file.
+    let d_rs1 = {
+        let w = b.slice(ifr, 8, 7);
+        b.name(w, "d_rs1")
+    };
+    let d_rs2 = {
+        let w = b.slice(ifr, 6, 5);
+        b.name(w, "d_rs2")
+    };
+    let zero_w = b.constant(0, W);
+    let read = |b: &mut Builder, ix: netlist::Wire| {
+        let is1 = b.eq_const(ix, 1);
+        let is2 = b.eq_const(ix, 2);
+        let is3 = b.eq_const(ix, 3);
+        b.select(&[(is1, arf1), (is2, arf2), (is3, arf3)], zero_w)
+    };
+    let rs1_val = read(&mut b, d_rs1);
+    let rs2_val = read(&mut b, d_rs2);
+    // The EX stage consumes IF every cycle (no stalls).
+    let _issue_fire = b.name(if_valid, "issue_fire");
+    let ex_instr_next = b.mux(if_valid, ifr, ex_instr);
+    b.set_next(ex_instr, ex_instr_next).expect("ex_instr");
+    let ex_pc_next = b.mux(if_valid, if_pc, ex_pc);
+    b.set_next(ex_pc, ex_pc_next).expect("ex_pc");
+    b.set_next(ex_valid, if_valid).expect("ex_valid");
+    let op_a_next = b.mux(if_valid, rs1_val, op_a);
+    b.set_next(op_a, op_a_next).expect("op_a");
+    let op_b_next = b.mux(if_valid, rs2_val, op_b);
+    b.set_next(op_b, op_b_next).expect("op_b");
+
+    // EX: compute.
+    let e_op = b.slice(ex_instr, 15, 11);
+    let e_rd = b.slice(ex_instr, 10, 9);
+    let e_imm5 = b.slice(ex_instr, 4, 0);
+    let e_imm = b.sext(e_imm5, W);
+    let opc = |b: &mut Builder, o: Opcode| b.eq_const(e_op, o.bits() as u64);
+    let is_addi = opc(&mut b, Opcode::Addi);
+    let rhs = b.mux(is_addi, e_imm, op_b);
+    let sum = b.add(op_a, rhs);
+    let diff = b.sub(op_a, op_b);
+    let and_r = b.and(op_a, op_b);
+    let or_r = b.or(op_a, op_b);
+    let xor_r = b.xor(op_a, op_b);
+    let is_add = opc(&mut b, Opcode::Add);
+    let is_sub = opc(&mut b, Opcode::Sub);
+    let is_and = opc(&mut b, Opcode::And);
+    let is_or = opc(&mut b, Opcode::Or);
+    let is_xor = opc(&mut b, Opcode::Xor);
+    let result = b.select(
+        &[
+            (is_add, sum),
+            (is_addi, sum),
+            (is_sub, diff),
+            (is_and, and_r),
+            (is_or, or_r),
+            (is_xor, xor_r),
+        ],
+        zero_w,
+    );
+    let writes = {
+        let ops = [is_add, is_addi, is_sub, is_and, is_or, is_xor];
+        let any = b.any(&ops);
+        let rd_nz = {
+            let z = b.eq_const(e_rd, 0);
+            b.not(z)
+        };
+        b.and(any, rd_nz)
+    };
+
+    // WB stage.
+    b.set_next(wb_valid, ex_valid).expect("wb_valid");
+    let wb_pc_next = b.mux(ex_valid, ex_pc, wb_pc);
+    b.set_next(wb_pc, wb_pc_next).expect("wb_pc");
+    let wb_rd_next = b.mux(ex_valid, e_rd, wb_rd);
+    b.set_next(wb_rd, wb_rd_next).expect("wb_rd");
+    let wb_res_next = b.mux(ex_valid, result, wb_res);
+    b.set_next(wb_res, wb_res_next).expect("wb_res");
+    let wen_gated = b.and(ex_valid, writes);
+    b.set_next(wb_wen, wen_gated).expect("wb_wen");
+
+    // Register-file writes happen in WB.
+    let _commit_fire = b.name(wb_valid, "commit_fire");
+    let do_write = b.and(wb_valid, wb_wen);
+    for (ix, arf) in [(1u64, arf1), (2, arf2), (3, arf3)] {
+        let sel = b.eq_const(wb_rd, ix);
+        let wr = b.and(do_write, sel);
+        let next = b.mux(wr, wb_res, arf);
+        b.set_next(arf, next).expect("arf");
+    }
+    b.name(wb_pc, "commit_pc_now");
+
+    let netlist = b.finish().expect("TinyCore netlist is valid");
+    let f = |n: &str| netlist.find(n).unwrap_or_else(|| panic!("missing {n}"));
+    let single = |name: &str, state: &str, var: &str, pcr: &str| UFsm {
+        name: name.into(),
+        pcr: f(pcr),
+        vars: vec![f(var)],
+        idle: vec![FsmState(vec![0])],
+        states: Some(vec![NamedState {
+            name: state.into(),
+            state: FsmState(vec![1]),
+        }]),
+        pcr_added: false,
+    };
+    let annotations = Annotations {
+        ifr: f("ifr"),
+        fetch_valid: f("if_valid"),
+        fetch_pc: f("if_pc"),
+        commit: f("commit_fire"),
+        commit_pc: f("commit_pc_now"),
+        operand_regs: vec![f("op_a"), f("op_b")],
+        arf: vec![f("arf1"), f("arf2"), f("arf3")],
+        amem: vec![],
+        ufsms: vec![
+            single("u_if", "IF", "if_valid", "if_pc"),
+            single("u_ex", "EX", "ex_valid", "ex_pc"),
+            single("u_wb", "WB", "wb_valid", "wb_pc"),
+        ],
+        persistent: vec![],
+        added_loc: 0,
+    };
+    annotations
+        .validate(&netlist)
+        .expect("TinyCore annotations are consistent");
+    let fetch_instr_input = f("in_instr");
+    let fetch_valid_input = f("in_valid");
+    let fetch_fire_sig = f("fetch_fire");
+    let issue_fire_sig = f("issue_fire");
+    let issue_pc_sig = f("if_pc");
+    let issue_valid_sig = f("if_valid");
+    let rs_fields = Some((f("d_rs1"), f("d_rs2")));
+    let pc_sig = f("pc");
+    Design {
+        name: "TinyCore".into(),
+        netlist,
+        annotations,
+        fetch_instr_input,
+        fetch_valid_input,
+        fetch_fire: fetch_fire_sig,
+        issue_fire: issue_fire_sig,
+        issue_pc: issue_pc_sig,
+        issue_valid: issue_valid_sig,
+        rs_fields,
+        pc: pc_sig,
+        type_field: crate::TypeField { hi: 15, lo: 11 },
+        type_values: vec![],
+        isa: vec![
+            Opcode::Nop,
+            Opcode::Add,
+            Opcode::Sub,
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Xor,
+            Opcode::Addi,
+        ],
+        max_latency: 4,
+    }
+}

@@ -1,0 +1,273 @@
+//! ISA conformance: MiniCva6 (all variants) must implement MiniRV exactly.
+//!
+//! The harness feeds a program through the core's fetch port, collects the
+//! committed-PC sequence and the final architectural state, and compares
+//! them against the `isa` golden model executing the same program.
+
+use isa::{ArchState, Instr};
+use sim::Simulator;
+use uarch::{build_core, CoreConfig, Design};
+
+/// Runs `program` on the core until `expect_commits` instructions have
+/// committed (or a cycle budget runs out). Returns (committed PCs, final
+/// regs r1..r3, final memory).
+fn run_core(
+    design: &Design,
+    program: &[Instr],
+    expect_commits: usize,
+    max_cycles: usize,
+) -> (Vec<u64>, [u64; 3], Vec<u64>) {
+    let nl = &design.netlist;
+    let mut s = Simulator::new(nl);
+    let commit = design.annotations.commit;
+    let commit_pc = design.annotations.commit_pc;
+    let pc = design.pc;
+    let mut committed = Vec::new();
+    let mut cycles = 0;
+    while committed.len() < expect_commits && cycles < max_cycles {
+        let cur_pc = s.value(pc) as usize;
+        let word = program
+            .get(cur_pc)
+            .copied()
+            .unwrap_or_else(Instr::nop)
+            .encode();
+        s.set_input(design.fetch_instr_input, word as u64);
+        s.set_input(design.fetch_valid_input, 1);
+        if s.value(commit) == 1 {
+            committed.push(s.value(commit_pc));
+        }
+        s.step();
+        cycles += 1;
+    }
+    assert!(
+        committed.len() >= expect_commits,
+        "core committed only {}/{} instructions in {} cycles",
+        committed.len(),
+        expect_commits,
+        max_cycles
+    );
+    // Drain store buffers.
+    s.set_input(design.fetch_valid_input, 0);
+    for _ in 0..8 {
+        s.step();
+    }
+    let regs = [s.value_of("arf1"), s.value_of("arf2"), s.value_of("arf3")];
+    let mem: Vec<u64> = (0..isa::MEM_WORDS)
+        .map(|i| s.value_of(&format!("dmem[{i}]")))
+        .collect();
+    (committed, regs, mem)
+}
+
+/// Runs the golden model, returning (executed PCs, r1..r3, memory).
+fn run_golden(program: &[Instr], max_steps: usize) -> (Vec<u64>, [u64; 3], Vec<u64>) {
+    let mut st = ArchState::new();
+    let mut pcs = Vec::new();
+    for _ in 0..max_steps {
+        let i = program
+            .get(st.pc as usize)
+            .copied()
+            .unwrap_or_else(Instr::nop);
+        pcs.push(st.pc as u64);
+        st.step(i);
+        if st.pc as usize >= program.len() {
+            break;
+        }
+    }
+    let regs = [st.regs[1] as u64, st.regs[2] as u64, st.regs[3] as u64];
+    let mem = st.mem.iter().map(|&m| m as u64).collect();
+    (pcs, regs, mem)
+}
+
+fn check_program(cfg: &CoreConfig, program: &[Instr]) {
+    let design = build_core(cfg);
+    let (gpcs, gregs, gmem) = run_golden(program, 40);
+    let (cpcs, cregs, cmem) = run_core(&design, program, gpcs.len(), 600);
+    assert_eq!(
+        &cpcs[..gpcs.len()],
+        &gpcs[..],
+        "commit order differs for {:?}",
+        program.iter().map(|i| i.to_string()).collect::<Vec<_>>()
+    );
+    assert_eq!(cregs, gregs, "registers differ");
+    assert_eq!(cmem, gmem, "memory differs");
+}
+
+fn asm(src: &str) -> Vec<Instr> {
+    isa::assemble(src).expect("test program assembles")
+}
+
+#[test]
+fn straightline_arithmetic() {
+    check_program(
+        &CoreConfig::default(),
+        &asm("addi r1, r0, 7\naddi r2, r0, 3\nadd r3, r1, r2\nsub r1, r3, r2\nxor r2, r1, r3\n"),
+    );
+}
+
+#[test]
+fn multiply_variants() {
+    for cfg in [CoreConfig::default(), CoreConfig::cva6_mul()] {
+        check_program(
+            &cfg,
+            &asm("addi r1, r0, 13\naddi r2, r0, -1\nmul r3, r1, r2\nmulh r1, r2, r2\nmul r2, r0, r1\n"),
+        );
+    }
+}
+
+#[test]
+fn divide_edge_cases() {
+    check_program(
+        &CoreConfig::default(),
+        &asm(
+            "addi r1, r0, 10\n\
+             div  r3, r1, r0\n\
+             rem  r3, r1, r0\n\
+             addi r2, r0, 3\n\
+             div  r3, r1, r2\n\
+             rem  r1, r1, r2\n\
+             divu r2, r3, r3\n",
+        ),
+    );
+}
+
+#[test]
+fn division_overflow_case() {
+    // r1 = -128, r2 = -1: signed overflow semantics.
+    check_program(
+        &CoreConfig::default(),
+        &asm(
+            "addi r1, r0, 1\n\
+             addi r2, r0, 7\n\
+             sll  r1, r1, r2\n\
+             addi r2, r0, -1\n\
+             div  r3, r1, r2\n\
+             rem  r3, r1, r2\n",
+        ),
+    );
+}
+
+#[test]
+fn store_then_load_same_address_stalls_correctly() {
+    check_program(
+        &CoreConfig::default(),
+        &asm(
+            "addi r1, r0, 5\n\
+             addi r2, r0, 9\n\
+             sw   r1, r2, 0   ; mem[5] = 9\n\
+             lw   r3, r1, 0   ; must observe the store\n",
+        ),
+    );
+}
+
+#[test]
+fn store_load_different_offsets_no_data_corruption() {
+    check_program(
+        &CoreConfig::default(),
+        &asm(
+            "addi r1, r0, 4\n\
+             addi r2, r0, 11\n\
+             sw   r1, r2, 0   ; mem[4] = 11\n\
+             lw   r3, r0, 1   ; different offset, runs ahead of the drain\n\
+             lw   r2, r1, 0\n",
+        ),
+    );
+}
+
+#[test]
+fn taken_branch_squashes_wrong_path() {
+    check_program(
+        &CoreConfig::default(),
+        &asm(
+            "addi r1, r0, 1\n\
+             beq  r1, r1, 2   ; jump over the poison instruction\n\
+             addi r3, r0, 15  ; must be squashed\n\
+             addi r2, r0, 4\n",
+        ),
+    );
+}
+
+#[test]
+fn not_taken_branch_falls_through() {
+    check_program(
+        &CoreConfig::default(),
+        &asm(
+            "addi r1, r0, 1\n\
+             bne  r1, r1, 2\n\
+             addi r3, r0, 15\n\
+             addi r2, r0, 4\n",
+        ),
+    );
+}
+
+#[test]
+fn jal_and_jalr_link_and_redirect() {
+    check_program(
+        &CoreConfig::default(),
+        &asm(
+            "jal  r3, 2        ; skip next\n\
+             addi r1, r0, 9    ; squashed\n\
+             addi r2, r0, 1\n\
+             jalr r1, r3, 2    ; jump to link+2 = 3... computes r3+2\n\
+             addi r2, r0, 7    ; may or may not execute depending on target\n",
+        ),
+    );
+}
+
+#[test]
+fn backward_branch_loop() {
+    // r1 counts down from 3; loop body accumulates into r2.
+    check_program(
+        &CoreConfig::default(),
+        &asm(
+            "addi r1, r0, 3\n\
+             addi r2, r0, 0\n\
+             add  r2, r2, r1\n\
+             addi r1, r1, -1\n\
+             bne  r1, r0, -2\n\
+             add  r3, r2, r2\n",
+        ),
+    );
+}
+
+#[test]
+fn op_packing_variant_matches_architecture() {
+    // Wide and narrow ADD operands: timing differs, architecture must not.
+    check_program(
+        &CoreConfig::cva6_op(),
+        &asm(
+            "addi r1, r0, 3\n\
+             add  r2, r1, r1   ; narrow\n\
+             addi r3, r0, -1   ; r3 = 0xff (wide)\n\
+             add  r2, r3, r1   ; wide operands, extra decode cycle\n\
+             add  r3, r2, r2\n",
+        ),
+    );
+}
+
+#[test]
+fn shifts_and_compares() {
+    check_program(
+        &CoreConfig::default(),
+        &asm(
+            "addi r1, r0, -1\n\
+             addi r2, r0, 3\n\
+             sll  r3, r1, r2\n\
+             srl  r3, r3, r2\n\
+             slt  r1, r1, r2\n\
+             sltu r2, r3, r2\n",
+        ),
+    );
+}
+
+#[test]
+fn hardened_core_matches_architecture() {
+    check_program(
+        &CoreConfig::hardened(),
+        &asm(
+            "addi r1, r0, 9\n\
+             addi r2, r0, 2\n\
+             div  r3, r1, r2\n\
+             mul  r1, r3, r2\n",
+        ),
+    );
+}

@@ -1,0 +1,18 @@
+#!/bin/bash
+# Regenerates every paper table/figure into results/.
+# SYNTHLC_SCOPE=quick (default) or full for the Fig. 8 / Table I sweeps.
+set -u
+cd "$(dirname "$0")/.."
+cargo build --release -p bench || exit 1
+mkdir -p results
+for bin in table2 fig1 fig2 div_revisits bugs fig6_flow fig4 fig5 perf scsafe_sweep; do
+  echo "=== running $bin ==="
+  timeout 3600 ./target/release/$bin > results/$bin.txt 2>&1
+  echo "=== $bin rc=$? ==="
+done
+scope="${SYNTHLC_SCOPE:-quick}"
+SYNTHLC_SCOPE=$scope timeout 7200 ./target/release/fig8 > results/fig8_$scope.txt 2>&1
+echo "fig8 rc=$?"
+SYNTHLC_SCOPE=$scope timeout 7200 ./target/release/table1 > results/table1.txt 2>&1
+echo "table1 rc=$?"
+echo ALL DONE

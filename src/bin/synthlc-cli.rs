@@ -1,0 +1,274 @@
+//! `synthlc-cli`: the command-line front end of the reproduction.
+//!
+//! ```text
+//! synthlc-cli pls    <design>                 # §V-B1 DUV PL reachability
+//! synthlc-cli paths  <design> <instr> [opts]  # RTL2MµPATH for one instruction
+//! synthlc-cli leak   <design> <instr> [opts]  # SynthLC signatures + contracts
+//! synthlc-cli designs                         # list available designs
+//!
+//! designs: minicva6 | minicva6-mul | minicva6-op | hardened | tinycore | minicache
+//! options: --slots 0,1   --bound N   --context any|nocf|solo   --budget N
+//! ```
+//!
+//! Run via `cargo run --release --bin synthlc-cli -- <args>`.
+
+use mupath::{synthesize_instr, ContextMode, HarnessConfig, SynthConfig};
+use std::process::ExitCode;
+use synthlc::{contracts, synthesize_leakage, LeakConfig, TxKind};
+use uarch::{build_core, build_tiny, CoreConfig, Design};
+
+fn design_by_name(name: &str) -> Option<Design> {
+    Some(match name {
+        "minicva6" => build_core(&CoreConfig::default()),
+        "minicva6-mul" => build_core(&CoreConfig::cva6_mul()),
+        "minicva6-op" => build_core(&CoreConfig::cva6_op()),
+        "hardened" => build_core(&CoreConfig::hardened()),
+        "tinycore" => build_tiny(),
+        "minicache" => uarch::cache::build_cache(),
+        _ => return None,
+    })
+}
+
+fn opcode_by_name(design: &Design, name: &str) -> Option<isa::Opcode> {
+    design
+        .isa
+        .iter()
+        .copied()
+        .find(|o| o.mnemonic().eq_ignore_ascii_case(name))
+}
+
+#[derive(Debug)]
+struct Opts {
+    slots: Vec<usize>,
+    bound: usize,
+    context: ContextMode,
+    budget: u64,
+}
+
+fn parse_opts(args: &[String], design: &Design) -> Result<Opts, String> {
+    let mut o = Opts {
+        slots: vec![0, 1],
+        bound: design.max_latency.min(16) + 8,
+        context: if design.type_values.is_empty() {
+            ContextMode::NoControlFlow
+        } else {
+            ContextMode::Any
+        },
+        budget: 2_000_000,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--slots" => {
+                o.slots = val("--slots")?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|_| format!("bad slot `{s}`")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--bound" => {
+                o.bound = val("--bound")?
+                    .parse()
+                    .map_err(|_| "bad --bound".to_owned())?;
+            }
+            "--budget" => {
+                o.budget = val("--budget")?
+                    .parse()
+                    .map_err(|_| "bad --budget".to_owned())?;
+            }
+            "--context" => {
+                o.context = match val("--context")?.as_str() {
+                    "any" => ContextMode::Any,
+                    "nocf" => ContextMode::NoControlFlow,
+                    "solo" => ContextMode::Solo,
+                    other => return Err(format!("unknown context `{other}`")),
+                };
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+fn synth_cfg(o: &Opts) -> SynthConfig {
+    SynthConfig {
+        slots: o.slots.clone(),
+        context: o.context,
+        bound: o.bound,
+        conflict_budget: Some(o.budget),
+        max_shapes: 64,
+    }
+}
+
+fn cmd_pls(design: &Design, o: &Opts) {
+    let report = mupath::duv_pl_reachability(design, &synth_cfg(o));
+    println!("{} performing locations:", report.pls.len());
+    for pl in report.pls.ids() {
+        println!(
+            "  {:<12} {}",
+            report.pls.name(pl),
+            if report.reachable[pl.index()] {
+                "reachable"
+            } else {
+                "UNREACHABLE"
+            }
+        );
+    }
+    let s = report.stats;
+    println!(
+        "({} properties, {:.2}s avg)",
+        s.properties,
+        s.avg_seconds()
+    );
+}
+
+fn cmd_paths(design: &Design, op: isa::Opcode, o: &Opts) {
+    let r = synthesize_instr(design, op, &synth_cfg(o));
+    println!(
+        "{op}: {} µPATH(s), complete = {}",
+        r.paths.len(),
+        r.complete
+    );
+    let harness = mupath::build_harness(
+        design,
+        &HarnessConfig {
+            opcode: op,
+            fetch_slot: o.slots[0],
+            context: o.context,
+        },
+    );
+    for (i, p) in r.concrete.iter().enumerate() {
+        println!(
+            "\nµPATH {i} (latency {} cycles):\n{}",
+            p.latency(),
+            p.render(&harness.pls)
+        );
+    }
+    for d in &r.decisions {
+        println!("decision: {}", d.describe(&harness.pls));
+    }
+    println!(
+        "\n{} properties, {:.2}s avg, {:.1}% undetermined",
+        r.stats.properties,
+        r.stats.avg_seconds(),
+        r.stats.undetermined_pct()
+    );
+}
+
+fn cmd_leak(design: &Design, op: isa::Opcode, o: &Opts) {
+    let cfg = LeakConfig {
+        mupath: synth_cfg(o),
+        transmitters: design
+            .isa
+            .iter()
+            .copied()
+            .filter(|t| {
+                matches!(
+                    t,
+                    isa::Opcode::Add
+                        | isa::Opcode::Mul
+                        | isa::Opcode::Div
+                        | isa::Opcode::Lw
+                        | isa::Opcode::Sw
+                        | isa::Opcode::Beq
+                        | isa::Opcode::Jalr
+                )
+            })
+            .collect(),
+        kinds: vec![
+            TxKind::Intrinsic,
+            TxKind::DynamicOlder,
+            TxKind::DynamicYounger,
+            TxKind::Static,
+        ],
+        bound: o.bound,
+        conflict_budget: Some(o.budget),
+        threads: 1,
+        slot_base: 0,
+        max_sources: Some(3),
+    };
+    let report = synthesize_leakage(design, &[op], &cfg);
+    if report.signatures.is_empty() {
+        println!("{op}: no leakage signatures (not a transponder, or no tagged decisions)");
+        return;
+    }
+    println!("leakage signatures for {op}:");
+    for s in &report.signatures {
+        println!("  {}", s.render());
+    }
+    let c = contracts::derive_contracts(&report);
+    println!("\n{}", contracts::render_table1(&c));
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "designs" => {
+            for d in [
+                "minicva6",
+                "minicva6-mul",
+                "minicva6-op",
+                "hardened",
+                "tinycore",
+                "minicache",
+            ] {
+                let design = design_by_name(d).expect("listed design builds");
+                println!(
+                    "{d:<14} {:>5} nodes {:>4} flop bits  {} µFSMs",
+                    design.netlist.len(),
+                    design.netlist.state_bits(),
+                    design.annotations.ufsms.len()
+                );
+            }
+            Ok(())
+        }
+        "pls" | "paths" | "leak" => {
+            let dname = args
+                .get(1)
+                .ok_or_else(|| format!("`{cmd}` needs a design name"))?;
+            let design =
+                design_by_name(dname).ok_or_else(|| format!("unknown design `{dname}`"))?;
+            if cmd == "pls" {
+                let o = parse_opts(&args[2..], &design)?;
+                cmd_pls(&design, &o);
+                return Ok(());
+            }
+            let iname = args
+                .get(2)
+                .ok_or_else(|| format!("`{cmd}` needs an instruction mnemonic"))?;
+            let op = opcode_by_name(&design, iname)
+                .ok_or_else(|| format!("`{iname}` is not implemented by {dname}"))?;
+            let o = parse_opts(&args[3..], &design)?;
+            if cmd == "paths" {
+                cmd_paths(&design, op, &o);
+            } else {
+                cmd_leak(&design, op, &o);
+            }
+            Ok(())
+        }
+        _ => {
+            println!(
+                "usage:\n  synthlc-cli designs\n  synthlc-cli pls <design> [opts]\n  \
+                 synthlc-cli paths <design> <instr> [opts]\n  synthlc-cli leak <design> <instr> [opts]\n\
+                 \ndesigns: minicva6 minicva6-mul minicva6-op hardened tinycore minicache\n\
+                 opts: --slots 0,1  --bound N  --context any|nocf|solo  --budget N"
+            );
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the RTL2MµPATH + SynthLC reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so the `examples/` and
+//! `tests/` directories at the repository root can exercise the whole stack.
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use ift;
+pub use isa;
+pub use mc;
+pub use mupath;
+pub use netlist;
+pub use sat;
+pub use sim;
+pub use sva;
+pub use synthlc;
+pub use uarch;
+pub use uhb;

@@ -1,0 +1,79 @@
+//! §VII-B2 analogue: RTL2MµPATH-style evidence surfaces seeded functional
+//! bugs. Our seeded bug: JALR fails to squash the fetch stage on redirect,
+//! so a wrong-path instruction executes and can corrupt architectural
+//! state — detected both by direct simulation and as extra µPATHs for the
+//! wrong-path instruction.
+
+use sim::Simulator;
+use uarch::{build_core, CoreConfig};
+
+fn run_program(cfg: &CoreConfig, asm: &str, cycles: usize) -> (u64, u64, u64) {
+    let design = build_core(cfg);
+    let program = isa::assemble(asm).unwrap();
+    let mut s = Simulator::new(&design.netlist);
+    for _ in 0..cycles {
+        let pc = s.value(design.pc) as usize;
+        let word = program
+            .get(pc)
+            .copied()
+            .unwrap_or_else(isa::Instr::nop)
+            .encode();
+        s.set_input(design.fetch_instr_input, word as u64);
+        s.set_input(design.fetch_valid_input, 1);
+        s.step();
+    }
+    (s.value_of("arf1"), s.value_of("arf2"), s.value_of("arf3"))
+}
+
+/// The JALR redirect target is a non-idempotent instruction: on the buggy
+/// core the un-squashed fetch-stage copy executes *and* the redirected
+/// refetch executes, so the target runs twice.
+const JALR_PROGRAM: &str = "addi r1, r0, 3\n\
+                            jalr r2, r1, 0   ; jump to 3\n\
+                            addi r3, r0, 15  ; wrong-path poison (dies in ID)\n\
+                            addi r1, r1, 1   ; target: must run exactly once\n";
+
+#[test]
+fn correct_core_squashes_jalr_wrong_path() {
+    let (r1, _r2, r3) = run_program(&CoreConfig::default(), JALR_PROGRAM, 40);
+    assert_eq!(r3, 0, "poison instruction must be squashed");
+    assert_eq!(r1, 4, "target executes exactly once");
+}
+
+#[test]
+fn buggy_core_double_executes_jalr_target() {
+    let cfg = CoreConfig {
+        bug_jalr_no_squash: true,
+        ..CoreConfig::default()
+    };
+    let (r1, _r2, r3) = run_program(&cfg, JALR_PROGRAM, 40);
+    assert_eq!(r3, 0, "the poison still dies in the decode squash");
+    assert_eq!(
+        r1, 5,
+        "seeded bug: the un-squashed fetch-stage copy of the target \
+         commits in addition to the refetched one"
+    );
+}
+
+#[test]
+fn bug_changes_golden_model_conformance() {
+    // The randomized conformance suite would catch this bug; demonstrate
+    // the mechanism on the directed program.
+    let mut golden = isa::ArchState::new();
+    golden.run(&isa::assemble(JALR_PROGRAM).unwrap(), 10);
+    let (r1, _r2, r3) = run_program(
+        &CoreConfig {
+            bug_jalr_no_squash: true,
+            ..CoreConfig::default()
+        },
+        JALR_PROGRAM,
+        40,
+    );
+    assert_eq!(golden.regs[3], 0);
+    assert_ne!(
+        (r1, r3),
+        (golden.regs[1] as u64, golden.regs[3] as u64),
+        "buggy core diverges from the golden model"
+    );
+    assert_eq!(golden.regs[1], 4, "golden target executes once");
+}

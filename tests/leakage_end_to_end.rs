@@ -1,0 +1,87 @@
+//! End-to-end SynthLC (integration): µPATH synthesis → symbolic IFT →
+//! leakage signatures → contracts, on the serial divider (the cheapest
+//! intrinsic transmitter to verify).
+
+use mupath::{ContextMode, SynthConfig};
+use synthlc::{contracts, synthesize_leakage, LeakConfig, Operand, TxKind};
+use uarch::{build_core, CoreConfig};
+
+fn quick_cfg() -> LeakConfig {
+    LeakConfig {
+        mupath: SynthConfig {
+            slots: vec![0],
+            context: ContextMode::Solo,
+            bound: 18,
+            conflict_budget: Some(2_000_000),
+            max_shapes: 32,
+        },
+        transmitters: vec![isa::Opcode::Div],
+        kinds: vec![TxKind::Intrinsic],
+        bound: 18,
+        conflict_budget: Some(2_000_000),
+        threads: 1,
+        slot_base: 0,
+        max_sources: Some(2),
+    }
+}
+
+#[test]
+fn div_is_an_intrinsic_transmitter_with_both_operands_unsafe() {
+    let design = build_core(&CoreConfig::default());
+    let cfg = quick_cfg();
+    let report = synthesize_leakage(&design, &[isa::Opcode::Div], &cfg);
+    assert!(
+        report.candidate_transponders.contains(&isa::Opcode::Div),
+        "DIV has multiple µPATHs"
+    );
+    assert!(
+        report.transponders.contains(&isa::Opcode::Div),
+        "DIV carries a leakage signature"
+    );
+    let intrinsic = report.transmitter_opcodes(TxKind::Intrinsic);
+    assert!(intrinsic.contains(&isa::Opcode::Div), "DIV^N flagged");
+    // Both the dividend (latency ~ significant bits of rs1) and the divisor
+    // (one-cycle early-out when rs2 == 0) are unsafe.
+    let operands: std::collections::BTreeSet<Operand> = report
+        .transmitters
+        .iter()
+        .filter(|t| t.opcode == isa::Opcode::Div)
+        .map(|t| t.operand)
+        .collect();
+    assert!(operands.contains(&Operand::Rs1), "rs1 (dividend) unsafe");
+    assert!(operands.contains(&Operand::Rs2), "rs2 (divisor) unsafe");
+
+    // Contract derivation consumes the signatures.
+    let c = contracts::derive_contracts(&report);
+    assert!(c.ct.unsafe_operands.contains_key(&isa::Opcode::Div));
+    assert!(!c.stt.explicit_channels.is_empty(), "explicit channel found");
+    assert!(
+        c.dolma.variable_time_micro_ops.contains(&isa::Opcode::Div),
+        "Dolma flags DIV as variable-time"
+    );
+    assert!(
+        c.oisa
+            .input_dependent_units
+            .iter()
+            .any(|(op, unit)| *op == isa::Opcode::Div && unit == "divU"),
+        "OISA names the divider unit"
+    );
+}
+
+#[test]
+fn hardened_core_yields_no_intrinsic_div_signature() {
+    let design = build_core(&CoreConfig::hardened());
+    let cfg = quick_cfg();
+    let report = synthesize_leakage(&design, &[isa::Opcode::Div], &cfg);
+    // On the hardened core, a solo DIV has a single µPATH: it is not even a
+    // candidate transponder, so no signatures exist.
+    assert!(
+        report.signatures.is_empty(),
+        "hardened divider must synthesize no leakage signatures, got {:?}",
+        report
+            .signatures
+            .iter()
+            .map(|s| s.render())
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,107 @@
+//! §IV-A / §VII-A1 reproduction (integration): the store-to-load
+//! page-offset stall and the committed-store-buffer drain channel,
+//! validated with the SC-Safe simulation experiment (fast) and a medium
+//! µPATH synthesis run (slower, still minutes-scale).
+
+use mupath::{synthesize_instr, ContextMode, SynthConfig};
+use synthlc::scsafe::{check_sc_safe, SecretLocation};
+use uarch::{build_core, CoreConfig};
+
+/// The store's (secret) address determines whether a following load to a
+/// fixed address stalls: the load's timing leaks the store's address
+/// offset — the `LD_issue` channel (Fig. 5).
+#[test]
+fn sc_safe_store_address_leaks_through_load_stall() {
+    // r1 = secret store address; load reads address 0.
+    let program = isa::assemble(
+        "addi r2, r0, 9\n\
+         sw   r1, r2, 0   ; mem[r1] = 9\n\
+         lw   r3, r0, 0   ; load from 0 stalls iff offset(r1) == 0\n",
+    )
+    .unwrap();
+    let design = build_core(&CoreConfig::default());
+    // Secrets 0 and 1 have different page offsets (low 2 bits).
+    let res = check_sc_safe(&design, &program, SecretLocation::Reg(1), 4, 5, 3);
+    assert!(
+        res.violated,
+        "offset-matching vs non-matching store addresses must differ"
+    );
+    // Two non-matching offsets are indistinguishable... but only if the
+    // addresses also agree on everything else observable. 5 and 6 differ
+    // in offset (01 vs 10), neither matching 00: no stall either way.
+    let res = check_sc_safe(&design, &program, SecretLocation::Reg(1), 5, 6, 3);
+    assert!(
+        !res.violated,
+        "both secrets avoid the stall: traces agree"
+    );
+}
+
+/// The paper's novel channel (§VII-A1): a *committed* store's drain stalls
+/// behind a younger load taking the memory port, so the store's
+/// post-commit occupancy depends on the younger load's address.
+#[test]
+fn sc_safe_comstb_drain_depends_on_younger_load() {
+    // Store to a fixed address commits, then drains; the younger load's
+    // address (secret) decides the port arbitration.
+    let program = isa::assemble(
+        "addi r2, r0, 9\n\
+         sw   r0, r2, 2   ; mem[2] = 9\n\
+         lw   r3, r1, 0   ; younger load, secret base address\n",
+    )
+    .unwrap();
+    let design = build_core(&CoreConfig::default());
+    // Load offset 2 conflicts with the store's offset (load stalls, store
+    // drains); load offset 1 wins the port (store stalls).
+    let res = check_sc_safe(&design, &program, SecretLocation::Reg(1), 2, 1, 3);
+    assert!(
+        res.violated,
+        "younger load address changes the drain schedule"
+    );
+}
+
+/// Medium-weight µPATH check: with one older context instruction allowed,
+/// the load exhibits both the finish and the stall µPATHs.
+#[test]
+fn load_exhibits_stall_and_finish_paths() {
+    let design = build_core(&CoreConfig::default());
+    let cfg = SynthConfig {
+        slots: vec![1],
+        context: ContextMode::NoControlFlow,
+        bound: 22,
+        conflict_budget: Some(2_000_000),
+        max_shapes: 32,
+    };
+    let r = synthesize_instr(&design, isa::Opcode::Lw, &cfg);
+    assert!(r.paths.len() > 1, "LW must be a candidate transponder");
+    // Find the ldStall PL id by name.
+    let harness = mupath::build_harness(
+        &design,
+        &mupath::HarnessConfig {
+            opcode: isa::Opcode::Lw,
+            fetch_slot: 1,
+            context: ContextMode::NoControlFlow,
+        },
+    );
+    let stall_pl = harness.pls.find("ldStall").expect("ldStall PL exists");
+    let fin_pl = harness.pls.find("ldFin").expect("ldFin PL exists");
+    let some_stall = r.concrete.iter().any(|p| !p.cycles(stall_pl).is_empty());
+    let all_fin = r.concrete.iter().all(|p| !p.cycles(fin_pl).is_empty());
+    assert!(some_stall, "a stalled µPATH exists");
+    assert!(all_fin, "every load eventually finishes within the bound");
+    // Stalled paths are strictly longer than unstalled ones.
+    let stalled_min = r
+        .concrete
+        .iter()
+        .filter(|p| !p.cycles(stall_pl).is_empty())
+        .map(|p| p.latency())
+        .min()
+        .expect("stalled path");
+    let unstalled_min = r
+        .concrete
+        .iter()
+        .filter(|p| p.cycles(stall_pl).is_empty())
+        .map(|p| p.latency())
+        .min()
+        .expect("unstalled path");
+    assert!(stalled_min > unstalled_min, "stall adds latency");
+}
