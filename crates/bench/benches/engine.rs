@@ -1,39 +1,64 @@
-//! Criterion benchmarks for the verification substrate: simulator
-//! throughput, unrolling construction, and property evaluation on the core
-//! vs the cache (the §VII-B3 modularity comparison in benchmark form).
+//! Micro-benchmarks for the verification substrate: simulator throughput,
+//! unrolling construction, and property evaluation on the core vs the cache
+//! (the §VII-B3 modularity comparison in benchmark form).
+//!
+//! Hand-rolled timing harness (no criterion; the container is offline):
+//! each benchmark runs a warmup iteration, then `iters` timed iterations,
+//! reporting min/mean per-iteration wall time. Pass a substring argument to
+//! run a subset, e.g. `cargo bench --bench engine -- cover`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mc::{Checker, McConfig};
 use mupath::{build_harness, ContextMode, HarnessConfig};
 use sim::Simulator;
+use std::hint::black_box;
+use std::time::Instant;
 use uarch::{build_core, build_tiny, CoreConfig};
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench<R>(filter: &str, name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    if !name.contains(filter) {
+        return;
+    }
+    black_box(f()); // warmup
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(f());
+        let dt = t.elapsed().as_secs_f64();
+        best = best.min(dt);
+        total += dt;
+    }
+    println!(
+        "{name:<34} {:>10.3} ms/iter (min {:>10.3} ms, {iters} iters)",
+        total / iters as f64 * 1e3,
+        best * 1e3
+    );
+}
+
+fn bench_simulator(filter: &str) {
     let design = build_core(&CoreConfig::default());
     let program = isa::assemble(
         "addi r1, r0, 7\naddi r2, r0, 3\nmul r3, r1, r2\nsw r0, r3, 1\nlw r2, r0, 1\n",
     )
     .unwrap();
-    c.bench_function("simulate_minicva6_200_cycles", |b| {
-        b.iter(|| {
-            let mut s = Simulator::new(&design.netlist);
-            for _ in 0..200 {
-                let pc = s.value(design.pc) as usize;
-                let word = program
-                    .get(pc)
-                    .copied()
-                    .unwrap_or_else(isa::Instr::nop)
-                    .encode();
-                s.set_input(design.fetch_instr_input, word as u64);
-                s.set_input(design.fetch_valid_input, 1);
-                s.step();
-            }
-            s.value_of("arf3")
-        })
+    bench(filter, "simulate_minicva6_200_cycles", 20, || {
+        let mut s = Simulator::new(&design.netlist);
+        for _ in 0..200 {
+            let pc = s.value(design.pc) as usize;
+            let word = program
+                .get(pc)
+                .copied()
+                .unwrap_or_else(isa::Instr::nop)
+                .encode();
+            s.set_input(design.fetch_instr_input, word as u64);
+            s.set_input(design.fetch_valid_input, 1);
+            s.step();
+        }
+        s.value_of("arf3")
     });
 }
 
-fn bench_unrolling(c: &mut Criterion) {
+fn bench_unrolling(filter: &str) {
     let design = build_core(&CoreConfig::default());
     let h = build_harness(
         &design,
@@ -43,23 +68,18 @@ fn bench_unrolling(c: &mut Criterion) {
             context: ContextMode::Solo,
         },
     );
-    c.bench_function("unroll_core_16_frames", |b| {
-        b.iter(|| {
-            Checker::new(
-                &h.netlist,
-                McConfig {
-                    bound: 16,
-                    ..Default::default()
-                },
-            )
-        })
+    bench(filter, "unroll_core_16_frames", 10, || {
+        Checker::new(
+            &h.netlist,
+            McConfig {
+                bound: 16,
+                ..Default::default()
+            },
+        )
     });
 }
 
-fn bench_property_core_vs_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("property_eval");
-    g.sample_size(10);
-
+fn bench_property_core_vs_cache(filter: &str) {
     let tiny = build_tiny();
     let h_tiny = build_harness(
         &tiny,
@@ -69,17 +89,16 @@ fn bench_property_core_vs_cache(c: &mut Criterion) {
             context: ContextMode::Any,
         },
     );
-    g.bench_function("tinycore_cover", |b| {
-        b.iter(|| {
-            let mut chk = Checker::new(
-                &h_tiny.netlist,
-                McConfig {
-                    bound: 10,
-                    ..Default::default()
-                },
-            );
-            chk.check_cover(h_tiny.iuv_done, &h_tiny.assumes).is_reachable()
-        })
+    bench(filter, "tinycore_cover", 10, || {
+        let mut chk = Checker::new(
+            &h_tiny.netlist,
+            McConfig {
+                bound: 10,
+                ..Default::default()
+            },
+        );
+        chk.check_cover(h_tiny.iuv_done, &h_tiny.assumes)
+            .is_reachable()
     });
 
     let cache = uarch::cache::build_cache();
@@ -92,18 +111,17 @@ fn bench_property_core_vs_cache(c: &mut Criterion) {
         },
     );
     let cache_free: Vec<_> = cache.annotations.amem.clone();
-    g.bench_function("cache_cover", |b| {
-        b.iter(|| {
-            let mut chk = Checker::with_free_regs(
-                &h_cache.netlist,
-                McConfig {
-                    bound: 14,
-                    ..Default::default()
-                },
-                &cache_free,
-            );
-            chk.check_cover(h_cache.iuv_done, &h_cache.assumes).is_reachable()
-        })
+    bench(filter, "cache_cover", 5, || {
+        let mut chk = Checker::with_free_regs(
+            &h_cache.netlist,
+            McConfig {
+                bound: 14,
+                ..Default::default()
+            },
+            &cache_free,
+        );
+        chk.check_cover(h_cache.iuv_done, &h_cache.assumes)
+            .is_reachable()
     });
 
     let core = build_core(&CoreConfig::default());
@@ -122,45 +140,41 @@ fn bench_property_core_vs_cache(c: &mut Criterion) {
         .chain(core.annotations.amem.iter())
         .copied()
         .collect();
-    g.bench_function("core_cover", |b| {
-        b.iter(|| {
-            let mut chk = Checker::with_free_regs(
-                &h_core.netlist,
-                McConfig {
-                    bound: 14,
-                    ..Default::default()
-                },
-                &core_free,
-            );
-            chk.check_cover(h_core.iuv_done, &h_core.assumes).is_reachable()
-        })
+    bench(filter, "core_cover", 5, || {
+        let mut chk = Checker::with_free_regs(
+            &h_core.netlist,
+            McConfig {
+                bound: 14,
+                ..Default::default()
+            },
+            &core_free,
+        );
+        chk.check_cover(h_core.iuv_done, &h_core.assumes)
+            .is_reachable()
     });
-    g.finish();
 }
 
-fn bench_sat_and_ift(c: &mut Criterion) {
+fn bench_sat_and_ift(filter: &str) {
     // Raw solver: a mid-size pigeonhole instance (pure CDCL stress).
-    c.bench_function("sat_pigeonhole_7_into_6", |b| {
-        b.iter(|| {
-            let mut s = sat::Solver::new();
-            const P: usize = 7;
-            const H: usize = 6;
-            let vars: Vec<Vec<sat::Var>> = (0..P)
-                .map(|_| (0..H).map(|_| s.new_var()).collect())
-                .collect();
-            for row in &vars {
-                let lits: Vec<sat::Lit> = row.iter().map(|&v| sat::Lit::pos(v)).collect();
-                s.add_clause(&lits);
-            }
-            for j in 0..H {
-                for i1 in 0..P {
-                    for i2 in (i1 + 1)..P {
-                        s.add_clause(&[sat::Lit::neg(vars[i1][j]), sat::Lit::neg(vars[i2][j])]);
-                    }
+    bench(filter, "sat_pigeonhole_7_into_6", 10, || {
+        let mut s = sat::Solver::new();
+        const P: usize = 7;
+        const H: usize = 6;
+        let vars: Vec<Vec<sat::Var>> = (0..P)
+            .map(|_| (0..H).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &vars {
+            let lits: Vec<sat::Lit> = row.iter().map(|&v| sat::Lit::pos(v)).collect();
+            s.add_clause(&lits);
+        }
+        for j in 0..H {
+            for (i1, row1) in vars.iter().enumerate() {
+                for row2 in &vars[i1 + 1..] {
+                    s.add_clause(&[sat::Lit::neg(row1[j]), sat::Lit::neg(row2[j])]);
                 }
             }
-            s.solve().is_unsat()
-        })
+        }
+        s.solve().is_unsat()
     });
     // IFT instrumentation pass on the full core.
     let core = build_core(&CoreConfig::default());
@@ -169,16 +183,20 @@ fn bench_sat_and_ift(c: &mut Criterion) {
         persistent: core.annotations.amem.clone(),
         blocked: core.annotations.arf.clone(),
     };
-    c.bench_function("ift_instrument_core", |b| {
-        b.iter(|| ift::instrument(&core.netlist, &opts).netlist.len())
+    bench(filter, "ift_instrument_core", 10, || {
+        ift::instrument(&core.netlist, &opts).netlist.len()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_simulator,
-    bench_unrolling,
-    bench_property_core_vs_cache,
-    bench_sat_and_ift
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench -- <filter>` passes extra args through; also tolerate
+    // the libtest-style `--bench` flag some cargo versions forward.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_default();
+    bench_simulator(&filter);
+    bench_unrolling(&filter);
+    bench_property_core_vs_cache(&filter);
+    bench_sat_and_ift(&filter);
+}

@@ -36,7 +36,8 @@ fn main() {
         kinds: vec![TxKind::Intrinsic],
         bound: 16,
         conflict_budget: Some(2_000_000),
-        threads: 1,
+        threads: 0,
+        budget_pool: None,
         slot_base: 0,
         max_sources: Some(3),
     };

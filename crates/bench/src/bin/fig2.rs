@@ -26,11 +26,7 @@ fn main() {
         },
     );
     for (i, p) in r.concrete.iter().enumerate() {
-        println!(
-            "µPATH {i} (latency {}):\n{}",
-            p.latency(),
-            p.render(&h.pls)
-        );
+        println!("µPATH {i} (latency {}):\n{}", p.latency(), p.render(&h.pls));
     }
     // The §III-A point: both paths have the SAME PL set — only the
     // cycle-accurate revisit information distinguishes them (Fig. 2a vs

@@ -35,7 +35,12 @@ fn main() {
         conflict_budget: Some(2_000_000),
         max_shapes: 16,
     };
-    show(&core, isa::Opcode::Beq, &solo, "Fig. 4a analogue: BEQ on MiniCva6");
+    show(
+        &core,
+        isa::Opcode::Beq,
+        &solo,
+        "Fig. 4a analogue: BEQ on MiniCva6",
+    );
     let ctx = SynthConfig {
         slots: vec![1],
         context: ContextMode::NoControlFlow,
@@ -43,7 +48,12 @@ fn main() {
         conflict_budget: Some(2_000_000),
         max_shapes: 32,
     };
-    show(&core, isa::Opcode::Lw, &ctx, "Fig. 4b analogue: LW on MiniCva6 (older store context)");
+    show(
+        &core,
+        isa::Opcode::Lw,
+        &ctx,
+        "Fig. 4b analogue: LW on MiniCva6 (older store context)",
+    );
     let cache = uarch::cache::build_cache();
     let cache_cfg = SynthConfig {
         slots: vec![0, 1],
@@ -52,5 +62,10 @@ fn main() {
         conflict_budget: Some(2_000_000),
         max_shapes: 32,
     };
-    show(&cache, isa::Opcode::Sw, &cache_cfg, "Fig. 4c analogue: ST on MiniCache");
+    show(
+        &cache,
+        isa::Opcode::Sw,
+        &cache_cfg,
+        "Fig. 4c analogue: ST on MiniCache",
+    );
 }

@@ -8,8 +8,17 @@ use synthlc::{synthesize_leakage, LeakConfig, TxKind};
 use uarch::{build_core, CoreConfig};
 
 #[allow(clippy::too_many_arguments)]
-fn leak(design: &uarch::Design, p: isa::Opcode, t: Vec<isa::Opcode>, kinds: Vec<TxKind>,
-        slots: Vec<usize>, ctx: ContextMode, slot_base: usize, bound: usize, label: &str) {
+fn leak(
+    design: &uarch::Design,
+    p: isa::Opcode,
+    t: Vec<isa::Opcode>,
+    kinds: Vec<TxKind>,
+    slots: Vec<usize>,
+    ctx: ContextMode,
+    slot_base: usize,
+    bound: usize,
+    label: &str,
+) {
     let cfg = LeakConfig {
         mupath: SynthConfig {
             slots,
@@ -22,7 +31,8 @@ fn leak(design: &uarch::Design, p: isa::Opcode, t: Vec<isa::Opcode>, kinds: Vec<
         kinds,
         bound,
         conflict_budget: Some(2_000_000),
-        threads: 1,
+        threads: 0,
+        budget_pool: None,
         slot_base,
         max_sources: Some(3),
     };
@@ -37,20 +47,50 @@ fn leak(design: &uarch::Design, p: isa::Opcode, t: Vec<isa::Opcode>, kinds: Vec<
 fn main() {
     println!("== Fig. 5: synthesized leakage functions ==\n");
     let op_core = build_core(&CoreConfig::cva6_op());
-    leak(&op_core, isa::Opcode::Add, vec![isa::Opcode::Add], vec![TxKind::Intrinsic],
-         vec![0], ContextMode::Solo, 0, 18, "ADD_ID (CVA6-OP operand packing)");
+    leak(
+        &op_core,
+        isa::Opcode::Add,
+        vec![isa::Opcode::Add],
+        vec![TxKind::Intrinsic],
+        vec![0],
+        ContextMode::Solo,
+        0,
+        18,
+        "ADD_ID (CVA6-OP operand packing)",
+    );
     let core = build_core(&CoreConfig::default());
-    leak(&core, isa::Opcode::Lw, vec![isa::Opcode::Sw],
-         vec![TxKind::Intrinsic, TxKind::DynamicOlder],
-         vec![0, 1], ContextMode::NoControlFlow, 0, 22,
-         "LD_issue (store-to-load page-offset stall)");
-    leak(&core, isa::Opcode::Sw, vec![isa::Opcode::Lw],
-         vec![TxKind::DynamicYounger],
-         vec![0, 1], ContextMode::NoControlFlow, 0, 22,
-         "ST_comSTB (drain stalled by a younger load - the paper's new channel)");
+    leak(
+        &core,
+        isa::Opcode::Lw,
+        vec![isa::Opcode::Sw],
+        vec![TxKind::Intrinsic, TxKind::DynamicOlder],
+        vec![0, 1],
+        ContextMode::NoControlFlow,
+        0,
+        22,
+        "LD_issue (store-to-load page-offset stall)",
+    );
+    leak(
+        &core,
+        isa::Opcode::Sw,
+        vec![isa::Opcode::Lw],
+        vec![TxKind::DynamicYounger],
+        vec![0, 1],
+        ContextMode::NoControlFlow,
+        0,
+        22,
+        "ST_comSTB (drain stalled by a younger load - the paper's new channel)",
+    );
     let cache = uarch::cache::build_cache();
-    leak(&cache, isa::Opcode::Sw, vec![isa::Opcode::Lw, isa::Opcode::Sw],
-         vec![TxKind::Intrinsic, TxKind::Static, TxKind::DynamicOlder],
-         vec![1, 2], ContextMode::Any, 1, 24,
-         "ST_wBVld analogue (cache write path; static LD transmitters)");
+    leak(
+        &cache,
+        isa::Opcode::Sw,
+        vec![isa::Opcode::Lw, isa::Opcode::Sw],
+        vec![TxKind::Intrinsic, TxKind::Static, TxKind::DynamicOlder],
+        vec![1, 2],
+        ContextMode::Any,
+        1,
+        24,
+        "ST_wBVld analogue (cache write path; static LD transmitters)",
+    );
 }

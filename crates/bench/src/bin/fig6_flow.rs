@@ -2,9 +2,7 @@
 //! stage, on DIV (the artifact's walkthrough instruction, Appendix
 //! §I-F3/§I-G3).
 
-use mupath::{
-    dom_excl_relations, duv_pl_reachability, synthesize_instr, ContextMode, SynthConfig,
-};
+use mupath::{dom_excl_relations, duv_pl_reachability, synthesize_instr, ContextMode, SynthConfig};
 use synthlc::{synthesize_leakage, LeakConfig, TxKind};
 use uarch::{build_core, CoreConfig};
 
@@ -64,7 +62,8 @@ fn main() {
         kinds: vec![TxKind::Intrinsic],
         bound: 18,
         conflict_budget: Some(2_000_000),
-        threads: 1,
+        threads: 0,
+        budget_pool: None,
         slot_base: 0,
         max_sources: Some(3),
     };

@@ -25,7 +25,10 @@ fn main() {
     );
     println!("\n{}", render_fig8(&report));
     println!("signatures:\n{}", render_signatures(&report));
-    println!("CT contract (classes expanded):\n{}", render_ct_expanded(&report));
+    println!(
+        "CT contract (classes expanded):\n{}",
+        render_ct_expanded(&report)
+    );
     println!(
         "elapsed {:?}; mupath: {} props ({:.2}s avg, {:.1}% undetermined); \
          ift: {} props ({:.2}s avg, {:.1}% undetermined)",

@@ -1,62 +1,312 @@
-//! E-P3: §VII-B3 — property-evaluation performance: counts, average time
-//! per property, and undetermined rates, for the core vs the standalone
-//! cache (the modularity comparison).
+//! E-P3: §VII-B3 property-evaluation performance, plus the parallel-engine
+//! perf report.
+//!
+//! Each stage runs twice — once on the sequential engine (`--jobs 1`) and
+//! once on the parallel property-evaluation engine — asserts the results
+//! are bit-identical, and reports the speedup. A machine-readable report
+//! (per-stage timings, shared budget-pool totals) is written to
+//! `BENCH_perf.json`.
+//!
+//! ```text
+//! perf [--jobs N] [--out PATH] [stage-filter]
+//! ```
+//!
+//! `--jobs` defaults to the `SYNTHLC_THREADS`/available-parallelism worker
+//! count (at least 4, to exercise the engine on small machines). Scope is
+//! controlled by `SYNTHLC_SCOPE` = `quick` (default) or `full`.
 
-use mupath::{synthesize_instr, ContextMode, SynthConfig};
+use bench::json::Json;
+use bench::{leak_cfg, scope, Scope};
+use mupath::{synthesize_isa_with, ContextMode, EngineOptions, IsaSynthesis, SynthConfig};
+use sat::BudgetPool;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use synthlc::{synthesize_leakage, LeakageReport};
 use uarch::{build_core, CoreConfig};
 
+/// One engine run: deterministic result fingerprint plus cost accounting.
+struct RunOutcome {
+    fingerprint: String,
+    seconds: f64,
+    properties: u64,
+    undetermined: u64,
+    conflicts: u64,
+    propagations: u64,
+}
+
+struct StageResult {
+    name: &'static str,
+    seq: RunOutcome,
+    par: RunOutcome,
+}
+
+impl StageResult {
+    fn matches(&self) -> bool {
+        self.seq.fingerprint == self.par.fingerprint
+    }
+    fn speedup(&self) -> f64 {
+        self.seq.seconds / self.par.seconds.max(1e-9)
+    }
+}
+
+/// Everything scheduling-independent about a whole-ISA synthesis: shapes,
+/// witnesses, decisions, and outcome counts — wall times excluded.
+fn isa_fingerprint(r: &IsaSynthesis) -> String {
+    let mut out = String::new();
+    for i in &r.instrs {
+        writeln!(
+            out,
+            "{} complete={} paths={:?} concrete={:?} decisions={:?} classes={:?}",
+            i.opcode, i.complete, i.paths, i.concrete, i.decisions, i.class_decisions
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  stats p={} r={} u={} ud={}",
+            i.stats.properties, i.stats.reachable, i.stats.unreachable, i.stats.undetermined
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Scheduling-independent view of a leakage report: the µPATH phase plus
+/// signatures, transponder/transmitter sets, and outcome counts.
+fn leak_fingerprint(r: &LeakageReport) -> String {
+    let mut out = String::new();
+    writeln!(out, "design={}", r.design).unwrap();
+    for i in &r.mupath {
+        writeln!(
+            out,
+            "{} complete={} paths={:?} decisions={:?}",
+            i.opcode, i.complete, i.paths, i.class_decisions
+        )
+        .unwrap();
+    }
+    for s in &r.signatures {
+        writeln!(out, "sig {}", s.render()).unwrap();
+    }
+    writeln!(out, "candidates={:?}", r.candidate_transponders).unwrap();
+    writeln!(out, "transponders={:?}", r.transponders).unwrap();
+    writeln!(out, "transmitters={:?}", r.transmitters).unwrap();
+    for (tag, s) in [("mupath", &r.mupath_stats), ("ift", &r.ift_stats)] {
+        writeln!(
+            out,
+            "{tag} p={} r={} u={} ud={}",
+            s.properties, s.reachable, s.unreachable, s.undetermined
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn run_mupath(
+    design: &uarch::Design,
+    ops: &[isa::Opcode],
+    cfg: &SynthConfig,
+    threads: usize,
+) -> RunOutcome {
+    let pool = Arc::new(BudgetPool::new(None));
+    let opts = EngineOptions {
+        threads,
+        budget_pool: Some(Arc::clone(&pool)),
+    };
+    let started = Instant::now();
+    let r = synthesize_isa_with(design, ops, cfg, &opts);
+    RunOutcome {
+        seconds: started.elapsed().as_secs_f64(),
+        fingerprint: isa_fingerprint(&r),
+        properties: r.stats.properties,
+        undetermined: r.stats.undetermined,
+        conflicts: pool.conflicts(),
+        propagations: pool.propagations(),
+    }
+}
+
+fn run_leakage(
+    design: &uarch::Design,
+    transponders: &[isa::Opcode],
+    cfg: &synthlc::LeakConfig,
+    threads: usize,
+) -> RunOutcome {
+    let pool = Arc::new(BudgetPool::new(None));
+    let mut cfg = cfg.clone();
+    cfg.threads = threads;
+    cfg.budget_pool = Some(Arc::clone(&pool));
+    let started = Instant::now();
+    let r = synthesize_leakage(design, transponders, &cfg);
+    RunOutcome {
+        seconds: started.elapsed().as_secs_f64(),
+        fingerprint: leak_fingerprint(&r),
+        properties: r.mupath_stats.properties + r.ift_stats.properties,
+        undetermined: r.mupath_stats.undetermined + r.ift_stats.undetermined,
+        conflicts: pool.conflicts(),
+        propagations: pool.propagations(),
+    }
+}
+
+fn run_outcome_json(r: &RunOutcome) -> Json {
+    Json::Obj(vec![
+        ("seconds".into(), Json::Num(r.seconds)),
+        ("properties".into(), Json::Int(r.properties)),
+        ("undetermined".into(), Json::Int(r.undetermined)),
+        ("conflicts".into(), Json::Int(r.conflicts)),
+        ("propagations".into(), Json::Int(r.propagations)),
+    ])
+}
+
+fn report_json(jobs: usize, scope: Scope, stages: &[StageResult]) -> Json {
+    let total_seq: f64 = stages.iter().map(|s| s.seq.seconds).sum();
+    let total_par: f64 = stages.iter().map(|s| s.par.seconds).sum();
+    Json::Obj(vec![
+        ("schema".into(), Json::str("synthlc-perf-v1")),
+        ("jobs".into(), Json::Int(jobs as u64)),
+        (
+            "scope".into(),
+            Json::str(if scope == Scope::Full {
+                "full"
+            } else {
+                "quick"
+            }),
+        ),
+        (
+            "stages".into(),
+            Json::Arr(
+                stages
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::str(s.name)),
+                            ("sequential".into(), run_outcome_json(&s.seq)),
+                            ("parallel".into(), run_outcome_json(&s.par)),
+                            ("speedup".into(), Json::Num(s.speedup())),
+                            ("deterministic_match".into(), Json::Bool(s.matches())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("total_sequential_seconds".into(), Json::Num(total_seq)),
+        ("total_parallel_seconds".into(), Json::Num(total_par)),
+        (
+            "overall_speedup".into(),
+            Json::Num(total_seq / total_par.max(1e-9)),
+        ),
+    ])
+}
+
 fn main() {
-    println!("== §VII-B3: property-evaluation performance ==\n");
+    let mut jobs = mc::default_threads().max(4);
+    let mut out_path = "BENCH_perf.json".to_owned();
+    let mut filter = String::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--jobs needs a positive integer");
+            }
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            other if !other.starts_with('-') => filter = other.to_owned(),
+            other => panic!("unknown option `{other}`"),
+        }
+    }
+    let scope = scope();
+    println!("== parallel property-evaluation engine: perf report ==");
+    println!("jobs = {jobs}, scope = {scope:?}\n");
+
     let core = build_core(&CoreConfig::default());
     let cache = uarch::cache::build_cache();
-    let mut rows = Vec::new();
-    for (label, design, ops, ctx) in [
-        (
-            "Core (MiniCva6)",
-            &core,
-            vec![isa::Opcode::Add, isa::Opcode::Div, isa::Opcode::Lw, isa::Opcode::Sw],
-            ContextMode::NoControlFlow,
-        ),
-        (
-            "Cache (MiniCache)",
-            &cache,
-            vec![isa::Opcode::Lw, isa::Opcode::Sw],
-            ContextMode::Any,
-        ),
-    ] {
-        let cfg = SynthConfig {
-            slots: vec![0, 1],
-            context: ctx,
-            bound: if design.name == "MiniCache" { 18 } else { 24 },
-            conflict_budget: Some(2_000_000),
-            max_shapes: 64,
-        };
-        let mut stats = mc::CheckStats::default();
-        for op in ops {
-            let r = synthesize_instr(design, op, &cfg);
-            stats.absorb(&r.stats);
+    let core_ops: Vec<isa::Opcode> = match scope {
+        Scope::Quick => vec![
+            isa::Opcode::Add,
+            isa::Opcode::Div,
+            isa::Opcode::Lw,
+            isa::Opcode::Sw,
+        ],
+        Scope::Full => vec![
+            isa::Opcode::Add,
+            isa::Opcode::Mul,
+            isa::Opcode::Div,
+            isa::Opcode::Lw,
+            isa::Opcode::Sw,
+            isa::Opcode::Beq,
+            isa::Opcode::Jal,
+        ],
+    };
+    let core_cfg = SynthConfig {
+        slots: vec![0, 1],
+        context: ContextMode::NoControlFlow,
+        bound: 24,
+        conflict_budget: Some(2_000_000),
+        max_shapes: 64,
+    };
+    let cache_cfg = SynthConfig {
+        slots: vec![0, 1],
+        context: ContextMode::Any,
+        bound: 18,
+        conflict_budget: Some(2_000_000),
+        max_shapes: 64,
+    };
+    let (leak_ops, leak) = leak_cfg(&core, scope);
+
+    let mut stages = Vec::new();
+    let mut stage = |name: &'static str, run: &dyn Fn(usize) -> RunOutcome| {
+        if !name.contains(filter.as_str()) {
+            return;
         }
-        rows.push((label, stats));
-    }
+        println!("{name}: sequential ...");
+        let seq = run(1);
+        println!("{name}: parallel ({jobs} workers) ...");
+        let par = run(jobs);
+        let s = StageResult { name, seq, par };
+        println!(
+            "{name}: {:.2}s -> {:.2}s  ({:.2}x, {} properties, match = {})\n",
+            s.seq.seconds,
+            s.par.seconds,
+            s.speedup(),
+            s.par.properties,
+            s.matches()
+        );
+        stages.push(s);
+    };
+    stage("mupath_core", &|threads| {
+        run_mupath(&core, &core_ops, &core_cfg, threads)
+    });
+    stage("mupath_cache", &|threads| {
+        run_mupath(
+            &cache,
+            &[isa::Opcode::Lw, isa::Opcode::Sw],
+            &cache_cfg,
+            threads,
+        )
+    });
+    stage("leakage_core", &|threads| {
+        run_leakage(&core, &leak_ops, &leak, threads)
+    });
+
+    let mismatches: Vec<&str> = stages
+        .iter()
+        .filter(|s| !s.matches())
+        .map(|s| s.name)
+        .collect();
+    let report = report_json(jobs, scope, &stages);
+    std::fs::write(&out_path, report.render()).expect("write perf report");
+
+    let total_seq: f64 = stages.iter().map(|s| s.seq.seconds).sum();
+    let total_par: f64 = stages.iter().map(|s| s.par.seconds).sum();
     println!(
-        "{:<20} {:>10} {:>12} {:>12} {:>14}",
-        "DUV", "properties", "avg s/prop", "max s/prop", "undetermined%"
+        "overall: {total_seq:.2}s sequential, {total_par:.2}s with {jobs} workers \
+         ({:.2}x); report -> {out_path}",
+        total_seq / total_par.max(1e-9)
     );
-    for (label, s) in &rows {
-        println!(
-            "{:<20} {:>10} {:>12.3} {:>12.3} {:>14.2}",
-            label,
-            s.properties,
-            s.avg_seconds(),
-            s.max_time.as_secs_f64(),
-            s.undetermined_pct()
-        );
-    }
-    if rows.len() == 2 {
-        let speedup = rows[0].1.avg_seconds() / rows[1].1.avg_seconds().max(1e-9);
-        println!(
-            "\nmodularity speedup (core avg / cache avg): {speedup:.1}x \
-             (paper: 4.43 min vs 3 s, ~90x, on JasperGold)"
-        );
-    }
+    assert!(
+        mismatches.is_empty(),
+        "parallel results diverged from --jobs 1 in: {mismatches:?}"
+    );
 }

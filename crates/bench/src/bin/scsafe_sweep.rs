@@ -9,7 +9,7 @@
 //! units do not.
 
 use isa::{Instr, Opcode};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use prng::Rng;
 use synthlc::scsafe::{check_sc_safe, SecretLocation};
 use uarch::{build_core, CoreConfig, Design};
 
@@ -65,14 +65,14 @@ fn operand_read(op: Opcode, operand_rs1: bool) -> bool {
     }
 }
 
-fn leaks(design: &Design, op: Opcode, operand_rs1: bool, rng: &mut StdRng) -> bool {
+fn leaks(design: &Design, op: Opcode, operand_rs1: bool, rng: &mut Rng) -> bool {
     let program = victim(op, operand_rs1);
     let commits = program.len();
     // Directed pairs hit the zero-skip, equality, offset-match, and
     // magnitude corners; random pairs cover the rest.
     let mut pairs = vec![(0u64, 7u64), (5, 6), (3, 200), (0, 1), (4, 5)];
     for _ in 0..20 {
-        pairs.push((rng.r#gen::<u8>() as u64, rng.r#gen::<u8>() as u64));
+        pairs.push((rng.byte() as u64, rng.byte() as u64));
     }
     for (a, b) in pairs {
         if a == b {
@@ -106,15 +106,9 @@ fn main() {
     ];
     println!(
         "{:<8} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
-        "instr",
-        "core.rs1",
-        "core.rs2",
-        "zskip.rs1",
-        "zskip.rs2",
-        "hard.rs1",
-        "hard.rs2"
+        "instr", "core.rs1", "core.rs2", "zskip.rs1", "zskip.rs2", "hard.rs1", "hard.rs2"
     );
-    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let mut rng = Rng::new(0x5eed);
     for op in classes {
         print!("{:<8}", op.to_string());
         for (_, design) in &designs {

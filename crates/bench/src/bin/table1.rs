@@ -14,14 +14,45 @@ fn main() {
     let c = contracts::derive_contracts(&report);
     println!("{}", contracts::render_table1(&c));
     println!("CT contract:\n{}", c.ct.render());
-    println!("STT explicit channels: {:?}", c.stt.explicit_channels.iter().map(|x| x.to_string()).collect::<Vec<_>>());
-    println!("STT implicit channels: {:?}", c.stt.implicit_channels.iter().map(|x| x.to_string()).collect::<Vec<_>>());
+    println!(
+        "STT explicit channels: {:?}",
+        c.stt
+            .explicit_channels
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "STT implicit channels: {:?}",
+        c.stt
+            .implicit_channels
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+    );
     println!("STT implicit branches: {:?}", c.stt.implicit_branches);
-    println!("MI6 dynamic channels:  {:?}", c.mi6.dynamic_channels.iter().map(|x| x.to_string()).collect::<Vec<_>>());
-    println!("MI6 static channels:   {:?}", c.mi6.static_channels.iter().map(|x| x.to_string()).collect::<Vec<_>>());
+    println!(
+        "MI6 dynamic channels:  {:?}",
+        c.mi6
+            .dynamic_channels
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "MI6 static channels:   {:?}",
+        c.mi6
+            .static_channels
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+    );
     println!("OISA units:            {:?}", c.oisa.input_dependent_units);
     println!("SDO variant basis:     {:?}", c.sdo.variant_basis);
-    println!("Dolma variable-time:   {:?}", c.dolma.variable_time_micro_ops);
+    println!(
+        "Dolma variable-time:   {:?}",
+        c.dolma.variable_time_micro_ops
+    );
     println!("Dolma inducive:        {:?}", c.dolma.inducive_micro_ops);
     println!("Dolma resolvent:       {:?}", c.dolma.resolvent_micro_ops);
 }

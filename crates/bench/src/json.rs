@@ -1,0 +1,126 @@
+//! A minimal hand-rolled JSON writer for the machine-readable benchmark
+//! reports (`BENCH_perf.json`). The container has no serde; this covers the
+//! small fixed schemas the perf pipeline emits: objects keep insertion
+//! order so reports diff cleanly across runs.
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Finite floats only; non-finite values render as `null`.
+    Num(f64),
+    Int(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// Renders with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) if x.is_finite() => out.push_str(&format!("{x}")),
+            Json::Num(_) => out.push_str("null"),
+            Json::Int(n) => out.push_str(&format!("{n}")),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, depth, '[', ']', items.iter(), |out, depth, v| {
+                v.write(out, depth);
+            }),
+            Json::Obj(fields) => {
+                write_seq(out, depth, '{', '}', fields.iter(), |out, depth, (k, v)| {
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth);
+                });
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    depth: usize,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut each: impl FnMut(&mut String, usize, T),
+) {
+    if items.len() == 0 {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        out.push('\n');
+        out.push_str(&"  ".repeat(depth + 1));
+        each(out, depth + 1, item);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    out.push('\n');
+    out.push_str(&"  ".repeat(depth));
+    out.push(close);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Json;
+
+    #[test]
+    fn scalars_render_flat() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::Bool(true).render(), "true\n");
+        assert_eq!(Json::Int(42).render(), "42\n");
+        assert_eq!(Json::Num(1.5).render(), "1.5\n");
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+        assert_eq!(Json::str("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn containers_indent_and_keep_order() {
+        let v = Json::Obj(vec![
+            ("z".into(), Json::Int(1)),
+            ("a".into(), Json::Arr(vec![Json::Int(2), Json::Int(3)])),
+            ("empty".into(), Json::Arr(vec![])),
+        ]);
+        assert_eq!(
+            v.render(),
+            "{\n  \"z\": 1,\n  \"a\": [\n    2,\n    3\n  ],\n  \"empty\": []\n}\n"
+        );
+    }
+}

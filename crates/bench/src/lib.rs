@@ -6,6 +6,8 @@
 //! outputs. Scope is controlled by `SYNTHLC_SCOPE` = `quick` (default) or
 //! `full`.
 
+pub mod json;
+
 use isa::Opcode;
 use mupath::{ContextMode, SynthConfig};
 use synthlc::{LeakConfig, LeakageReport, Operand, TxKind, TypedTransmitter};
@@ -84,7 +86,8 @@ pub fn leak_cfg(design: &Design, scope: Scope) -> (Vec<Opcode>, LeakConfig) {
         ],
         bound: 22,
         conflict_budget: Some(1_000_000),
-        threads: 1,
+        threads: 0,
+        budget_pool: None,
         slot_base: 0,
         max_sources,
     };
@@ -98,7 +101,9 @@ pub fn leak_cfg(design: &Design, scope: Scope) -> (Vec<Opcode>, LeakConfig) {
 pub fn class_members(rep: Opcode) -> Vec<Opcode> {
     use Opcode::*;
     match rep {
-        Add => vec![Add, Sub, And, Or, Xor, Sll, Srl, Slt, Sltu, Addi, Andi, Ori, Xori, Slti, Nop],
+        Add => vec![
+            Add, Sub, And, Or, Xor, Sll, Srl, Slt, Sltu, Addi, Andi, Ori, Xori, Slti, Nop,
+        ],
         Mul => vec![Mul, Mulh],
         Div => vec![Div, Divu, Rem, Remu],
         Lw => vec![Lw],

@@ -117,7 +117,12 @@ fn smear_up(b: &mut Builder, t: Wire) -> Wire {
 /// non-register signal.
 pub fn instrument(nl: &Netlist, opts: &IftOptions) -> Instrumented {
     nl.validate().expect("instrumenting an invalid netlist");
-    for &s in opts.sources.iter().chain(&opts.persistent).chain(&opts.blocked) {
+    for &s in opts
+        .sources
+        .iter()
+        .chain(&opts.persistent)
+        .chain(&opts.blocked)
+    {
         assert!(
             nl.node(s).op.is_reg(),
             "IFT option references non-register {}",

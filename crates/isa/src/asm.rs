@@ -52,11 +52,7 @@ pub fn assemble(src: &str) -> Result<Vec<Instr>, AsmError> {
     let mut out = Vec::new();
     for (ix, raw) in src.lines().enumerate() {
         let lineno = ix + 1;
-        let line = raw
-            .split(|c| c == ';' || c == '#')
-            .next()
-            .unwrap_or("")
-            .trim();
+        let line = raw.split([';', '#']).next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
@@ -66,8 +62,8 @@ pub fn assemble(src: &str) -> Result<Vec<Instr>, AsmError> {
         };
         let mut parts = line.split_whitespace();
         let mnem = parts.next().expect("non-empty line");
-        let op = opcode_by_mnemonic(mnem)
-            .ok_or_else(|| err(format!("unknown mnemonic `{mnem}`")))?;
+        let op =
+            opcode_by_mnemonic(mnem).ok_or_else(|| err(format!("unknown mnemonic `{mnem}`")))?;
         let rest = parts.collect::<Vec<_>>().join(" ");
         let operands: Vec<String> = rest
             .split(',')

@@ -92,7 +92,7 @@ impl ArchState {
                 };
                 self.write_reg(i.rd, q);
             }
-            Opcode::Divu => self.write_reg(i.rd, if b == 0 { 0xff } else { a / b }),
+            Opcode::Divu => self.write_reg(i.rd, a.checked_div(b).unwrap_or(0xff)),
             Opcode::Rem => {
                 let r = if b == 0 {
                     a // RISC-V: remainder by zero yields the dividend

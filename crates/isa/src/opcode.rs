@@ -173,7 +173,10 @@ impl Opcode {
 
     /// Whether the instruction uses the serial divide unit.
     pub fn is_divide(self) -> bool {
-        matches!(self, Opcode::Div | Opcode::Divu | Opcode::Rem | Opcode::Remu)
+        matches!(
+            self,
+            Opcode::Div | Opcode::Divu | Opcode::Rem | Opcode::Remu
+        )
     }
 
     /// Whether the instruction uses the multiply unit.

@@ -345,11 +345,7 @@ impl GateBuilder {
             cur = next;
         }
         // Any set amount bit beyond the stage range zeroes the result.
-        let high_bits: Vec<Lit> = amount
-            .iter()
-            .copied()
-            .skip(stages as usize)
-            .collect();
+        let high_bits: Vec<Lit> = amount.iter().copied().skip(stages as usize).collect();
         if !high_bits.is_empty() {
             let over = self.or_many(&high_bits);
             let zero = self.constant(false);
@@ -395,7 +391,11 @@ mod tests {
         let expect_bits = g.word_const(expect, w);
         let eq = g.word_eq(&out, &expect_bits);
         g.add_clause(&[eq]);
-        assert_eq!(g.solver().solve(), SolveResult::Sat, "{a} op {b} != {expect}");
+        assert_eq!(
+            g.solver().solve(),
+            SolveResult::Sat,
+            "{a} op {b} != {expect}"
+        );
     }
 
     #[test]

@@ -3,11 +3,13 @@
 //! outcome trichotomy (§V-B) and an optional k-induction unreachability
 //! prover.
 
+use crate::elab::Elab;
 use crate::trace::Trace;
 use crate::unroll::{InitMode, Unrolling};
 use netlist::{Netlist, SignalId};
-use sat::{Lit, SolveResult};
+use sat::{BudgetPool, Lit, SolveResult};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Outcome of a cover query, mirroring the paper's model-checker outcomes.
@@ -141,6 +143,10 @@ pub struct Checker<'a> {
     /// Activation literal implying "cover signal holds at some frame".
     cover_cache: HashMap<SignalId, Lit>,
     stats: CheckStats,
+    /// Globally shared conflict/propagation account (see [`BudgetPool`]).
+    pool: Option<Arc<BudgetPool>>,
+    /// Solver-stats snapshot at the last pool charge, for delta accounting.
+    charged: sat::SolverStats,
 }
 
 impl<'a> Checker<'a> {
@@ -156,7 +162,18 @@ impl<'a> Checker<'a> {
     /// architectural register file and memory) start *symbolic* rather than
     /// at their reset values — the paper's reset discipline (§V-B).
     pub fn with_free_regs(nl: &'a Netlist, cfg: McConfig, free: &[SignalId]) -> Self {
-        let mut unroll = Unrolling::new(nl, InitMode::Reset);
+        Self::with_elab(nl, cfg, free, Arc::new(Elab::new(nl)))
+    }
+
+    /// Like [`Checker::with_free_regs`], but reuses a shared elaboration of
+    /// the netlist — validation and topological ordering are skipped, which
+    /// matters when many checkers (e.g. parallel workers) target the same
+    /// harness.
+    ///
+    /// # Panics
+    /// Panics if the elaboration does not match the netlist.
+    pub fn with_elab(nl: &'a Netlist, cfg: McConfig, free: &[SignalId], elab: Arc<Elab>) -> Self {
+        let mut unroll = Unrolling::with_elab(nl, InitMode::Reset, elab);
         unroll.set_free_regs(free);
         unroll.extend_to(cfg.bound);
         Self {
@@ -166,7 +183,18 @@ impl<'a> Checker<'a> {
             assume_cache: HashMap::new(),
             cover_cache: HashMap::new(),
             stats: CheckStats::default(),
+            pool: None,
+            charged: sat::SolverStats::default(),
         }
+    }
+
+    /// Attaches a shared budget pool: every query charges its
+    /// conflict/propagation deltas into the pool, and once the pool's
+    /// global cap is exhausted further queries return
+    /// [`Outcome::Undetermined`] without solving. An uncapped pool is pure
+    /// accounting and never alters outcomes.
+    pub fn set_budget_pool(&mut self, pool: Arc<BudgetPool>) {
+        self.pool = Some(pool);
     }
 
     /// The checker's netlist.
@@ -223,6 +251,9 @@ impl<'a> Checker<'a> {
     /// `assumes` (each holding at every cycle).
     pub fn check_cover(&mut self, cover_sig: SignalId, assumes: &[SignalId]) -> Outcome {
         let started = Instant::now();
+        if self.pool.as_ref().is_some_and(|p| p.exhausted()) {
+            return self.record(started, Outcome::Undetermined);
+        }
         let mut assumptions: Vec<Lit> =
             assumes.iter().map(|&a| self.assume_activation(a)).collect();
         assumptions.push(self.cover_activation(cover_sig));
@@ -231,16 +262,13 @@ impl<'a> Checker<'a> {
             .solver()
             .set_conflict_budget(self.cfg.conflict_budget);
         let result = self.unroll.gate().solver().solve_assuming(&assumptions);
+        self.charge_pool();
         let outcome = match result {
-            SolveResult::Sat => {
-                Outcome::Reachable(Trace::from_model(&self.unroll, self.cfg.bound))
-            }
+            SolveResult::Sat => Outcome::Reachable(Trace::from_model(&self.unroll, self.cfg.bound)),
             SolveResult::Unsat => {
-                if self.cfg.bound_is_complete {
-                    Outcome::Unreachable
-                } else if self.cfg.try_induction
-                    && self.prove_by_induction(cover_sig, assumes)
-                {
+                let proved = self.cfg.bound_is_complete
+                    || (self.cfg.try_induction && self.prove_by_induction(cover_sig, assumes));
+                if proved {
                     Outcome::Unreachable
                 } else {
                     Outcome::Undetermined
@@ -248,6 +276,10 @@ impl<'a> Checker<'a> {
             }
             SolveResult::Unknown => Outcome::Undetermined,
         };
+        self.record(started, outcome)
+    }
+
+    fn record(&mut self, started: Instant, outcome: Outcome) -> Outcome {
         let elapsed = started.elapsed();
         self.stats.properties += 1;
         self.stats.total_time += elapsed;
@@ -258,6 +290,18 @@ impl<'a> Checker<'a> {
             Outcome::Undetermined => self.stats.undetermined += 1,
         }
         outcome
+    }
+
+    /// Charges the main solver's statistics delta since the last charge
+    /// into the shared pool.
+    fn charge_pool(&mut self) {
+        let Some(pool) = &self.pool else { return };
+        let now = self.unroll.gate().solver().stats();
+        pool.charge(
+            now.conflicts - self.charged.conflicts,
+            now.propagations - self.charged.propagations,
+        );
+        self.charged = now;
     }
 
     /// The SAT literal of a 1-bit signal at the final unrolled frame.
@@ -296,7 +340,7 @@ impl<'a> Checker<'a> {
         if k == 0 || k > self.cfg.bound {
             return false;
         }
-        let mut ind = Unrolling::new(self.nl, InitMode::Free);
+        let mut ind = Unrolling::with_elab(self.nl, InitMode::Free, self.unroll.elab());
         ind.extend_to(k + 1);
         let mut assumptions = Vec::new();
         for t in 0..=k {
@@ -312,7 +356,12 @@ impl<'a> Checker<'a> {
         ind.gate()
             .solver()
             .set_conflict_budget(self.cfg.conflict_budget);
-        ind.gate().solver().solve_assuming(&assumptions).is_unsat()
+        let proved = ind.gate().solver().solve_assuming(&assumptions).is_unsat();
+        if let Some(pool) = &self.pool {
+            let st = ind.gate().solver().stats();
+            pool.charge(st.conflicts, st.propagations);
+        }
+        proved
     }
 }
 

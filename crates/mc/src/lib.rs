@@ -33,11 +33,15 @@
 //! ```
 
 mod cnf;
+mod elab;
 mod engine;
+pub mod par;
 mod trace;
 mod unroll;
 
 pub use cnf::GateBuilder;
+pub use elab::Elab;
 pub use engine::{CheckStats, Checker, McConfig, Outcome};
+pub use par::{default_threads, resolve_threads, run_jobs};
 pub use trace::Trace;
 pub use unroll::{InitMode, Unrolling};

@@ -1,0 +1,124 @@
+//! Deterministic parallel execution of synthesis jobs.
+//!
+//! The engine's unit of parallelism is a *job*: an independent piece of
+//! property-evaluation work (one instruction/slot enumeration, one
+//! transponder/typing IFT sweep) that owns its own unrolling and SAT
+//! solver. Jobs are drained from a shared queue by scoped worker threads
+//! and their results land in slots indexed by job id, so the merged output
+//! is a pure function of the job list — independent of worker count and
+//! scheduling. `threads == 1` runs the jobs inline on the calling thread,
+//! byte-identical to the parallel path (the `--jobs 1` baseline).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The worker count selected by the environment: `SYNTHLC_THREADS` when set
+/// to a positive integer, otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("SYNTHLC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a `--jobs`-style request: `Some(n)` is used as-is (minimum 1),
+/// `None` falls back to [`default_threads`].
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) => n.max(1),
+        None => default_threads(),
+    }
+}
+
+/// Runs `f(job_index, job)` for every job and returns the results in job
+/// order. With `threads > 1`, jobs are executed by that many scoped worker
+/// threads pulling from an atomic queue index; results are merged by job
+/// id, so the returned vector is identical to the sequential one.
+///
+/// # Panics
+/// A panic in any job propagates to the caller (via `std::thread::scope`).
+pub fn run_jobs<J, R, F>(jobs: Vec<J>, threads: usize, f: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(usize, J) -> R + Sync,
+{
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads == 1 {
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(ix, j)| f(ix, j))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let ix = next.fetch_add(1, Ordering::Relaxed);
+                if ix >= slots.len() {
+                    break;
+                }
+                let job = slots[ix]
+                    .lock()
+                    .expect("no poisoned job slot")
+                    .take()
+                    .expect("each job taken exactly once");
+                let r = f(ix, job);
+                *results[ix].lock().expect("no poisoned result slot") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned result slot")
+                .expect("every job produced a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order_regardless_of_threads() {
+        let jobs: Vec<usize> = (0..64).collect();
+        let seq = run_jobs(jobs.clone(), 1, |ix, j| {
+            assert_eq!(ix, j);
+            j * 3
+        });
+        let par = run_jobs(jobs, 5, |_, j| j * 3);
+        assert_eq!(seq, par);
+        assert_eq!(seq[10], 30);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out: Vec<u32> = run_jobs(Vec::<u32>::new(), 8, |_, j| j);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let out = run_jobs(vec![1u32, 2], 16, |_, j| j + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_request() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1);
+        assert!(resolve_threads(None) >= 1);
+    }
+}

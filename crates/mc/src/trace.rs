@@ -30,10 +30,7 @@ impl Trace {
             let row: Vec<u64> = (0..nl.len())
                 .map(|i| unroll.model_value(t, SignalId(i as u32)))
                 .collect();
-            let ins = input_ids
-                .iter()
-                .map(|&i| (i, row[i.index()]))
-                .collect();
+            let ins = input_ids.iter().map(|&i| (i, row[i.index()])).collect();
             values.push(row);
             inputs.push(ins);
         }

@@ -1,9 +1,10 @@
 //! Time-frame expansion of a netlist into SAT literals.
 
 use crate::cnf::GateBuilder;
-use netlist::analysis::topo_order;
+use crate::elab::Elab;
 use netlist::{BinOp, Netlist, Op, SignalId, UnOp};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// How registers are constrained at frame 0.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -19,7 +20,7 @@ pub enum InitMode {
 #[derive(Debug)]
 pub struct Unrolling<'a> {
     nl: &'a Netlist,
-    order: Vec<SignalId>,
+    elab: Arc<Elab>,
     init: InitMode,
     free_regs: HashSet<SignalId>,
     gate: GateBuilder,
@@ -33,15 +34,34 @@ impl<'a> Unrolling<'a> {
     /// # Panics
     /// Panics if the netlist fails validation.
     pub fn new(nl: &'a Netlist, init: InitMode) -> Self {
-        nl.validate().expect("unrolling an invalid netlist");
+        Self::with_elab(nl, init, Arc::new(Elab::new(nl)))
+    }
+
+    /// Like [`Unrolling::new`], but reuses an already-computed elaboration
+    /// (validation + topological order) of the same netlist, e.g. shared by
+    /// many checkers over one harness.
+    ///
+    /// # Panics
+    /// Panics if the elaboration does not match the netlist.
+    pub fn with_elab(nl: &'a Netlist, init: InitMode, elab: Arc<Elab>) -> Self {
+        assert_eq!(
+            elab.len(),
+            nl.len(),
+            "elaboration belongs to a different netlist"
+        );
         Self {
             nl,
-            order: topo_order(nl),
+            elab,
             init,
             free_regs: HashSet::new(),
             gate: GateBuilder::new(),
             frames: Vec::new(),
         }
+    }
+
+    /// The shared elaboration backing this unrolling.
+    pub fn elab(&self) -> Arc<Elab> {
+        Arc::clone(&self.elab)
     }
 
     /// Marks registers whose *initial* value is symbolic even under
@@ -100,7 +120,8 @@ impl<'a> Unrolling<'a> {
         let t = self.frames.len();
         let n = self.nl.len();
         let mut cur: Vec<Vec<sat::Lit>> = vec![Vec::new(); n];
-        for &id in &self.order.clone() {
+        let elab = Arc::clone(&self.elab);
+        for &id in elab.order() {
             let node = self.nl.node(id);
             let w = node.width;
             let bits = match &node.op {
@@ -162,9 +183,7 @@ impl<'a> Unrolling<'a> {
                     let b = cur[b.index()].clone();
                     self.gate.word_mux(s, &a, &b)
                 }
-                Op::Slice { src, hi, lo } => {
-                    cur[src.index()][*lo as usize..=*hi as usize].to_vec()
-                }
+                Op::Slice { src, hi, lo } => cur[src.index()][*lo as usize..=*hi as usize].to_vec(),
                 Op::Concat { hi, lo } => {
                     let mut bits = cur[lo.index()].clone();
                     bits.extend_from_slice(&cur[hi.index()]);
@@ -219,10 +238,7 @@ mod tests {
         assert_eq!(u.gate().solver().solve_assuming(&[eq5]), SolveResult::Sat);
         let four = u.gate().word_const(4, 4);
         let eq4 = u.gate().word_eq(&lits5, &four);
-        assert_eq!(
-            u.gate().solver().solve_assuming(&[eq4]),
-            SolveResult::Unsat
-        );
+        assert_eq!(u.gate().solver().solve_assuming(&[eq4]), SolveResult::Unsat);
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! drive a random circuit into must be `Reachable` for the model checker at
 //! the same bound, and every witness the model checker produces must
 //! replay to the covered condition on the simulator.
+//! (Hand-rolled random cases via `prng`.)
 
 use mc::{Checker, McConfig};
 use netlist::{Builder, Netlist};
-use proptest::prelude::*;
 use sim::Simulator;
 
 /// A small random sequential circuit: two 3-bit registers fed by an input
@@ -34,14 +34,23 @@ fn build(sel: u8) -> Netlist {
     b.finish().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Wraps `nl` with a `cover_target` monitor for `r1 == target`.
+fn with_cover(nl: &Netlist, target: u64) -> Netlist {
+    let r1 = nl.find("r1").unwrap();
+    let mut b2 = Builder::from_netlist(nl.clone());
+    let r1w = b2.wire(r1);
+    let is_target = b2.eq_const(r1w, target);
+    b2.name(is_target, "cover_target");
+    b2.finish().unwrap()
+}
 
-    #[test]
-    fn simulated_states_are_bmc_reachable(
-        sel in 0u8..5,
-        script in prop::collection::vec(0u64..8, 1..8),
-    ) {
+#[test]
+fn simulated_states_are_bmc_reachable() {
+    prng::for_each_case("simulated_states_are_bmc_reachable", 0xb3c5, 48, |rng| {
+        let sel = rng.range(0, 5) as u8;
+        let script: Vec<u64> = (0..rng.range_usize(1, 8))
+            .map(|_| rng.range(0, 8))
+            .collect();
         let nl = build(sel);
         let x = nl.find("x").unwrap();
         let r1 = nl.find("r1").unwrap();
@@ -53,11 +62,7 @@ proptest! {
         }
         let target = s.value(r1);
         // The target value must be BMC-reachable within the script length.
-        let mut b2 = Builder::from_netlist(nl.clone());
-        let r1w = b2.wire(r1);
-        let is_target = b2.eq_const(r1w, target);
-        b2.name(is_target, "cover_target");
-        let monitored = b2.finish().unwrap();
+        let monitored = with_cover(&nl, target);
         let cover = monitored.find("cover_target").unwrap();
         let mut chk = Checker::new(
             &monitored,
@@ -67,27 +72,26 @@ proptest! {
             },
         );
         let out = chk.check_cover(cover, &[]);
-        prop_assert!(out.is_reachable(), "sim reached {target}, BMC must too");
+        assert!(out.is_reachable(), "sim reached {target}, BMC must too");
         // And the witness must replay.
         let trace = out.trace().unwrap();
         let vals = sim::replay(&monitored, &trace.input_script(), &[cover]);
-        prop_assert!(vals.iter().any(|r| r[0] == 1), "witness replays");
-    }
+        assert!(vals.iter().any(|r| r[0] == 1), "witness replays");
+    });
+}
 
-    #[test]
-    fn bmc_unreachable_values_never_simulate(
-        sel in 0u8..5,
-        scripts in prop::collection::vec(prop::collection::vec(0u64..8, 4), 1..6),
-        target in 0u64..8,
-    ) {
+#[test]
+fn bmc_unreachable_values_never_simulate() {
+    prng::for_each_case("bmc_unreachable_values_never_simulate", 0x06b7, 48, |rng| {
+        let sel = rng.range(0, 5) as u8;
+        let scripts: Vec<Vec<u64>> = (0..rng.range_usize(1, 6))
+            .map(|_| (0..4).map(|_| rng.range(0, 8)).collect())
+            .collect();
+        let target = rng.range(0, 8);
         let nl = build(sel);
         let x = nl.find("x").unwrap();
         let r1 = nl.find("r1").unwrap();
-        let mut b2 = Builder::from_netlist(nl.clone());
-        let r1w = b2.wire(r1);
-        let is_target = b2.eq_const(r1w, target);
-        b2.name(is_target, "cover_target");
-        let monitored = b2.finish().unwrap();
+        let monitored = with_cover(&nl, target);
         let cover = monitored.find("cover_target").unwrap();
         let mut chk = Checker::new(
             &monitored,
@@ -100,15 +104,11 @@ proptest! {
             for script in &scripts {
                 let mut s = Simulator::new(&nl);
                 for &v in script {
-                    prop_assert_ne!(
-                        s.value(r1),
-                        target,
-                        "BMC said unreachable within bound"
-                    );
+                    assert_ne!(s.value(r1), target, "BMC said unreachable within bound");
                     s.set_input(x, v);
                     s.step();
                 }
             }
         }
-    }
+    });
 }

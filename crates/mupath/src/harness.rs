@@ -82,7 +82,8 @@ pub struct IuvHarness {
 
 /// Strips a trailing decimal entry index from a PL label.
 fn class_of(name: &str) -> String {
-    name.trim_end_matches(|c: char| c.is_ascii_digit()).to_owned()
+    name.trim_end_matches(|c: char| c.is_ascii_digit())
+        .to_owned()
 }
 
 /// Builds the IUV harness for a design.
@@ -203,8 +204,7 @@ pub fn build_harness(design: &Design, cfg: &HarnessConfig) -> IuvHarness {
             let left_next = b.or(left_reg, left_now);
             b.set_next(left_reg, left_next).expect("fresh monitor reg");
             let noncons_now = b.and(visit_now, left_reg);
-            let noncons =
-                sva::sticky(&mut b, noncons_now, &format!("noncons_{}", st.name));
+            let noncons = sva::sticky(&mut b, noncons_now, &format!("noncons_{}", st.name));
 
             visit_now_all.push(visit_now);
             visited_all.push(visited);

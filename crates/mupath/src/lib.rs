@@ -25,12 +25,57 @@ pub mod uspec;
 pub use harness::{build_harness, ContextMode, HarnessConfig, IuvHarness, PlMonitors};
 pub use synth::{
     class_view, dom_excl_relations, duv_pl_reachability, enumerate_revisit_counts,
-    synthesize_instr, DuvPlReport, InstrSynthesis, SynthConfig,
+    synthesize_instr, DomExclRelations, DuvPlReport, InstrSynthesis, SynthConfig,
 };
 
 use isa::Opcode;
 use mc::CheckStats;
+use sat::BudgetPool;
+use std::sync::Arc;
 use uarch::Design;
+
+/// Options for the parallel property-evaluation engine, shared by the
+/// whole-ISA driver here and by SynthLC's leakage driver.
+#[derive(Clone, Debug, Default)]
+pub struct EngineOptions {
+    /// Worker threads; `0` selects [`mc::default_threads`] (the
+    /// `SYNTHLC_THREADS` environment knob, falling back to the machine's
+    /// available parallelism).
+    pub threads: usize,
+    /// A globally shared conflict/propagation account. Uncapped pools only
+    /// aggregate statistics; capped pools cut off queries once the global
+    /// cap is reached (at the cost of scheduling-dependent results — see
+    /// `DESIGN.md` §6).
+    pub budget_pool: Option<Arc<BudgetPool>>,
+}
+
+impl EngineOptions {
+    /// One worker, no shared budget: today's sequential behaviour.
+    pub fn sequential() -> Self {
+        Self {
+            threads: 1,
+            budget_pool: None,
+        }
+    }
+
+    /// A fixed worker count, no shared budget.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            budget_pool: None,
+        }
+    }
+
+    /// The effective worker count (resolving `0` to the environment
+    /// default).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            mc::default_threads()
+        } else {
+            self.threads
+        }
+    }
+}
 
 /// Whole-ISA synthesis results.
 #[derive(Clone, Debug)]
@@ -59,42 +104,55 @@ impl IsaSynthesis {
 
 /// Runs [`synthesize_instr`] for each requested instruction.
 pub fn synthesize_isa(design: &Design, ops: &[Opcode], cfg: &SynthConfig) -> IsaSynthesis {
-    synthesize_isa_parallel(design, ops, cfg, 1)
+    synthesize_isa_with(design, ops, cfg, &EngineOptions::sequential())
 }
 
-/// Like [`synthesize_isa`], but fans instructions out over worker threads
-/// (each instruction gets its own harness, unrolling, and SAT solver — the
-/// same per-property parallelism the paper gets from its JasperGold job
-/// pool, Appendix §I-B).
+/// Like [`synthesize_isa`], but fans the work out over worker threads.
 pub fn synthesize_isa_parallel(
     design: &Design,
     ops: &[Opcode],
     cfg: &SynthConfig,
     threads: usize,
 ) -> IsaSynthesis {
-    let threads = threads.max(1).min(ops.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<InstrSynthesis>>> =
-        ops.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let ix = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if ix >= ops.len() {
-                    break;
-                }
-                let r = synthesize_instr(design, ops[ix], cfg);
-                *results[ix].lock().expect("no poisoned result slot") = Some(r);
-            });
-        }
+    synthesize_isa_with(design, ops, cfg, &EngineOptions::with_threads(threads))
+}
+
+/// The whole-ISA driver over the parallel property-evaluation engine.
+///
+/// The job queue holds one job per (instruction, fetch slot); each job owns
+/// its harness, unrolling, and SAT solver — the per-property parallelism
+/// the paper gets from its JasperGold job pool (Appendix §I-B), at a finer
+/// grain than per-instruction so slow instructions (DIV) don't serialize a
+/// whole worker's queue tail. Results merge by job id, per instruction in
+/// slot order, so the output is identical for every worker count.
+pub fn synthesize_isa_with(
+    design: &Design,
+    ops: &[Opcode],
+    cfg: &SynthConfig,
+    opts: &EngineOptions,
+) -> IsaSynthesis {
+    let threads = opts.effective_threads();
+    let jobs: Vec<(usize, usize)> = ops
+        .iter()
+        .enumerate()
+        .flat_map(|(oi, _)| (0..cfg.slots.len()).map(move |si| (oi, si)))
+        .collect();
+    let results = mc::run_jobs(jobs, threads, |_, (oi, si)| {
+        synth::synthesize_instr_slot(
+            design,
+            ops[oi],
+            cfg.slots[si],
+            si == 0,
+            cfg,
+            opts.budget_pool.as_ref(),
+        )
     });
+    let mut results = results.into_iter();
     let mut instrs = Vec::new();
     let mut stats = CheckStats::default();
-    for slot in results {
-        let r = slot
-            .into_inner()
-            .expect("no poisoned result slot")
-            .expect("every instruction synthesized");
+    for &op in ops {
+        let slots: Vec<_> = results.by_ref().take(cfg.slots.len()).collect();
+        let r = synth::assemble_instr(op, slots);
         stats.absorb(&r.stats);
         instrs.push(r);
     }

@@ -25,7 +25,9 @@ use isa::Opcode;
 use mc::{CheckStats, Checker, McConfig, Outcome};
 use netlist::analysis::comb_connected;
 use netlist::{Builder, SignalId};
+use sat::BudgetPool;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::Arc;
 use uarch::Design;
 use uhb::{decisions_of_paths, ConcretePath, Decision, MuPath, PlId, PlTable};
 
@@ -155,7 +157,6 @@ pub fn duv_pl_reachability(design: &Design, cfg: &SynthConfig) -> DuvPlReport {
     }
 }
 
-
 /// The architectural state of a design: registers whose reset value is
 /// symbolic (§V-B: "only architectural state is symbolically initialized").
 fn arch_free_regs(design: &Design) -> Vec<SignalId> {
@@ -195,94 +196,141 @@ fn extract_path(harness: &IuvHarness, trace: &mc::Trace) -> ConcretePath {
     path
 }
 
-/// §V-B2–§V-B4: enumerate all µPATH shapes for one instruction.
-pub fn synthesize_instr(design: &Design, opcode: Opcode, cfg: &SynthConfig) -> InstrSynthesis {
+/// Per-instruction metadata shared by every slot of one instruction,
+/// computed once (by the first slot's job).
+pub(crate) struct SlotMeta {
+    pls: PlTable,
+    classes: Vec<String>,
+    candidates: BTreeSet<(PlId, PlId)>,
+}
+
+/// The result of one (instruction, fetch-slot) enumeration job — the unit
+/// of parallelism of the whole-ISA driver. Jobs over the same instruction
+/// are merged in slot order by [`assemble_instr`], reproducing the
+/// sequential per-instruction result exactly.
+pub(crate) struct SlotSynthesis {
+    shapes: BTreeMap<Signature, ConcretePath>,
+    complete: bool,
+    stats: CheckStats,
+    meta: Option<SlotMeta>,
+}
+
+/// Enumerates the µPATH shapes of `opcode` fetched in one slot. The job
+/// owns its harness, unrolling, and SAT solver; `pool`, when present, is
+/// the globally shared budget account.
+pub(crate) fn synthesize_instr_slot(
+    design: &Design,
+    opcode: Opcode,
+    slot: usize,
+    want_meta: bool,
+    cfg: &SynthConfig,
+    pool: Option<&Arc<BudgetPool>>,
+) -> SlotSynthesis {
+    let harness = build_harness(
+        design,
+        &HarnessConfig {
+            opcode,
+            fetch_slot: slot,
+            context: cfg.context,
+        },
+    );
+    let meta = want_meta.then(|| SlotMeta {
+        pls: harness.pls.clone(),
+        classes: harness.classes.clone(),
+        candidates: hb_edge_candidates(design, &harness),
+    });
+    let sig_bits = signature_bits(&harness);
+    let mut checker =
+        Checker::with_free_regs(&harness.netlist, cfg.mc_config(), &arch_free_regs(design));
+    if let Some(p) = pool {
+        checker.set_budget_pool(Arc::clone(p));
+    }
     let mut shapes: BTreeMap<Signature, ConcretePath> = BTreeMap::new();
     let mut complete = true;
-    let mut stats = CheckStats::default();
-    let mut pls_table: Option<PlTable> = None;
-    let mut classes: Vec<String> = Vec::new();
-    let mut edge_candidates: Option<BTreeSet<(PlId, PlId)>> = None;
-
-    for &slot in &cfg.slots {
-        let harness = build_harness(
-            design,
-            &HarnessConfig {
-                opcode,
-                fetch_slot: slot,
-                context: cfg.context,
-            },
-        );
-        if pls_table.is_none() {
-            pls_table = Some(harness.pls.clone());
-            classes = harness.classes.clone();
-            edge_candidates = Some(hb_edge_candidates(design, &harness));
+    let mut found_this_slot = 0usize;
+    loop {
+        if found_this_slot >= cfg.max_shapes {
+            complete = false;
+            break;
         }
-        let sig_bits = signature_bits(&harness);
-        let mut checker =
-            Checker::with_free_regs(&harness.netlist, cfg.mc_config(), &arch_free_regs(design));
-        let mut found_this_slot = 0usize;
-        loop {
-            if found_this_slot >= cfg.max_shapes {
+        match checker.check_cover(harness.iuv_done, &harness.assumes) {
+            Outcome::Reachable(trace) => {
+                found_this_slot += 1;
+                let path = extract_path(&harness, &trace);
+                let signature: Signature = harness
+                    .pls
+                    .ids()
+                    .map(|pl| {
+                        let m = harness.monitors(pl);
+                        let last = trace.len() - 1;
+                        (
+                            trace.value(last, m.visited) != 0,
+                            trace.value(last, m.multi) != 0,
+                            trace.value(last, m.noncons) != 0,
+                        )
+                    })
+                    .collect();
+                // Block this signature at the final frame.
+                let clause: Vec<sat::Lit> = sig_bits
+                    .iter()
+                    .zip(signature.iter().flat_map(|&(a, b2, c)| [a, b2, c]))
+                    .map(|(&sig, val)| {
+                        let lit = checker.final_frame_lit(sig);
+                        if val {
+                            !lit
+                        } else {
+                            lit
+                        }
+                    })
+                    .collect();
+                checker.add_blocking_clause(&clause);
+                shapes.entry(signature).or_insert(path);
+            }
+            Outcome::Unreachable => break,
+            Outcome::Undetermined => {
                 complete = false;
                 break;
             }
-            match checker.check_cover(harness.iuv_done, &harness.assumes) {
-                Outcome::Reachable(trace) => {
-                    found_this_slot += 1;
-                    let path = extract_path(&harness, &trace);
-                    let signature: Signature = harness
-                        .pls
-                        .ids()
-                        .map(|pl| {
-                            let m = harness.monitors(pl);
-                            let last = trace.len() - 1;
-                            (
-                                trace.value(last, m.visited) != 0,
-                                trace.value(last, m.multi) != 0,
-                                trace.value(last, m.noncons) != 0,
-                            )
-                        })
-                        .collect();
-                    // Block this signature at the final frame.
-                    let clause: Vec<sat::Lit> = sig_bits
-                        .iter()
-                        .zip(signature.iter().flat_map(|&(a, b2, c)| [a, b2, c]))
-                        .map(|(&sig, val)| {
-                            let lit = checker.final_frame_lit(sig);
-                            if val {
-                                !lit
-                            } else {
-                                lit
-                            }
-                        })
-                        .collect();
-                    checker.add_blocking_clause(&clause);
-                    shapes.entry(signature).or_insert(path);
-                }
-                Outcome::Unreachable => break,
-                Outcome::Undetermined => {
-                    complete = false;
-                    break;
-                }
-            }
         }
-        stats.absorb(&checker.stats());
     }
+    SlotSynthesis {
+        shapes,
+        complete,
+        stats: checker.stats(),
+        meta,
+    }
+}
 
-    let pls = pls_table.expect("at least one slot");
+/// Merges one instruction's slot jobs (in slot order: earlier slots' shape
+/// witnesses win ties, exactly as the sequential loop inserted them) into
+/// the final [`InstrSynthesis`].
+pub(crate) fn assemble_instr(opcode: Opcode, slots: Vec<SlotSynthesis>) -> InstrSynthesis {
+    let mut shapes: BTreeMap<Signature, ConcretePath> = BTreeMap::new();
+    let mut complete = true;
+    let mut stats = CheckStats::default();
+    let mut meta: Option<SlotMeta> = None;
+    for s in slots {
+        complete &= s.complete;
+        stats.absorb(&s.stats);
+        if meta.is_none() {
+            meta = s.meta;
+        }
+        for (signature, path) in s.shapes {
+            shapes.entry(signature).or_insert(path);
+        }
+    }
+    let meta = meta.expect("at least one slot");
     let concrete: Vec<ConcretePath> = shapes.into_values().collect();
-    let candidates = edge_candidates.unwrap_or_default();
     let paths: Vec<MuPath> = concrete
         .iter()
         .map(|p| {
             let mut shape = p.shape();
-            shape.edges = witness_edges(p, &candidates);
+            shape.edges = witness_edges(p, &meta.candidates);
             shape
         })
         .collect();
     let decisions = decisions_of_paths(&concrete);
-    let class_decisions = class_level_decisions(&concrete, &pls, &classes);
+    let class_decisions = class_level_decisions(&concrete, &meta.pls, &meta.classes);
     InstrSynthesis {
         opcode,
         paths,
@@ -292,6 +340,17 @@ pub fn synthesize_instr(design: &Design, opcode: Opcode, cfg: &SynthConfig) -> I
         complete,
         stats,
     }
+}
+
+/// §V-B2–§V-B4: enumerate all µPATH shapes for one instruction.
+pub fn synthesize_instr(design: &Design, opcode: Opcode, cfg: &SynthConfig) -> InstrSynthesis {
+    let slots: Vec<SlotSynthesis> = cfg
+        .slots
+        .iter()
+        .enumerate()
+        .map(|(ix, &slot)| synthesize_instr_slot(design, opcode, slot, ix == 0, cfg, None))
+        .collect();
+    assemble_instr(opcode, slots)
 }
 
 /// §V-B5 candidate filter: PL pairs whose source µFSM state registers feed
@@ -397,14 +456,13 @@ pub fn class_view(
     (class_table, mapped)
 }
 
+/// The (dominates, exclusive, stats) result of [`dom_excl_relations`].
+pub type DomExclRelations = (Vec<(PlId, PlId)>, Vec<(PlId, PlId)>, CheckStats);
+
 /// §V-B3: the dominates/exclusive relations over the IUV's PLs, computed
 /// with the paper's cover templates. Returned as (dominates, exclusive)
 /// pair lists; also bumps the checker-statistics account.
-pub fn dom_excl_relations(
-    design: &Design,
-    opcode: Opcode,
-    cfg: &SynthConfig,
-) -> (Vec<(PlId, PlId)>, Vec<(PlId, PlId)>, CheckStats) {
+pub fn dom_excl_relations(design: &Design, opcode: Opcode, cfg: &SynthConfig) -> DomExclRelations {
     let harness = build_harness(
         design,
         &HarnessConfig {
@@ -428,12 +486,7 @@ pub fn dom_excl_relations(
             let c = sva::templates::dominates_cover(&mut b, vi, vj, &format!("dom_{i}_{j}"));
             dom_sigs.push(((i, j), c.id));
             if i < j {
-                let e = sva::templates::exclusive_cover(
-                    &mut b,
-                    vi,
-                    vj,
-                    &format!("excl_{i}_{j}"),
-                );
+                let e = sva::templates::exclusive_cover(&mut b, vi, vj, &format!("excl_{i}_{j}"));
                 excl_sigs.push(((i, j), e.id));
             }
         }
@@ -489,28 +542,23 @@ pub fn enumerate_revisit_counts(
     let maxrun_sig = netlist.find("plrun").expect("named");
     let mut checker = Checker::with_free_regs(&netlist, cfg.mc_config(), &arch_free_regs(design));
     let mut counts = BTreeSet::new();
-    loop {
-        match checker.check_cover(cover, &harness.assumes) {
-            Outcome::Reachable(trace) => {
-                let v = trace.value(trace.len() - 1, maxrun_sig);
-                counts.insert(v);
-                // Block this run-length value at the final frame.
-                let clause: Vec<sat::Lit> = (0..width)
-                    .map(|bit| {
-                        // Reconstruct per-bit literals via a slice-free path:
-                        // the counter is a register; block on its bits.
-                        let lit = checker.final_frame_bit(maxrun_sig, bit);
-                        if (v >> bit) & 1 == 1 {
-                            !lit
-                        } else {
-                            lit
-                        }
-                    })
-                    .collect();
-                checker.add_blocking_clause(&clause);
-            }
-            _ => break,
-        }
+    while let Outcome::Reachable(trace) = checker.check_cover(cover, &harness.assumes) {
+        let v = trace.value(trace.len() - 1, maxrun_sig);
+        counts.insert(v);
+        // Block this run-length value at the final frame.
+        let clause: Vec<sat::Lit> = (0..width)
+            .map(|bit| {
+                // Reconstruct per-bit literals via a slice-free path:
+                // the counter is a register; block on its bits.
+                let lit = checker.final_frame_bit(maxrun_sig, bit);
+                if (v >> bit) & 1 == 1 {
+                    !lit
+                } else {
+                    lit
+                }
+            })
+            .collect();
+        checker.add_blocking_clause(&clause);
         if counts.len() > 32 {
             break;
         }

@@ -40,7 +40,10 @@ pub fn render_axiom(synth: &InstrSynthesis, pls: &PlTable) -> String {
                 ));
             }
         }
-        path_terms.push(format!("  (* µPATH {ix} *)\n    ({})", terms.join(" /\\\n     ")));
+        path_terms.push(format!(
+            "  (* µPATH {ix} *)\n    ({})",
+            terms.join(" /\\\n     ")
+        ));
     }
     out.push_str(&path_terms.join("\n  \\/\n"));
     out.push_str(".\n");
@@ -57,11 +60,7 @@ fn node_label(pls: &PlTable, pl: uhb::PlId, revisit: Option<&Revisit>) -> String
 
 /// Renders a whole-ISA µSPEC-style model preamble plus one axiom per
 /// instruction.
-pub fn render_model(
-    design_name: &str,
-    synths: &[InstrSynthesis],
-    pls: &PlTable,
-) -> String {
+pub fn render_model(design_name: &str, synths: &[InstrSynthesis], pls: &PlTable) -> String {
     let mut out = format!(
         "(* µSPEC-style model synthesized by RTL2MµPATH from `{design_name}` *)\n\
          (* Performing locations: *)\n"

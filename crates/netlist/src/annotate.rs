@@ -85,14 +85,9 @@ impl UFsm {
                 let name = format!(
                     "{}{}",
                     self.name,
-                    cur.iter()
-                        .map(|v| format!("_{v}"))
-                        .collect::<String>()
+                    cur.iter().map(|v| format!("_{v}")).collect::<String>()
                 );
-                out.push(NamedState {
-                    name,
-                    state: st,
-                });
+                out.push(NamedState { name, state: st });
             }
             // increment multi-radix counter
             let mut i = 0;
@@ -162,10 +157,7 @@ impl Annotations {
 
     /// Looks up a µFSM by name.
     pub fn ufsm(&self, name: &str) -> Option<(usize, &UFsm)> {
-        self.ufsms
-            .iter()
-            .enumerate()
-            .find(|(_, f)| f.name == name)
+        self.ufsms.iter().enumerate().find(|(_, f)| f.name == name)
     }
 
     /// Validates that every referenced signal exists and widths are sane
@@ -226,10 +218,7 @@ impl Annotations {
             if let Some(states) = &f.states {
                 for s in states {
                     if s.state.0.len() != f.vars.len() {
-                        return Err(format!(
-                            "ufsm {}: state {} arity mismatch",
-                            f.name, s.name
-                        ));
+                        return Err(format!("ufsm {}: state {} arity mismatch", f.name, s.name));
                     }
                 }
             }

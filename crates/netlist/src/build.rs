@@ -538,10 +538,7 @@ mod tests {
     fn unconnected_reg_rejected() {
         let mut b = Builder::new();
         let _ = b.reg("r", 4, 0);
-        assert!(matches!(
-            b.finish(),
-            Err(NetlistError::UnconnectedReg(_))
-        ));
+        assert!(matches!(b.finish(), Err(NetlistError::UnconnectedReg(_))));
     }
 
     #[test]

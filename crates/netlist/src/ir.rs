@@ -463,9 +463,7 @@ impl Netlist {
     pub fn validate(&self) -> Result<(), NetlistError> {
         let n = self.nodes.len();
         let check = |s: SignalId| -> Result<&Node, NetlistError> {
-            self.nodes
-                .get(s.index())
-                .ok_or(NetlistError::BadSignal(s))
+            self.nodes.get(s.index()).ok_or(NetlistError::BadSignal(s))
         };
         for (id, node) in self.iter() {
             let ctx = || self.display_name(id);

@@ -1,8 +1,9 @@
 //! Textual-format round-trip (property-based): emit(parse(emit(nl))) is a
 //! fixpoint and preserves simulation behaviour on random circuits.
+//! (Hand-rolled random cases via `prng`.)
 
 use netlist::{Builder, Netlist};
-use proptest::prelude::*;
+use prng::Rng;
 use sim::Simulator;
 
 #[derive(Clone, Debug)]
@@ -16,17 +17,19 @@ enum Step {
     Eq(usize, usize),
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Add(a, b)),
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Xor(a, b)),
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Mul(a, b)),
-        (any::<usize>(), any::<usize>(), any::<usize>())
-            .prop_map(|(s, a, b)| Step::Mux(s, a, b)),
-        any::<usize>().prop_map(Step::Not),
-        any::<usize>().prop_map(Step::SliceCat),
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Eq(a, b)),
-    ]
+fn random_step(rng: &mut Rng) -> Step {
+    let a = rng.range_usize(0, 64);
+    let b = rng.range_usize(0, 64);
+    let c = rng.range_usize(0, 64);
+    match rng.range(0, 7) {
+        0 => Step::Add(a, b),
+        1 => Step::Xor(a, b),
+        2 => Step::Mul(a, b),
+        3 => Step::Mux(a, b, c),
+        4 => Step::Not(a),
+        5 => Step::SliceCat(a),
+        _ => Step::Eq(a, b),
+    }
 }
 
 fn build(steps: &[Step]) -> Netlist {
@@ -80,19 +83,20 @@ fn build(steps: &[Step]) -> Netlist {
     b.finish().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn round_trip_is_fixpoint_and_behaviour_preserving(
-        steps in prop::collection::vec(arb_step(), 1..15),
-        script in prop::collection::vec(0u64..16, 1..6),
-    ) {
+#[test]
+fn round_trip_is_fixpoint_and_behaviour_preserving() {
+    prng::for_each_case("round_trip", 0x0e77, 96, |rng| {
+        let steps: Vec<Step> = (0..rng.range_usize(1, 15))
+            .map(|_| random_step(rng))
+            .collect();
+        let script: Vec<u64> = (0..rng.range_usize(1, 6))
+            .map(|_| rng.range(0, 16))
+            .collect();
         let nl = build(&steps);
         let text = netlist::text::emit(&nl);
         let nl2 = netlist::text::parse(&text).expect("parses");
-        prop_assert_eq!(netlist::text::emit(&nl2), text, "emit fixpoint");
-        prop_assert_eq!(nl.len(), nl2.len());
+        assert_eq!(netlist::text::emit(&nl2), text, "emit fixpoint");
+        assert_eq!(nl.len(), nl2.len());
         // Behaviour: simulate both with the same script.
         let run = |n: &Netlist| -> Vec<u64> {
             let x = n.find("x").unwrap();
@@ -107,6 +111,6 @@ proptest! {
             out.push(s.value(r));
             out
         };
-        prop_assert_eq!(run(&nl), run(&nl2), "same behaviour after round trip");
-    }
+        assert_eq!(run(&nl), run(&nl2), "same behaviour after round trip");
+    });
 }

@@ -1,0 +1,119 @@
+//! A thread-shared conflict/propagation budget pool.
+//!
+//! Parallel property-evaluation workers each own a private [`Solver`], but a
+//! whole synthesis run often wants one *global* resource account: "spend at
+//! most N conflicts across every property, then report the rest as
+//! undetermined" — the paper's per-property budgets (§V-B), lifted to the
+//! job-pool level. Workers charge their per-query solver-statistics deltas
+//! into the pool with relaxed atomics; the engine consults
+//! [`BudgetPool::exhausted`] before starting each new query.
+//!
+//! With `cap = None` (the default) the pool is pure accounting and has no
+//! effect on results, so deterministic parallel runs stay deterministic.
+//! With a cap set, *which* queries get cut off depends on worker scheduling;
+//! callers that need bit-identical reruns must not set a cap (see
+//! `DESIGN.md` §6).
+//!
+//! [`Solver`]: crate::Solver
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared conflict/propagation accounting with an optional global cap on
+/// conflicts. Cheap to share behind an `Arc`; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct BudgetPool {
+    conflicts: AtomicU64,
+    propagations: AtomicU64,
+    cap: Option<u64>,
+}
+
+impl BudgetPool {
+    /// A pool with an optional global conflict cap. `None` never exhausts.
+    pub fn new(cap: Option<u64>) -> Self {
+        Self {
+            conflicts: AtomicU64::new(0),
+            propagations: AtomicU64::new(0),
+            cap,
+        }
+    }
+
+    /// The configured global conflict cap.
+    pub fn cap(&self) -> Option<u64> {
+        self.cap
+    }
+
+    /// Adds one query's conflict/propagation deltas to the account.
+    pub fn charge(&self, conflicts: u64, propagations: u64) {
+        self.conflicts.fetch_add(conflicts, Ordering::Relaxed);
+        self.propagations.fetch_add(propagations, Ordering::Relaxed);
+    }
+
+    /// Total conflicts charged so far.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+
+    /// Total propagations charged so far.
+    pub fn propagations(&self) -> u64 {
+        self.propagations.load(Ordering::Relaxed)
+    }
+
+    /// Whether the global conflict cap has been reached.
+    pub fn exhausted(&self) -> bool {
+        match self.cap {
+            Some(cap) => self.conflicts() >= cap,
+            None => false,
+        }
+    }
+
+    /// Conflicts left under the cap (`None` when uncapped).
+    pub fn remaining(&self) -> Option<u64> {
+        self.cap.map(|cap| cap.saturating_sub(self.conflicts()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncapped_pool_only_accounts() {
+        let p = BudgetPool::new(None);
+        p.charge(10, 100);
+        p.charge(5, 50);
+        assert_eq!(p.conflicts(), 15);
+        assert_eq!(p.propagations(), 150);
+        assert!(!p.exhausted());
+        assert_eq!(p.remaining(), None);
+    }
+
+    #[test]
+    fn capped_pool_exhausts() {
+        let p = BudgetPool::new(Some(20));
+        assert_eq!(p.remaining(), Some(20));
+        p.charge(15, 0);
+        assert!(!p.exhausted());
+        assert_eq!(p.remaining(), Some(5));
+        p.charge(5, 0);
+        assert!(p.exhausted());
+        assert_eq!(p.remaining(), Some(0));
+    }
+
+    #[test]
+    fn charging_is_thread_safe() {
+        let p = std::sync::Arc::new(BudgetPool::new(Some(1000)));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = std::sync::Arc::clone(&p);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        p.charge(1, 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.conflicts(), 400);
+        assert_eq!(p.propagations(), 800);
+        assert!(!p.exhausted());
+    }
+}

@@ -31,9 +31,7 @@ impl ActivityHeap {
 
     /// Whether the heap contains `v`.
     pub fn contains(&self, v: Var) -> bool {
-        self.pos
-            .get(v.index())
-            .is_some_and(|&p| p != ABSENT)
+        self.pos.get(v.index()).is_some_and(|&p| p != ABSENT)
     }
 
     /// Whether the heap is empty.

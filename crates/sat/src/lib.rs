@@ -22,10 +22,12 @@
 //! assert_eq!(s.value(b), Some(true));
 //! ```
 
+mod budget;
 pub mod dimacs;
 mod heap;
 mod solver;
 mod types;
 
+pub use budget::BudgetPool;
 pub use solver::{Solver, SolverStats};
 pub use types::{Lit, SolveResult, Var};

@@ -442,9 +442,7 @@ impl Solver {
         } else {
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.level[learnt[i].var().index()]
-                    > self.level[learnt[max_i].var().index()]
-                {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
                     max_i = i;
                 }
             }
@@ -549,14 +547,8 @@ impl Solver {
             }
             self.arena.swap_lits(cref, 1, b1);
             let (l0, l1) = (self.arena.lit(cref, 0), self.arena.lit(cref, 1));
-            self.watches[l0.code()].push(Watcher {
-                cref,
-                blocker: l1,
-            });
-            self.watches[l1.code()].push(Watcher {
-                cref,
-                blocker: l0,
-            });
+            self.watches[l0.code()].push(Watcher { cref, blocker: l1 });
+            self.watches[l1.code()].push(Watcher { cref, blocker: l0 });
         }
     }
 
@@ -751,9 +743,9 @@ mod tests {
             s.add_clause(&row.map(Lit::pos));
         }
         for j in 0..3 {
-            for i1 in 0..4 {
-                for i2 in (i1 + 1)..4 {
-                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            for (i1, row1) in p.iter().enumerate() {
+                for row2 in &p[i1 + 1..] {
+                    s.add_clause(&[Lit::neg(row1[j]), Lit::neg(row2[j])]);
                 }
             }
         }
@@ -796,9 +788,9 @@ mod tests {
             s.add_clause(&row.map(Lit::pos));
         }
         for j in 0..4 {
-            for i1 in 0..5 {
-                for i2 in (i1 + 1)..5 {
-                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            for (i1, row1) in p.iter().enumerate() {
+                for row2 in &p[i1 + 1..] {
+                    s.add_clause(&[Lit::neg(row1[j]), Lit::neg(row2[j])]);
                 }
             }
         }
@@ -857,9 +849,9 @@ mod tests {
             s.add_clause(&row.map(Lit::pos));
         }
         for j in 0..H {
-            for i1 in 0..P {
-                for i2 in (i1 + 1)..P {
-                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            for (i1, row1) in p.iter().enumerate() {
+                for row2 in &p[i1 + 1..] {
+                    s.add_clause(&[Lit::neg(row1[j]), Lit::neg(row2[j])]);
                 }
             }
         }

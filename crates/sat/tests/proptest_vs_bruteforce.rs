@@ -1,18 +1,24 @@
 //! Property-based cross-check: the CDCL solver must agree with brute-force
 //! enumeration on small random formulas, and every SAT model must satisfy
-//! all clauses.
+//! all clauses. (Hand-rolled random cases via `prng`; the container has no
+//! crates.io access for `proptest`.)
 
-use proptest::prelude::*;
+use prng::Rng;
 use sat::{Lit, SolveResult, Solver, Var};
 
 const MAX_VARS: u32 = 10;
 
-fn clause_strategy() -> impl Strategy<Value = Vec<(u32, bool)>> {
-    prop::collection::vec((0..MAX_VARS, any::<bool>()), 1..4)
-}
-
-fn formula_strategy() -> impl Strategy<Value = Vec<Vec<(u32, bool)>>> {
-    prop::collection::vec(clause_strategy(), 1..40)
+/// A random formula: 1..40 clauses of 1..4 literals over `MAX_VARS` vars.
+fn random_formula(rng: &mut Rng) -> Vec<Vec<(u32, bool)>> {
+    let num_clauses = rng.range(1, 40) as usize;
+    (0..num_clauses)
+        .map(|_| {
+            let len = rng.range(1, 4) as usize;
+            (0..len)
+                .map(|_| (rng.range(0, MAX_VARS as u64) as u32, rng.flip()))
+                .collect()
+        })
+        .collect()
 }
 
 fn brute_force_sat(formula: &[Vec<(u32, bool)>]) -> bool {
@@ -29,57 +35,58 @@ fn brute_force_sat(formula: &[Vec<(u32, bool)>]) -> bool {
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn load(s: &mut Solver, vars: &[Var], formula: &[Vec<(u32, bool)>]) {
+    for clause in formula {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&(v, positive)| Lit::new(vars[v as usize], positive))
+            .collect();
+        s.add_clause(&lits);
+    }
+}
 
-    #[test]
-    fn solver_agrees_with_brute_force(formula in formula_strategy()) {
+#[test]
+fn solver_agrees_with_brute_force() {
+    prng::for_each_case("solver_agrees_with_brute_force", 0xb51f, 128, |rng| {
+        let formula = random_formula(rng);
         let mut s = Solver::new();
         let vars: Vec<Var> = (0..MAX_VARS).map(|_| s.new_var()).collect();
-        for clause in &formula {
-            let lits: Vec<Lit> = clause
-                .iter()
-                .map(|&(v, positive)| Lit::new(vars[v as usize], positive))
-                .collect();
-            s.add_clause(&lits);
-        }
+        load(&mut s, &vars, &formula);
         let expected = brute_force_sat(&formula);
         let got = s.solve();
-        prop_assert_ne!(got, SolveResult::Unknown);
-        prop_assert_eq!(got.is_sat(), expected);
+        assert_ne!(got, SolveResult::Unknown);
+        assert_eq!(got.is_sat(), expected);
         if got.is_sat() {
             for clause in &formula {
-                let satisfied = clause.iter().any(|&(v, positive)| {
-                    s.value(vars[v as usize]).unwrap_or(false) == positive
-                });
-                prop_assert!(satisfied, "returned model violates a clause");
+                let satisfied = clause
+                    .iter()
+                    .any(|&(v, positive)| s.value(vars[v as usize]).unwrap_or(false) == positive);
+                assert!(satisfied, "returned model violates a clause");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn assumptions_match_added_units(formula in formula_strategy(), forced in 0..MAX_VARS, polarity in any::<bool>()) {
-        // solve_assuming([l]) must agree with adding the unit clause [l].
+#[test]
+fn assumptions_match_added_units() {
+    // solve_assuming([l]) must agree with adding the unit clause [l].
+    prng::for_each_case("assumptions_match_added_units", 0xa55e, 128, |rng| {
+        let formula = random_formula(rng);
+        let forced = rng.range(0, MAX_VARS as u64) as usize;
+        let polarity = rng.flip();
         let build = |with_unit: bool| -> (Solver, Vec<Var>) {
             let mut s = Solver::new();
             let vars: Vec<Var> = (0..MAX_VARS).map(|_| s.new_var()).collect();
-            for clause in &formula {
-                let lits: Vec<Lit> = clause
-                    .iter()
-                    .map(|&(v, positive)| Lit::new(vars[v as usize], positive))
-                    .collect();
-                s.add_clause(&lits);
-            }
+            load(&mut s, &vars, &formula);
             if with_unit {
-                s.add_clause(&[Lit::new(vars[forced as usize], polarity)]);
+                s.add_clause(&[Lit::new(vars[forced], polarity)]);
             }
             (s, vars)
         };
         let (mut with_unit, _) = build(true);
         let (mut with_assumption, vars) = build(false);
-        let a = with_assumption
-            .solve_assuming(&[Lit::new(vars[forced as usize], polarity)]);
+        let a = with_assumption.solve_assuming(&[Lit::new(vars[forced], polarity)]);
         let u = with_unit.solve();
-        prop_assert_eq!(a.is_sat(), u.is_sat());
-    }
+        assert_eq!(a.is_sat(), u.is_sat());
+    });
 }

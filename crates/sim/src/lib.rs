@@ -125,9 +125,7 @@ impl<'a> Simulator<'a> {
                         self.values[b.index()]
                     }
                 }
-                Op::Slice { src, hi, lo } => {
-                    (self.values[src.index()] >> lo) & mask(hi - lo + 1)
-                }
+                Op::Slice { src, hi, lo } => (self.values[src.index()] >> lo) & mask(hi - lo + 1),
                 Op::Concat { hi, lo } => {
                     let lw = self.nl.width(*lo);
                     (self.values[hi.index()] << lw) | self.values[lo.index()]
@@ -243,11 +241,7 @@ impl Recorder {
 
     /// Samples the watched signals at the current cycle.
     pub fn sample(&mut self, simulator: &mut Simulator<'_>) {
-        let row = self
-            .signals
-            .iter()
-            .map(|&s| simulator.value(s))
-            .collect();
+        let row = self.signals.iter().map(|&s| simulator.value(s)).collect();
         self.rows.push(row);
     }
 
@@ -316,6 +310,76 @@ pub fn replay(
         }
         out.push(watch.iter().map(|&s| simulator.value(s)).collect());
         simulator.step();
+    }
+    out
+}
+
+/// Writes a recorded waveform as a minimal VCD (Value Change Dump) file
+/// body, viewable in standard waveform viewers.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::Builder;
+/// use sim::{Recorder, Simulator};
+///
+/// # fn main() -> Result<(), netlist::NetlistError> {
+/// let mut b = Builder::new();
+/// let c = b.reg("c", 4, 0);
+/// let one = b.constant(1, 4);
+/// let n = b.add(c, one);
+/// b.set_next(c, n)?;
+/// let nl = b.finish()?;
+/// let c = nl.find("c").unwrap();
+/// let mut s = Simulator::new(&nl);
+/// let mut rec = Recorder::new(vec![c]);
+/// rec.sample(&mut s);
+/// s.step();
+/// rec.sample(&mut s);
+/// let vcd = sim::to_vcd(&rec, &nl, &[c]);
+/// assert!(vcd.contains("$var"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_vcd(rec: &Recorder, nl: &Netlist, signals: &[SignalId]) -> String {
+    let mut out = String::new();
+    out.push_str("$timescale 1ns $end\n$scope module dut $end\n");
+    let idcode = |i: usize| -> String {
+        // VCD identifier characters: printable ASCII 33..=126.
+        let mut n = i;
+        let mut s = String::new();
+        loop {
+            s.push((33 + (n % 94)) as u8 as char);
+            n /= 94;
+            if n == 0 {
+                break;
+            }
+        }
+        s
+    };
+    for (i, &sig) in signals.iter().enumerate() {
+        out.push_str(&format!(
+            "$var wire {} {} {} $end\n",
+            nl.width(sig),
+            idcode(i),
+            nl.display_name(sig)
+        ));
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+    let mut last: Vec<Option<u64>> = vec![None; signals.len()];
+    for (t, _) in rec.rows().iter().enumerate() {
+        out.push_str(&format!("#{t}\n"));
+        for (i, &sig) in signals.iter().enumerate() {
+            let v = rec.column(sig)[t];
+            if last[i] != Some(v) {
+                last[i] = Some(v);
+                if nl.width(sig) == 1 {
+                    out.push_str(&format!("{}{}\n", v & 1, idcode(i)));
+                } else {
+                    out.push_str(&format!("b{:b} {}\n", v, idcode(i)));
+                }
+            }
+        }
     }
     out
 }
@@ -420,9 +484,8 @@ mod tests {
         b.set_next(acc, sum).unwrap();
         let nl = b.finish().unwrap();
         let (x, acc) = (nl.find("x").unwrap(), nl.find("acc").unwrap());
-        let script: Vec<HashMap<SignalId, u64>> = (1..=4)
-            .map(|i| HashMap::from([(x, i as u64)]))
-            .collect();
+        let script: Vec<HashMap<SignalId, u64>> =
+            (1..=4).map(|i| HashMap::from([(x, i as u64)])).collect();
         let vals = replay(&nl, &script, &[acc]);
         assert_eq!(
             vals.iter().map(|r| r[0]).collect::<Vec<_>>(),
@@ -467,74 +530,4 @@ mod tests {
         assert_eq!(s.value_of("l"), 0, "overshift is zero");
         assert_eq!(s.value_of("r"), 0);
     }
-}
-
-/// Writes a recorded waveform as a minimal VCD (Value Change Dump) file
-/// body, viewable in standard waveform viewers.
-///
-/// # Examples
-///
-/// ```
-/// use netlist::Builder;
-/// use sim::{Recorder, Simulator};
-///
-/// # fn main() -> Result<(), netlist::NetlistError> {
-/// let mut b = Builder::new();
-/// let c = b.reg("c", 4, 0);
-/// let one = b.constant(1, 4);
-/// let n = b.add(c, one);
-/// b.set_next(c, n)?;
-/// let nl = b.finish()?;
-/// let c = nl.find("c").unwrap();
-/// let mut s = Simulator::new(&nl);
-/// let mut rec = Recorder::new(vec![c]);
-/// rec.sample(&mut s);
-/// s.step();
-/// rec.sample(&mut s);
-/// let vcd = sim::to_vcd(&rec, &nl, &[c]);
-/// assert!(vcd.contains("$var"));
-/// # Ok(())
-/// # }
-/// ```
-pub fn to_vcd(rec: &Recorder, nl: &Netlist, signals: &[SignalId]) -> String {
-    let mut out = String::new();
-    out.push_str("$timescale 1ns $end\n$scope module dut $end\n");
-    let idcode = |i: usize| -> String {
-        // VCD identifier characters: printable ASCII 33..=126.
-        let mut n = i;
-        let mut s = String::new();
-        loop {
-            s.push((33 + (n % 94)) as u8 as char);
-            n /= 94;
-            if n == 0 {
-                break;
-            }
-        }
-        s
-    };
-    for (i, &sig) in signals.iter().enumerate() {
-        out.push_str(&format!(
-            "$var wire {} {} {} $end\n",
-            nl.width(sig),
-            idcode(i),
-            nl.display_name(sig)
-        ));
-    }
-    out.push_str("$upscope $end\n$enddefinitions $end\n");
-    let mut last: Vec<Option<u64>> = vec![None; signals.len()];
-    for (t, _) in rec.rows().iter().enumerate() {
-        out.push_str(&format!("#{t}\n"));
-        for (i, &sig) in signals.iter().enumerate() {
-            let v = rec.column(sig)[t];
-            if last[i] != Some(v) {
-                last[i] = Some(v);
-                if nl.width(sig) == 1 {
-                    out.push_str(&format!("{}{}\n", v & 1, idcode(i)));
-                } else {
-                    out.push_str(&format!("b{:b} {}\n", v, idcode(i)));
-                }
-            }
-        }
-    }
-    out
 }

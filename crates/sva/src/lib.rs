@@ -157,12 +157,7 @@ pub fn visit_counter(b: &mut Builder, sig: Wire, width: u8, name: &str) -> Wire 
 ///
 /// Returns `(current_run, max_run)`. Distinguishes consecutive from
 /// non-consecutive revisits (§III-B, §V-B4).
-pub fn consecutive_counter(
-    b: &mut Builder,
-    sig: Wire,
-    width: u8,
-    name: &str,
-) -> (Wire, Wire) {
+pub fn consecutive_counter(b: &mut Builder, sig: Wire, width: u8, name: &str) -> (Wire, Wire) {
     let run = b.reg(&format!("{name}__run"), width, 0);
     let max_run = b.reg(&format!("{name}__maxrun"), width, 0);
     let one = b.constant(1, width);

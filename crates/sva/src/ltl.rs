@@ -104,9 +104,7 @@ impl Ltl {
         match self {
             Ltl::Atom(n) => out.push(n),
             Ltl::True | Ltl::False => {}
-            Ltl::Not(a) | Ltl::Next(a) | Ltl::Once(a) | Ltl::Yesterday(a) => {
-                a.collect_atoms(out)
-            }
+            Ltl::Not(a) | Ltl::Next(a) | Ltl::Once(a) | Ltl::Yesterday(a) => a.collect_atoms(out),
             Ltl::Finally(_, a) | Ltl::Globally(_, a) => a.collect_atoms(out),
             Ltl::And(a, b) | Ltl::Or(a, b) => {
                 a.collect_atoms(out);
@@ -161,9 +159,9 @@ pub fn eval(f: &Ltl, trace: &TraceMap<'_>, t: usize) -> bool {
         Ltl::Next(a) => t + 1 < len && eval(a, trace, t + 1),
         Ltl::Finally(k, a) => (t..=t + k).any(|u| u < len && eval(a, trace, u)),
         Ltl::Globally(k, a) => (t..=t + k).all(|u| u >= len || eval(a, trace, u)),
-        Ltl::Until(k, a, b) => (t..=t + k).any(|u| {
-            u < len && eval(b, trace, u) && (t..u).all(|v| eval(a, trace, v))
-        }),
+        Ltl::Until(k, a, b) => {
+            (t..=t + k).any(|u| u < len && eval(b, trace, u) && (t..u).all(|v| eval(a, trace, v)))
+        }
         Ltl::Once(a) => (0..=t).any(|u| u < len && eval(a, trace, u)),
         Ltl::Yesterday(a) => t > 0 && eval(a, trace, t - 1),
     }

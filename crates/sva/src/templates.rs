@@ -13,12 +13,7 @@ use netlist::{Builder, Wire};
 ///
 /// An **unreachable** outcome proves `pl_0` *dominates* `pl_1`: every
 /// execution of the IUV that visits `pl_1` also visits `pl_0`.
-pub fn dominates_cover(
-    b: &mut Builder,
-    pl0_visited: Wire,
-    pl1_visited: Wire,
-    name: &str,
-) -> Wire {
+pub fn dominates_cover(b: &mut Builder, pl0_visited: Wire, pl1_visited: Wire, name: &str) -> Wire {
     let n0 = b.not(pl0_visited);
     let c = b.and(n0, pl1_visited);
     b.name(c, name)
@@ -28,12 +23,7 @@ pub fn dominates_cover(
 ///
 /// An **unreachable** outcome proves `pl_0` and `pl_1` are mutually
 /// *exclusive*: no execution of the IUV visits both.
-pub fn exclusive_cover(
-    b: &mut Builder,
-    pl0_visited: Wire,
-    pl1_visited: Wire,
-    name: &str,
-) -> Wire {
+pub fn exclusive_cover(b: &mut Builder, pl0_visited: Wire, pl1_visited: Wire, name: &str) -> Wire {
     let c = b.and(pl0_visited, pl1_visited);
     b.name(c, name)
 }
@@ -220,8 +210,7 @@ mod tests {
         let out_pl = b.input("v2", 1);
         let s0 = sticky(&mut b, v0, "s0");
         let s1 = sticky(&mut b, v1, "s1");
-        let (cover, assumes) =
-            pl_set_cover(&mut b, &[s0, s1], &[v0, v1], &[out_pl], "set01");
+        let (cover, assumes) = pl_set_cover(&mut b, &[s0, s1], &[v0, v1], &[out_pl], "set01");
         assert_eq!(assumes.len(), 1);
         let nl_cover = cover;
         let nl = b.finish().unwrap();

@@ -2,51 +2,61 @@
 //! bounded-LTL formulas and random traces, the compiled hardware monitor
 //! (delayed by the formula's horizon) must agree with the reference
 //! interpreter at every cycle where the full look-ahead window fits inside
-//! the trace.
+//! the trace. (Hand-rolled random cases via `prng`.)
 
 use netlist::Builder;
-use proptest::prelude::*;
+use prng::Rng;
 use sim::Simulator;
 use sva::ltl::{eval, Ltl, TraceMap};
 
-fn arb_ltl(depth: u32) -> BoxedStrategy<Ltl> {
-    let leaf = prop_oneof![
-        Just(Ltl::atom("a")),
-        Just(Ltl::atom("b")),
-        Just(Ltl::True),
-        Just(Ltl::False),
-    ];
-    leaf.prop_recursive(depth, 24, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| f.negate()),
-            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.and(g)),
-            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.or(g)),
-            inner.clone().prop_map(|f| f.next()),
-            (0usize..3, inner.clone()).prop_map(|(k, f)| f.finally(k)),
-            (0usize..3, inner.clone()).prop_map(|(k, f)| f.globally(k)),
-            (0usize..3, inner.clone(), inner.clone())
-                .prop_map(|(k, f, g)| Ltl::Until(k, Box::new(f), Box::new(g))),
-            inner.clone().prop_map(|f| Ltl::Once(Box::new(f))),
-            inner.prop_map(|f| Ltl::Yesterday(Box::new(f))),
-        ]
-    })
-    .boxed()
+fn random_ltl(rng: &mut Rng, depth: u32) -> Ltl {
+    let leaf = depth == 0 || rng.range(0, 4) == 0;
+    if leaf {
+        return match rng.range(0, 4) {
+            0 => Ltl::atom("a"),
+            1 => Ltl::atom("b"),
+            2 => Ltl::True,
+            _ => Ltl::False,
+        };
+    }
+    let d = depth - 1;
+    match rng.range(0, 9) {
+        0 => random_ltl(rng, d).negate(),
+        1 => random_ltl(rng, d).and(random_ltl(rng, d)),
+        2 => random_ltl(rng, d).or(random_ltl(rng, d)),
+        3 => random_ltl(rng, d).next(),
+        4 => {
+            let k = rng.range_usize(0, 3);
+            random_ltl(rng, d).finally(k)
+        }
+        5 => {
+            let k = rng.range_usize(0, 3);
+            random_ltl(rng, d).globally(k)
+        }
+        6 => {
+            let k = rng.range_usize(0, 3);
+            Ltl::Until(
+                k,
+                Box::new(random_ltl(rng, d)),
+                Box::new(random_ltl(rng, d)),
+            )
+        }
+        7 => Ltl::Once(Box::new(random_ltl(rng, d))),
+        _ => Ltl::Yesterday(Box::new(random_ltl(rng, d))),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn compiled_monitor_matches_interpreter(
-        f in arb_ltl(3),
-        a_trace in prop::collection::vec(any::<bool>(), 10..16),
-        b_seed in prop::collection::vec(any::<bool>(), 10..16),
-    ) {
-        let len = a_trace.len().min(b_seed.len());
-        let a_trace = &a_trace[..len];
-        let b_trace = &b_seed[..len];
+#[test]
+fn compiled_monitor_matches_interpreter() {
+    prng::for_each_case("compiled_monitor_matches_interpreter", 0x17e1, 128, |rng| {
+        let f = random_ltl(rng, 3);
+        let len = rng.range_usize(10, 16);
+        let a_trace: Vec<bool> = (0..len).map(|_| rng.flip()).collect();
+        let b_trace: Vec<bool> = (0..len).map(|_| rng.flip()).collect();
         let horizon = f.horizon();
-        prop_assume!(horizon + 1 < len);
+        if horizon + 1 >= len {
+            return; // look-ahead window does not fit; skip this case
+        }
 
         // Build: two inputs, compile the formula.
         let mut b = Builder::new();
@@ -71,18 +81,15 @@ proptest! {
         }
 
         let mut tm: TraceMap<'_> = TraceMap::new();
-        tm.insert("a", a_trace.to_vec());
-        tm.insert("b", b_trace.to_vec());
+        tm.insert("a", a_trace.clone());
+        tm.insert("b", b_trace.clone());
         for t in 0..len - horizon {
             let expect = eval(&f, &tm, t);
-            prop_assert_eq!(
+            assert_eq!(
                 mon[t + horizon],
                 expect,
-                "formula {:?} at cycle {} (horizon {})",
-                f,
-                t,
-                horizon
+                "formula {f:?} at cycle {t} (horizon {horizon})"
             );
         }
-    }
+    });
 }

@@ -44,7 +44,11 @@ fn has_kind(s: &LeakageSignature, kinds: &[TxKind]) -> bool {
 pub fn is_dynamic_channel(s: &LeakageSignature) -> bool {
     has_kind(
         s,
-        &[TxKind::Intrinsic, TxKind::DynamicOlder, TxKind::DynamicYounger],
+        &[
+            TxKind::Intrinsic,
+            TxKind::DynamicOlder,
+            TxKind::DynamicYounger,
+        ],
     )
 }
 
@@ -171,8 +175,7 @@ pub fn derive_contracts(report: &LeakageReport) -> Contracts {
                 TxKind::Intrinsic => {
                     c.stt.explicit_channels.insert(ch.clone());
                     c.dolma.variable_time_micro_ops.insert(t.opcode);
-                    if !["IF", "ID", "scbIss", "scbFin", "scbCmt"].contains(&s.src.as_str())
-                    {
+                    if !["IF", "ID", "scbIss", "scbFin", "scbCmt"].contains(&s.src.as_str()) {
                         c.oisa
                             .input_dependent_units
                             .insert((t.opcode, s.src.clone()));
@@ -294,11 +297,7 @@ mod tests {
     use crate::signatures::LeakageReport;
     use mc::CheckStats;
 
-    fn sig(
-        p: Opcode,
-        src: &str,
-        inputs: &[(Opcode, Operand, TxKind)],
-    ) -> LeakageSignature {
+    fn sig(p: Opcode, src: &str, inputs: &[(Opcode, Operand, TxKind)]) -> LeakageSignature {
         LeakageSignature {
             transponder: p,
             src: src.into(),

@@ -199,8 +199,7 @@ fn track(
     let done = {
         let quiet = b.not(any_now);
         let sv = b.and(seen, any_visited_w);
-        let d = b.and(sv, quiet)
-    ;
+        let d = b.and(sv, quiet);
         b.name(d, &format!("{prefix}_done"))
     };
     let issue_pc = b.wire(design.issue_pc);
@@ -240,7 +239,8 @@ fn track(
 }
 
 fn class_of(name: &str) -> String {
-    name.trim_end_matches(|c: char| c.is_ascii_digit()).to_owned()
+    name.trim_end_matches(|c: char| c.is_ascii_digit())
+        .to_owned()
 }
 
 /// Builds the leak harness: IFT instrumentation + trackers + assume/cover
@@ -626,10 +626,7 @@ impl LeakHarness {
     /// transponder. Returns the extended netlist plus one cover signal per
     /// decision, in order (skipping none; the caller filters empty-dst
     /// decisions beforehand).
-    pub fn decision_covers(
-        &self,
-        decisions: &[Decision],
-    ) -> (Netlist, Vec<SignalId>) {
+    pub fn decision_covers(&self, decisions: &[Decision]) -> (Netlist, Vec<SignalId>) {
         let mut b = Builder::from_netlist(self.netlist.clone());
         // All destination classes that appear across this source's
         // decisions, for the exact-set veto.

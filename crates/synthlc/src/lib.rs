@@ -46,9 +46,7 @@ mod harness;
 pub mod scsafe;
 mod signatures;
 
-pub use harness::{
-    build_leak_harness, LeakHarness, LeakHarnessConfig, Operand, Tracked, TxKind,
-};
+pub use harness::{build_leak_harness, LeakHarness, LeakHarnessConfig, Operand, Tracked, TxKind};
 pub use signatures::{
     synthesize_leakage, LeakConfig, LeakageReport, LeakageSignature, Tag, TypedTransmitter,
 };

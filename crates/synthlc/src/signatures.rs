@@ -2,11 +2,13 @@
 //! transponder's decisions to typed transmitters' unsafe operands via
 //! symbolic IFT queries, then assemble leakage signatures (§IV-D).
 
-use crate::harness::{build_leak_harness, LeakHarnessConfig, Operand, TxKind};
+use crate::harness::{build_leak_harness, LeakHarness, LeakHarnessConfig, Operand, TxKind};
 use isa::Opcode;
-use mc::{CheckStats, Checker, McConfig};
-use mupath::{synthesize_isa_parallel, InstrSynthesis, SynthConfig};
+use mc::{CheckStats, Checker, Elab, McConfig};
+use mupath::{synthesize_isa_with, EngineOptions, InstrSynthesis, SynthConfig};
+use sat::BudgetPool;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use uarch::Design;
 use uhb::Decision;
 
@@ -134,8 +136,14 @@ pub struct LeakConfig {
     pub bound: usize,
     /// IFT-phase conflict budget.
     pub conflict_budget: Option<u64>,
-    /// Worker threads (per-transponder parallelism).
+    /// Worker threads; `0` selects [`mc::default_threads`] (the
+    /// `SYNTHLC_THREADS` environment knob / available parallelism).
     pub threads: usize,
+    /// Globally shared conflict/propagation account across both phases.
+    /// Uncapped pools aggregate statistics only; capped pools cut off
+    /// queries once the global cap is hit (scheduling-dependent — see
+    /// `DESIGN.md` §6).
+    pub budget_pool: Option<Arc<BudgetPool>>,
     /// Base fetch slot for the transponder/transmitter arrangement. The
     /// default 0 places the earliest tracked instruction first after reset;
     /// stateful DUVs (the cache) need `slot_base >= 1` so a context
@@ -173,9 +181,20 @@ impl LeakConfig {
             ],
             bound: design.max_latency + 10,
             conflict_budget: Some(4_000_000),
-            threads: 1,
+            threads: 0,
             slot_base: 0,
             max_sources: None,
+            budget_pool: None,
+        }
+    }
+
+    /// The effective worker count (resolving `0` to the environment
+    /// default).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            mc::default_threads()
+        } else {
+            self.threads
         }
     }
 
@@ -209,89 +228,70 @@ fn slots_for(kind: TxKind, base: usize) -> (usize, usize) {
     }
 }
 
-/// Runs the IFT step for one transponder, returning its tags and the
-/// filtered (non-empty-destination) class decisions.
-fn ift_for_transponder(
-    design: &Design,
+/// Runs the IFT queries of one (transponder, slot arrangement, transmitter
+/// typing) job. The harness is shared immutably across every job of its
+/// slot arrangement; the decision-cover netlist and its elaboration are
+/// shared across the jobs of one (transponder, arrangement); the checker
+/// (unrolling + SAT solver) is private to the job.
+#[allow(clippy::too_many_arguments)]
+fn ift_kind_job(
     p: Opcode,
     decisions: &[Decision],
-    kinds_requested: &[TxKind],
+    kind: TxKind,
+    harness: &LeakHarness,
+    netlist: &netlist::Netlist,
+    covers: &[netlist::SignalId],
+    elab: &Arc<Elab>,
+    free: &[netlist::SignalId],
     cfg: &LeakConfig,
 ) -> (Vec<Tag>, CheckStats) {
     let mut tags = Vec::new();
-    let mut stats = CheckStats::default();
-    // Group kinds by slot arrangement so harnesses/checkers are shared.
-    let mut by_slots: BTreeMap<(usize, usize), Vec<TxKind>> = BTreeMap::new();
-    for &k in kinds_requested {
-        by_slots.entry(slots_for(k, cfg.slot_base)).or_default().push(k);
+    let mut checker = Checker::with_elab(netlist, cfg.mc_config(), free, Arc::clone(elab));
+    if let Some(pool) = &cfg.budget_pool {
+        checker.set_budget_pool(Arc::clone(pool));
     }
-    let free: Vec<netlist::SignalId> = design
-        .annotations
-        .arf
-        .iter()
-        .chain(design.annotations.amem.iter())
-        .copied()
-        .collect();
-    for ((slot_p, slot_t), kinds) in by_slots {
-        let intrinsic_arrangement = slot_p == slot_t;
-        let harness = build_leak_harness(
-            design,
-            &LeakHarnessConfig {
-                slot_p,
-                slot_t,
-                p_opcodes: vec![p],
-                t_opcodes: cfg.transmitters.clone(),
-                no_cf_context: true,
-            },
-        );
-        let (netlist, covers) = harness.decision_covers(decisions);
-        let mut checker = Checker::with_free_regs(&netlist, cfg.mc_config(), &free);
-        for kind in kinds {
-            let t_candidates: Vec<Opcode> = if kind == TxKind::Intrinsic {
-                vec![p]
-            } else {
-                cfg.transmitters.clone()
+    let t_candidates: Vec<Opcode> = if kind == TxKind::Intrinsic {
+        vec![p]
+    } else {
+        cfg.transmitters.clone()
+    };
+    for t in t_candidates {
+        for operand in [Operand::Rs1, Operand::Rs2] {
+            let reads = match operand {
+                Operand::Rs1 => t.reads_rs1(),
+                Operand::Rs2 => t.reads_rs2(),
             };
-            for t in t_candidates {
-                for operand in [Operand::Rs1, Operand::Rs2] {
-                    let reads = match operand {
-                        Operand::Rs1 => t.reads_rs1(),
-                        Operand::Rs2 => t.reads_rs2(),
-                    };
-                    if !reads {
-                        continue;
-                    }
-                    for (decision_ix, d) in decisions.iter().enumerate() {
-                        let mut assumes = harness.base_assumes.clone();
-                        assumes.push(harness.p_opcode_assume(p));
-                        if !intrinsic_arrangement {
-                            assumes.push(harness.t_opcode_assume(t));
-                        }
-                        assumes.push(harness.operand_assume(operand));
-                        assumes.push(harness.flush_assume(kind));
-                        if kind != TxKind::Intrinsic {
-                            assumes.push(harness.relation_assume(kind, d.src));
-                        }
-                        let outcome = checker.check_cover(covers[decision_ix], &assumes);
-                        if outcome.is_reachable() {
-                            let src_class = harness.class_table().name(d.src);
-                            tags.push(Tag {
-                                decision_ix,
-                                tx: TypedTransmitter {
-                                    opcode: t,
-                                    operand,
-                                    kind,
-                                },
-                                primary: classify_primary(kind, src_class),
-                            });
-                        }
-                    }
+            if !reads {
+                continue;
+            }
+            for (decision_ix, d) in decisions.iter().enumerate() {
+                let mut assumes = harness.base_assumes.clone();
+                assumes.push(harness.p_opcode_assume(p));
+                if !harness.intrinsic {
+                    assumes.push(harness.t_opcode_assume(t));
+                }
+                assumes.push(harness.operand_assume(operand));
+                assumes.push(harness.flush_assume(kind));
+                if kind != TxKind::Intrinsic {
+                    assumes.push(harness.relation_assume(kind, d.src));
+                }
+                let outcome = checker.check_cover(covers[decision_ix], &assumes);
+                if outcome.is_reachable() {
+                    let src_class = harness.class_table().name(d.src);
+                    tags.push(Tag {
+                        decision_ix,
+                        tx: TypedTransmitter {
+                            opcode: t,
+                            operand,
+                            kind,
+                        },
+                        primary: classify_primary(kind, src_class),
+                    });
                 }
             }
         }
-        stats.absorb(&checker.stats());
     }
-    (tags, stats)
+    (tags, checker.stats())
 }
 
 /// Runs the complete SynthLC flow (Fig. 6 bottom): µPATH synthesis, then
@@ -302,7 +302,12 @@ pub fn synthesize_leakage(
     cfg: &LeakConfig,
 ) -> LeakageReport {
     // Phase 1: RTL2MµPATH.
-    let isa_synth = synthesize_isa_parallel(design, transponders, &cfg.mupath, cfg.threads);
+    let threads = cfg.effective_threads();
+    let engine = EngineOptions {
+        threads,
+        budget_pool: cfg.budget_pool.clone(),
+    };
+    let isa_synth = synthesize_isa_with(design, transponders, &cfg.mupath, &engine);
     let mupath_stats = isa_synth.stats;
 
     // Phase 2: symbolic IFT per candidate transponder.
@@ -339,30 +344,93 @@ pub fn synthesize_leakage(
             }
         })
         .collect();
-    // Work units: one per (transponder, transmitter typing), so even a
-    // modest thread pool keeps busy.
-    let units: Vec<(usize, TxKind)> = work
-        .iter()
-        .enumerate()
-        .flat_map(|(ix, _)| cfg.kinds.iter().map(move |&k| (ix, k)))
+    // Phase 2a: one immutable harness per slot arrangement (the expensive
+    // IFT instrumentation + tracker circuitry), shared by every transponder
+    // and typing of that arrangement. Transponder binding happens per query
+    // through assume signals, so one harness serves them all.
+    let pairings: Vec<((usize, usize), Vec<TxKind>)> = if work.is_empty() {
+        Vec::new()
+    } else {
+        let mut by_slots: BTreeMap<(usize, usize), Vec<TxKind>> = BTreeMap::new();
+        for &k in &cfg.kinds {
+            by_slots
+                .entry(slots_for(k, cfg.slot_base))
+                .or_default()
+                .push(k);
+        }
+        by_slots.into_iter().collect()
+    };
+    let p_opcodes: Vec<Opcode> = work.iter().map(|w| w.p).collect();
+    let harnesses: Vec<Arc<LeakHarness>> = mc::run_jobs(
+        pairings.iter().map(|(s, _)| *s).collect(),
+        threads,
+        |_, (slot_p, slot_t)| {
+            Arc::new(build_leak_harness(
+                design,
+                &LeakHarnessConfig {
+                    slot_p,
+                    slot_t,
+                    p_opcodes: p_opcodes.clone(),
+                    t_opcodes: cfg.transmitters.clone(),
+                    no_cf_context: true,
+                },
+            ))
+        },
+    );
+
+    // Phase 2b: per (transponder, arrangement) decision-cover netlists,
+    // each elaborated once and shared by that pair's typing jobs.
+    struct CoverNet {
+        netlist: netlist::Netlist,
+        covers: Vec<netlist::SignalId>,
+        elab: Arc<Elab>,
+    }
+    let cover_jobs: Vec<(usize, usize)> = (0..work.len())
+        .flat_map(|wi| (0..pairings.len()).map(move |pi| (wi, pi)))
         .collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<(Vec<Tag>, CheckStats)>>> =
-        units.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..cfg.threads.max(1).min(units.len().max(1)) {
-            scope.spawn(|| loop {
-                let ix = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if ix >= units.len() {
-                    break;
-                }
-                let (w_ix, kind) = &units[ix];
-                let w = &work[*w_ix];
-                let r = ift_for_transponder(design, w.p, &w.decisions, &[*kind], cfg);
-                *results[ix].lock().expect("no poisoned slot") = Some(r);
-            });
+    let cover_nets: Vec<CoverNet> = mc::run_jobs(cover_jobs, threads, |_, (wi, pi)| {
+        let (netlist, covers) = harnesses[pi].decision_covers(&work[wi].decisions);
+        let elab = Arc::new(Elab::new(&netlist));
+        CoverNet {
+            netlist,
+            covers,
+            elab,
         }
     });
+
+    // Phase 2c: the query jobs — one per (transponder, arrangement,
+    // typing), each with a private checker over the shared cover netlist.
+    let units: Vec<(usize, usize, TxKind)> = (0..work.len())
+        .flat_map(|wi| {
+            pairings
+                .iter()
+                .enumerate()
+                .flat_map(move |(pi, (_, kinds))| kinds.iter().map(move |&k| (wi, pi, k)))
+        })
+        .collect();
+    let free: Vec<netlist::SignalId> = design
+        .annotations
+        .arf
+        .iter()
+        .chain(design.annotations.amem.iter())
+        .copied()
+        .collect();
+    let results: Vec<(Vec<Tag>, CheckStats)> =
+        mc::run_jobs(units.clone(), threads, |_, (wi, pi, kind)| {
+            let w = &work[wi];
+            let cn = &cover_nets[wi * pairings.len() + pi];
+            ift_kind_job(
+                w.p,
+                &w.decisions,
+                kind,
+                &harnesses[pi],
+                &cn.netlist,
+                &cn.covers,
+                &cn.elab,
+                &free,
+                cfg,
+            )
+        });
 
     // Phase 3: assemble signatures.
     let mut ift_stats = CheckStats::default();
@@ -387,15 +455,12 @@ pub fn synthesize_leakage(
         }
         pls
     };
-    // Merge unit results back per transponder.
+    // Merge job results back per transponder, in job order — the merged
+    // tag lists are identical for every worker count.
     let mut tags_per_work: Vec<Vec<Tag>> = work.iter().map(|_| Vec::new()).collect();
-    for ((w_ix, _), slot) in units.iter().zip(results) {
-        let (tags, st) = slot
-            .into_inner()
-            .expect("no poisoned slot")
-            .expect("every unit processed");
+    for (&(w_ix, _, _), (tags, st)) in units.iter().zip(results) {
         ift_stats.absorb(&st);
-        tags_per_work[*w_ix].extend(tags);
+        tags_per_work[w_ix].extend(tags);
     }
     for (w, tags) in work.iter().zip(tags_per_work) {
         // Group tags per decision source.
@@ -414,8 +479,7 @@ pub fn synthesize_leakage(
             if tagged_decisions.len() < 2 {
                 continue;
             }
-            let inputs: BTreeSet<TypedTransmitter> =
-                src_tags.iter().map(|t| t.tx).collect();
+            let inputs: BTreeSet<TypedTransmitter> = src_tags.iter().map(|t| t.tx).collect();
             let outputs: Vec<BTreeSet<String>> = w
                 .decisions
                 .iter()

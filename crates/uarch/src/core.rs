@@ -302,7 +302,6 @@ pub fn build_core(cfg: &CoreConfig) -> Design {
     };
     let raw_hazard = b.or(raw1, raw2);
 
-
     // ---- ALU / branch resolution (at the unit, one cycle after issue) ----
     let a = op_a;
     let bb = op_b;

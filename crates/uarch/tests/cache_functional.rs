@@ -2,7 +2,7 @@
 //! returns the last written value), exactly one response per request with
 //! the right transaction id, and hit/miss timing behaviour.
 
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use prng::Rng;
 use sim::Simulator;
 use uarch::cache::{build_cache, CACHE_ADDR_SPACE};
 
@@ -118,12 +118,12 @@ fn random_requests_are_write_through_transparent() {
     let mut d = Driver::new(&design.netlist);
     let mut resp = Vec::new();
     let mut reference = [0u8; CACHE_ADDR_SPACE];
-    let mut rng = StdRng::seed_from_u64(0xcafe);
+    let mut rng = Rng::new(0xcafe);
     let mut expected_reads: Vec<(u64, u8)> = Vec::new();
     for _ in 0..60 {
-        let we = rng.gen_bool(0.4);
-        let addr = rng.gen_range(0..CACHE_ADDR_SPACE as u8);
-        let data = rng.r#gen::<u8>();
+        let we = rng.chance(0.4);
+        let addr = rng.range(0, CACHE_ADDR_SPACE as u64) as u8;
+        let data = rng.byte();
         let id = d.issue(we, addr, data, &mut resp);
         if we {
             reference[addr as usize] = data;
@@ -131,7 +131,7 @@ fn random_requests_are_write_through_transparent() {
             expected_reads.push((id, reference[addr as usize]));
         }
         // Occasionally let the pipeline drain fully.
-        if rng.gen_bool(0.3) {
+        if rng.chance(0.3) {
             d.drain(12, &mut resp);
         }
     }
@@ -151,11 +151,12 @@ fn every_request_gets_exactly_one_response() {
     let mut d = Driver::new(&design.netlist);
     let mut resp = Vec::new();
     let mut ids = Vec::new();
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::new(7);
     for _ in 0..30 {
-        let we = rng.gen_bool(0.5);
-        let addr = rng.gen_range(0..CACHE_ADDR_SPACE as u8);
-        ids.push(d.issue(we, addr, rng.r#gen(), &mut resp));
+        let we = rng.chance(0.5);
+        let addr = rng.range(0, CACHE_ADDR_SPACE as u64) as u8;
+        let data = rng.byte();
+        ids.push(d.issue(we, addr, data, &mut resp));
     }
     d.drain(32, &mut resp);
     for id in ids {

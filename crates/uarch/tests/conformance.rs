@@ -118,15 +118,13 @@ fn multiply_variants() {
 fn divide_edge_cases() {
     check_program(
         &CoreConfig::default(),
-        &asm(
-            "addi r1, r0, 10\n\
+        &asm("addi r1, r0, 10\n\
              div  r3, r1, r0\n\
              rem  r3, r1, r0\n\
              addi r2, r0, 3\n\
              div  r3, r1, r2\n\
              rem  r1, r1, r2\n\
-             divu r2, r3, r3\n",
-        ),
+             divu r2, r3, r3\n"),
     );
 }
 
@@ -135,14 +133,12 @@ fn division_overflow_case() {
     // r1 = -128, r2 = -1: signed overflow semantics.
     check_program(
         &CoreConfig::default(),
-        &asm(
-            "addi r1, r0, 1\n\
+        &asm("addi r1, r0, 1\n\
              addi r2, r0, 7\n\
              sll  r1, r1, r2\n\
              addi r2, r0, -1\n\
              div  r3, r1, r2\n\
-             rem  r3, r1, r2\n",
-        ),
+             rem  r3, r1, r2\n"),
     );
 }
 
@@ -150,12 +146,10 @@ fn division_overflow_case() {
 fn store_then_load_same_address_stalls_correctly() {
     check_program(
         &CoreConfig::default(),
-        &asm(
-            "addi r1, r0, 5\n\
+        &asm("addi r1, r0, 5\n\
              addi r2, r0, 9\n\
              sw   r1, r2, 0   ; mem[5] = 9\n\
-             lw   r3, r1, 0   ; must observe the store\n",
-        ),
+             lw   r3, r1, 0   ; must observe the store\n"),
     );
 }
 
@@ -163,13 +157,11 @@ fn store_then_load_same_address_stalls_correctly() {
 fn store_load_different_offsets_no_data_corruption() {
     check_program(
         &CoreConfig::default(),
-        &asm(
-            "addi r1, r0, 4\n\
+        &asm("addi r1, r0, 4\n\
              addi r2, r0, 11\n\
              sw   r1, r2, 0   ; mem[4] = 11\n\
              lw   r3, r0, 1   ; different offset, runs ahead of the drain\n\
-             lw   r2, r1, 0\n",
-        ),
+             lw   r2, r1, 0\n"),
     );
 }
 
@@ -177,12 +169,10 @@ fn store_load_different_offsets_no_data_corruption() {
 fn taken_branch_squashes_wrong_path() {
     check_program(
         &CoreConfig::default(),
-        &asm(
-            "addi r1, r0, 1\n\
+        &asm("addi r1, r0, 1\n\
              beq  r1, r1, 2   ; jump over the poison instruction\n\
              addi r3, r0, 15  ; must be squashed\n\
-             addi r2, r0, 4\n",
-        ),
+             addi r2, r0, 4\n"),
     );
 }
 
@@ -190,12 +180,10 @@ fn taken_branch_squashes_wrong_path() {
 fn not_taken_branch_falls_through() {
     check_program(
         &CoreConfig::default(),
-        &asm(
-            "addi r1, r0, 1\n\
+        &asm("addi r1, r0, 1\n\
              bne  r1, r1, 2\n\
              addi r3, r0, 15\n\
-             addi r2, r0, 4\n",
-        ),
+             addi r2, r0, 4\n"),
     );
 }
 
@@ -203,13 +191,11 @@ fn not_taken_branch_falls_through() {
 fn jal_and_jalr_link_and_redirect() {
     check_program(
         &CoreConfig::default(),
-        &asm(
-            "jal  r3, 2        ; skip next\n\
+        &asm("jal  r3, 2        ; skip next\n\
              addi r1, r0, 9    ; squashed\n\
              addi r2, r0, 1\n\
              jalr r1, r3, 2    ; jump to link+2 = 3... computes r3+2\n\
-             addi r2, r0, 7    ; may or may not execute depending on target\n",
-        ),
+             addi r2, r0, 7    ; may or may not execute depending on target\n"),
     );
 }
 
@@ -218,14 +204,12 @@ fn backward_branch_loop() {
     // r1 counts down from 3; loop body accumulates into r2.
     check_program(
         &CoreConfig::default(),
-        &asm(
-            "addi r1, r0, 3\n\
+        &asm("addi r1, r0, 3\n\
              addi r2, r0, 0\n\
              add  r2, r2, r1\n\
              addi r1, r1, -1\n\
              bne  r1, r0, -2\n\
-             add  r3, r2, r2\n",
-        ),
+             add  r3, r2, r2\n"),
     );
 }
 
@@ -234,13 +218,11 @@ fn op_packing_variant_matches_architecture() {
     // Wide and narrow ADD operands: timing differs, architecture must not.
     check_program(
         &CoreConfig::cva6_op(),
-        &asm(
-            "addi r1, r0, 3\n\
+        &asm("addi r1, r0, 3\n\
              add  r2, r1, r1   ; narrow\n\
              addi r3, r0, -1   ; r3 = 0xff (wide)\n\
              add  r2, r3, r1   ; wide operands, extra decode cycle\n\
-             add  r3, r2, r2\n",
-        ),
+             add  r3, r2, r2\n"),
     );
 }
 
@@ -248,14 +230,12 @@ fn op_packing_variant_matches_architecture() {
 fn shifts_and_compares() {
     check_program(
         &CoreConfig::default(),
-        &asm(
-            "addi r1, r0, -1\n\
+        &asm("addi r1, r0, -1\n\
              addi r2, r0, 3\n\
              sll  r3, r1, r2\n\
              srl  r3, r3, r2\n\
              slt  r1, r1, r2\n\
-             sltu r2, r3, r2\n",
-        ),
+             sltu r2, r3, r2\n"),
     );
 }
 
@@ -263,11 +243,9 @@ fn shifts_and_compares() {
 fn hardened_core_matches_architecture() {
     check_program(
         &CoreConfig::hardened(),
-        &asm(
-            "addi r1, r0, 9\n\
+        &asm("addi r1, r0, 9\n\
              addi r2, r0, 2\n\
              div  r3, r1, r2\n\
-             mul  r1, r3, r2\n",
-        ),
+             mul  r1, r3, r2\n"),
     );
 }

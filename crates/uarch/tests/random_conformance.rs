@@ -1,23 +1,33 @@
 //! Property-based ISA conformance: random MiniRV programs must execute
 //! identically (commit order + final architectural state) on every MiniCva6
-//! variant and on the golden model.
+//! variant and on the golden model. (Hand-rolled random cases via `prng`.)
 
 use isa::{ArchState, Instr, Opcode};
-use proptest::prelude::*;
+use prng::Rng;
 use sim::Simulator;
 use uarch::{build_core, CoreConfig, Design};
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    (0u8..31, 0u8..4, 0u8..4, 0u8..4, 0u8..32).prop_map(|(op, rd, rs1, rs2, imm)| Instr {
-        op: Opcode::from_bits(op),
-        rd,
-        rs1,
-        rs2,
-        imm,
-    })
+fn random_instr(rng: &mut Rng) -> Instr {
+    Instr {
+        op: Opcode::from_bits(rng.range(0, 31) as u8),
+        rd: rng.range(0, 4) as u8,
+        rs1: rng.range(0, 4) as u8,
+        rs2: rng.range(0, 4) as u8,
+        imm: rng.range(0, 32) as u8,
+    }
 }
 
-fn run_core(design: &Design, program: &[Instr], expect: usize) -> Option<(Vec<u64>, [u64; 3], Vec<u64>)> {
+fn random_program(rng: &mut Rng, max_len: usize) -> Vec<Instr> {
+    (0..rng.range_usize(1, max_len))
+        .map(|_| random_instr(rng))
+        .collect()
+}
+
+fn run_core(
+    design: &Design,
+    program: &[Instr],
+    expect: usize,
+) -> Option<(Vec<u64>, [u64; 3], Vec<u64>)> {
     let mut s = Simulator::new(&design.netlist);
     let commit = design.annotations.commit;
     let commit_pc = design.annotations.commit_pc;
@@ -27,7 +37,11 @@ fn run_core(design: &Design, program: &[Instr], expect: usize) -> Option<(Vec<u6
             break;
         }
         let cur_pc = s.value(design.pc) as usize;
-        let word = program.get(cur_pc).copied().unwrap_or_else(Instr::nop).encode();
+        let word = program
+            .get(cur_pc)
+            .copied()
+            .unwrap_or_else(Instr::nop)
+            .encode();
         s.set_input(design.fetch_instr_input, word as u64);
         s.set_input(design.fetch_valid_input, 1);
         if s.value(commit) == 1 {
@@ -50,15 +64,15 @@ fn run_core(design: &Design, program: &[Instr], expect: usize) -> Option<(Vec<u6
 }
 
 /// Returns (executed PCs, regs, mem, terminated-naturally).
-fn run_golden(
-    program: &[Instr],
-    max_steps: usize,
-) -> (Vec<u64>, [u64; 3], Vec<u64>, bool) {
+fn run_golden(program: &[Instr], max_steps: usize) -> (Vec<u64>, [u64; 3], Vec<u64>, bool) {
     let mut st = ArchState::new();
     let mut pcs = Vec::new();
     let mut natural = false;
     for _ in 0..max_steps {
-        let i = program.get(st.pc as usize).copied().unwrap_or_else(Instr::nop);
+        let i = program
+            .get(st.pc as usize)
+            .copied()
+            .unwrap_or_else(Instr::nop);
         pcs.push(st.pc as u64);
         st.step(i);
         if st.pc as usize >= program.len() {
@@ -74,48 +88,55 @@ fn run_golden(
     )
 }
 
-fn conformance_case(cfg: &CoreConfig, program: &[Instr]) -> Result<(), TestCaseError> {
+fn conformance_case(cfg: &CoreConfig, program: &[Instr]) {
     let design = build_core(cfg);
     let (gpcs, gregs, gmem, natural) = run_golden(program, 25);
     let got = run_core(&design, program, gpcs.len());
-    let (cpcs, cregs, cmem) = got.ok_or_else(|| {
-        TestCaseError::fail(format!(
+    let (cpcs, cregs, cmem) = got.unwrap_or_else(|| {
+        panic!(
             "core hung on {:?}",
             program.iter().map(|i| i.to_string()).collect::<Vec<_>>()
-        ))
-    })?;
-    prop_assert_eq!(&cpcs[..gpcs.len()], &gpcs[..], "commit order");
+        )
+    });
+    assert_eq!(&cpcs[..gpcs.len()], &gpcs[..], "commit order");
     if natural {
         // Once the golden run falls off the program, every further core
         // fetch is a NOP and cannot disturb architectural state, so the
         // final states are comparable. Mid-loop cutoffs are not (the core
         // still has real instructions in flight).
-        prop_assert_eq!(cregs, gregs, "registers");
-        prop_assert_eq!(cmem, gmem, "memory");
+        assert_eq!(cregs, gregs, "registers");
+        assert_eq!(cmem, gmem, "memory");
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn default_core_conforms() {
+    prng::for_each_case("default_core_conforms", 0xdefc, 48, |rng| {
+        let program = random_program(rng, 12);
+        conformance_case(&CoreConfig::default(), &program);
+    });
+}
 
-    #[test]
-    fn default_core_conforms(program in prop::collection::vec(arb_instr(), 1..12)) {
-        conformance_case(&CoreConfig::default(), &program)?;
-    }
+#[test]
+fn zero_skip_mul_core_conforms() {
+    prng::for_each_case("zero_skip_mul_core_conforms", 0x2e10, 48, |rng| {
+        let program = random_program(rng, 10);
+        conformance_case(&CoreConfig::cva6_mul(), &program);
+    });
+}
 
-    #[test]
-    fn zero_skip_mul_core_conforms(program in prop::collection::vec(arb_instr(), 1..10)) {
-        conformance_case(&CoreConfig::cva6_mul(), &program)?;
-    }
+#[test]
+fn op_packing_core_conforms() {
+    prng::for_each_case("op_packing_core_conforms", 0x09ac, 48, |rng| {
+        let program = random_program(rng, 10);
+        conformance_case(&CoreConfig::cva6_op(), &program);
+    });
+}
 
-    #[test]
-    fn op_packing_core_conforms(program in prop::collection::vec(arb_instr(), 1..10)) {
-        conformance_case(&CoreConfig::cva6_op(), &program)?;
-    }
-
-    #[test]
-    fn hardened_core_conforms(program in prop::collection::vec(arb_instr(), 1..10)) {
-        conformance_case(&CoreConfig::hardened(), &program)?;
-    }
+#[test]
+fn hardened_core_conforms() {
+    prng::for_each_case("hardened_core_conforms", 0x4a4d, 48, |rng| {
+        let program = random_program(rng, 10);
+        conformance_case(&CoreConfig::hardened(), &program);
+    });
 }

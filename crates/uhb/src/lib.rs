@@ -433,10 +433,7 @@ pub fn to_dot(path: &MuPath, pls: &PlTable, title: &str) -> String {
             Some(Revisit::NonConsecutive) => format!("{}(*)", pls.name(pl)),
             _ => pls.name(pl).to_owned(),
         };
-        out.push_str(&format!(
-            "  pl{} [label=\"{label}\", shape=box];\n",
-            pl.0
-        ));
+        out.push_str(&format!("  pl{} [label=\"{label}\", shape=box];\n", pl.0));
     }
     for &(a, b) in &path.edges {
         out.push_str(&format!("  pl{} -> pl{};\n", a.0, b.0));

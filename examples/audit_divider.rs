@@ -23,7 +23,8 @@ fn audit(name: &str, cfg: &CoreConfig) {
         kinds: vec![TxKind::Intrinsic],
         bound: 18,
         conflict_budget: Some(2_000_000),
-        threads: 1,
+        threads: 0,
+        budget_pool: None,
         slot_base: 0,
         max_sources: Some(3),
     };
@@ -42,7 +43,10 @@ fn audit(name: &str, cfg: &CoreConfig) {
     }
     let c = contracts::derive_contracts(&report);
     println!("\n  constant-time contract:\n{}", indent(&c.ct.render()));
-    println!("  Table I derivation:\n{}", indent(&contracts::render_table1(&c)));
+    println!(
+        "  Table I derivation:\n{}",
+        indent(&contracts::render_table1(&c))
+    );
 }
 
 fn indent(s: &str) -> String {
@@ -54,7 +58,10 @@ fn indent(s: &str) -> String {
 
 fn main() {
     // The early-terminating serial divider: an intrinsic transmitter.
-    audit("MiniCva6 (early-terminating divider)", &CoreConfig::default());
+    audit(
+        "MiniCva6 (early-terminating divider)",
+        &CoreConfig::default(),
+    );
     // The hardened, fixed-latency divider: clean.
     audit(
         "MiniCva6-hardened (fixed-latency divider)",

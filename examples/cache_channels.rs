@@ -32,7 +32,11 @@ fn main() {
         max_shapes: 32,
     };
     for op in [isa::Opcode::Lw, isa::Opcode::Sw] {
-        let kind = if op == isa::Opcode::Lw { "read" } else { "write" };
+        let kind = if op == isa::Opcode::Lw {
+            "read"
+        } else {
+            "write"
+        };
         let r = synthesize_instr(&design, op, &cfg);
         println!(
             "{kind}: {} µPATH(s) from {} properties ({:.2}s avg — note how much \

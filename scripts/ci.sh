@@ -1,0 +1,24 @@
+#!/bin/bash
+# CI gate: formatting, lints, and the full workspace test suite.
+#
+# Offline-friendly: runs with --offline by default (the workspace has no
+# third-party dependencies); set SYNTHLC_CI_ONLINE=1 to let cargo touch
+# the network. SYNTHLC_THREADS bounds the parallel engine in tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=(--offline)
+if [ "${SYNTHLC_CI_ONLINE:-0}" != 0 ]; then
+  OFFLINE=()
+fi
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy "${OFFLINE[@]}" --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q "${OFFLINE[@]}" --workspace
+
+echo "CI OK"

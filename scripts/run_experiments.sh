@@ -1,10 +1,13 @@
 #!/bin/bash
 # Regenerates every paper table/figure into results/.
 # SYNTHLC_SCOPE=quick (default) or full for the Fig. 8 / Table I sweeps.
+# SYNTHLC_THREADS=N bounds the parallel property-evaluation engine
+# (default: the machine's available parallelism).
 set -u
 cd "$(dirname "$0")/.."
 cargo build --release -p bench || exit 1
 mkdir -p results
+echo "scope=${SYNTHLC_SCOPE:-quick} threads=${SYNTHLC_THREADS:-auto}"
 for bin in table2 fig1 fig2 div_revisits bugs fig6_flow fig4 fig5 perf scsafe_sweep; do
   echo "=== running $bin ==="
   timeout 3600 ./target/release/$bin > results/$bin.txt 2>&1

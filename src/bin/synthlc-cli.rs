@@ -7,7 +7,7 @@
 //! synthlc-cli designs                         # list available designs
 //!
 //! designs: minicva6 | minicva6-mul | minicva6-op | hardened | tinycore | minicache
-//! options: --slots 0,1   --bound N   --context any|nocf|solo   --budget N
+//! options: --slots 0,1   --bound N   --context any|nocf|solo   --budget N   --jobs N
 //! ```
 //!
 //! Run via `cargo run --release --bin synthlc-cli -- <args>`.
@@ -43,6 +43,7 @@ struct Opts {
     bound: usize,
     context: ContextMode,
     budget: u64,
+    jobs: usize,
 }
 
 fn parse_opts(args: &[String], design: &Design) -> Result<Opts, String> {
@@ -55,6 +56,7 @@ fn parse_opts(args: &[String], design: &Design) -> Result<Opts, String> {
             ContextMode::Any
         },
         budget: 2_000_000,
+        jobs: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -79,6 +81,11 @@ fn parse_opts(args: &[String], design: &Design) -> Result<Opts, String> {
                 o.budget = val("--budget")?
                     .parse()
                     .map_err(|_| "bad --budget".to_owned())?;
+            }
+            "--jobs" => {
+                o.jobs = val("--jobs")?
+                    .parse()
+                    .map_err(|_| "bad --jobs".to_owned())?;
             }
             "--context" => {
                 o.context = match val("--context")?.as_str() {
@@ -119,11 +126,7 @@ fn cmd_pls(design: &Design, o: &Opts) {
         );
     }
     let s = report.stats;
-    println!(
-        "({} properties, {:.2}s avg)",
-        s.properties,
-        s.avg_seconds()
-    );
+    println!("({} properties, {:.2}s avg)", s.properties, s.avg_seconds());
 }
 
 fn cmd_paths(design: &Design, op: isa::Opcode, o: &Opts) {
@@ -187,9 +190,10 @@ fn cmd_leak(design: &Design, op: isa::Opcode, o: &Opts) {
         ],
         bound: o.bound,
         conflict_budget: Some(o.budget),
-        threads: 1,
+        threads: o.jobs,
         slot_base: 0,
         max_sources: Some(3),
+        budget_pool: None,
     };
     let report = synthesize_leakage(design, &[op], &cfg);
     if report.signatures.is_empty() {
@@ -256,7 +260,7 @@ fn run() -> Result<(), String> {
                 "usage:\n  synthlc-cli designs\n  synthlc-cli pls <design> [opts]\n  \
                  synthlc-cli paths <design> <instr> [opts]\n  synthlc-cli leak <design> <instr> [opts]\n\
                  \ndesigns: minicva6 minicva6-mul minicva6-op hardened tinycore minicache\n\
-                 opts: --slots 0,1  --bound N  --context any|nocf|solo  --budget N"
+                 opts: --slots 0,1  --bound N  --context any|nocf|solo  --budget N  --jobs N"
             );
             Ok(())
         }

@@ -86,10 +86,7 @@ fn write_has_bank_access_only_on_hit() {
     let wk1 = h.pls.find("wrBank1").unwrap();
     assert!(r.paths.len() >= 2, "write hit/miss split");
     for p in &r.concrete {
-        assert!(
-            !p.cycles(wt).is_empty(),
-            "every write checks tags (wrTag)"
-        );
+        assert!(!p.cycles(wt).is_empty(), "every write checks tags (wrTag)");
     }
     let with_bank = r
         .concrete
@@ -146,6 +143,7 @@ fn earlier_load_is_a_static_transmitter_for_later_loads() {
         bound: 24,
         conflict_budget: Some(2_000_000),
         threads: 1,
+        budget_pool: None,
         slot_base: 1,
         max_sources: Some(1),
     };

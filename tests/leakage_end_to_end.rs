@@ -20,6 +20,7 @@ fn quick_cfg() -> LeakConfig {
         bound: 18,
         conflict_budget: Some(2_000_000),
         threads: 1,
+        budget_pool: None,
         slot_base: 0,
         max_sources: Some(2),
     }
@@ -54,7 +55,10 @@ fn div_is_an_intrinsic_transmitter_with_both_operands_unsafe() {
     // Contract derivation consumes the signatures.
     let c = contracts::derive_contracts(&report);
     assert!(c.ct.unsafe_operands.contains_key(&isa::Opcode::Div));
-    assert!(!c.stt.explicit_channels.is_empty(), "explicit channel found");
+    assert!(
+        !c.stt.explicit_channels.is_empty(),
+        "explicit channel found"
+    );
     assert!(
         c.dolma.variable_time_micro_ops.contains(&isa::Opcode::Div),
         "Dolma flags DIV as variable-time"

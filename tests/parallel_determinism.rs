@@ -1,0 +1,193 @@
+//! Determinism of the parallel property-evaluation engine: any worker
+//! count must produce results byte-identical to `--jobs 1`, because jobs
+//! are independent and merge by job id (DESIGN.md §6). These tests compare
+//! full scheduling-independent fingerprints — µPATH sets, witnesses,
+//! decisions, leakage signatures, and outcome/budget accounting — across
+//! worker counts.
+
+use mupath::{synthesize_isa_with, ContextMode, EngineOptions, IsaSynthesis, SynthConfig};
+use sat::BudgetPool;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use synthlc::{synthesize_leakage, LeakConfig, LeakageReport, TxKind};
+use uarch::{build_core, build_tiny, CoreConfig};
+
+fn isa_fingerprint(r: &IsaSynthesis) -> String {
+    let mut out = String::new();
+    for i in &r.instrs {
+        writeln!(
+            out,
+            "{} complete={} paths={:?} concrete={:?} decisions={:?} classes={:?} \
+             p={} r={} u={} ud={}",
+            i.opcode,
+            i.complete,
+            i.paths,
+            i.concrete,
+            i.decisions,
+            i.class_decisions,
+            i.stats.properties,
+            i.stats.reachable,
+            i.stats.unreachable,
+            i.stats.undetermined
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn leak_fingerprint(r: &LeakageReport) -> String {
+    let mut out = String::new();
+    for i in &r.mupath {
+        writeln!(
+            out,
+            "{} complete={} paths={:?} decisions={:?}",
+            i.opcode, i.complete, i.paths, i.class_decisions
+        )
+        .unwrap();
+    }
+    for s in &r.signatures {
+        writeln!(out, "sig {}", s.render()).unwrap();
+    }
+    writeln!(
+        out,
+        "candidates={:?} transponders={:?} transmitters={:?}",
+        r.candidate_transponders, r.transponders, r.transmitters
+    )
+    .unwrap();
+    for (tag, s) in [("mupath", &r.mupath_stats), ("ift", &r.ift_stats)] {
+        writeln!(
+            out,
+            "{tag} p={} r={} u={} ud={}",
+            s.properties, s.reachable, s.unreachable, s.undetermined
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[test]
+fn tinycore_mupath_synthesis_is_deterministic_across_worker_counts() {
+    let design = build_tiny();
+    let cfg = SynthConfig {
+        slots: vec![0, 1],
+        context: ContextMode::Any,
+        bound: 12,
+        conflict_budget: Some(1_000_000),
+        max_shapes: 16,
+    };
+    let ops = design.isa.clone();
+    let mut runs = Vec::new();
+    for threads in [1, 2, 3] {
+        let pool = Arc::new(BudgetPool::new(None));
+        let opts = EngineOptions {
+            threads,
+            budget_pool: Some(Arc::clone(&pool)),
+        };
+        let r = synthesize_isa_with(&design, &ops, &cfg, &opts);
+        runs.push((
+            threads,
+            isa_fingerprint(&r),
+            pool.conflicts(),
+            pool.propagations(),
+        ));
+    }
+    let (_, baseline, conflicts, propagations) = runs[0].clone();
+    for (threads, fp, c, p) in &runs[1..] {
+        assert_eq!(
+            *fp, baseline,
+            "--jobs {threads} produced different µPATHs than --jobs 1"
+        );
+        assert_eq!(
+            (*c, *p),
+            (conflicts, propagations),
+            "--jobs {threads} budget drift"
+        );
+    }
+}
+
+#[test]
+fn divider_leakage_synthesis_is_deterministic_across_worker_counts() {
+    let design = build_core(&CoreConfig::default());
+    let cfg = LeakConfig {
+        mupath: SynthConfig {
+            slots: vec![0],
+            context: ContextMode::Solo,
+            bound: 18,
+            conflict_budget: Some(2_000_000),
+            max_shapes: 32,
+        },
+        transmitters: vec![isa::Opcode::Div, isa::Opcode::Lw],
+        kinds: vec![TxKind::Intrinsic, TxKind::DynamicOlder],
+        bound: 18,
+        conflict_budget: Some(2_000_000),
+        threads: 1,
+        budget_pool: None,
+        slot_base: 0,
+        max_sources: Some(2),
+    };
+    let mut runs = Vec::new();
+    for threads in [1, 3] {
+        let mut cfg = cfg.clone();
+        cfg.threads = threads;
+        let pool = Arc::new(BudgetPool::new(None));
+        cfg.budget_pool = Some(Arc::clone(&pool));
+        let r = synthesize_leakage(&design, &[isa::Opcode::Div], &cfg);
+        runs.push((threads, leak_fingerprint(&r), pool.conflicts()));
+    }
+    assert!(
+        runs[0].1.contains("sig "),
+        "expected the divider to synthesize at least one leakage signature"
+    );
+    let (_, baseline, conflicts) = runs[0].clone();
+    for (threads, fp, c) in &runs[1..] {
+        assert_eq!(
+            *fp, baseline,
+            "--jobs {threads} produced different signatures than --jobs 1"
+        );
+        assert_eq!(*c, conflicts, "--jobs {threads} budget drift");
+    }
+}
+
+/// The Fig. 8 quick-scope sweep (the `fig8` binary's configuration),
+/// parallel vs sequential. Several minutes of solving; excluded from the
+/// tier-1 suite — run with `cargo test -- --ignored`, or rely on the
+/// `perf` binary's `leakage_core` stage, which asserts the same equality
+/// on every run.
+#[test]
+#[ignore = "several minutes of SAT solving; the perf binary checks this on every run"]
+fn fig8_quick_scope_leakage_is_deterministic_across_worker_counts() {
+    let design = build_core(&CoreConfig::default());
+    let transponders = [isa::Opcode::Div, isa::Opcode::Lw, isa::Opcode::Sw];
+    let cfg = LeakConfig {
+        mupath: SynthConfig {
+            slots: vec![0, 1],
+            context: ContextMode::NoControlFlow,
+            bound: 24,
+            conflict_budget: Some(2_000_000),
+            max_shapes: 64,
+        },
+        transmitters: vec![isa::Opcode::Div, isa::Opcode::Lw, isa::Opcode::Sw],
+        kinds: vec![
+            TxKind::Intrinsic,
+            TxKind::DynamicOlder,
+            TxKind::DynamicYounger,
+        ],
+        bound: 22,
+        conflict_budget: Some(1_000_000),
+        threads: 1,
+        budget_pool: None,
+        slot_base: 0,
+        max_sources: Some(3),
+    };
+    let mut runs = Vec::new();
+    for threads in [1, 4] {
+        let mut cfg = cfg.clone();
+        cfg.threads = threads;
+        let r = synthesize_leakage(&design, &transponders, &cfg);
+        runs.push((threads, leak_fingerprint(&r)));
+    }
+    assert_eq!(
+        runs[0].1, runs[1].1,
+        "--jobs 4 produced a different fig8 quick-scope sweep than --jobs 1"
+    );
+}

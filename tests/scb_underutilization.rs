@@ -68,10 +68,8 @@ fn buggy_core_is_still_architecturally_correct() {
         ..CoreConfig::default()
     };
     let design = build_core(&cfg);
-    let program = isa::assemble(
-        "addi r1, r0, 7\naddi r2, r0, 3\nadd r3, r1, r2\nmul r1, r3, r2\n",
-    )
-    .unwrap();
+    let program =
+        isa::assemble("addi r1, r0, 7\naddi r2, r0, 3\nadd r3, r1, r2\nmul r1, r3, r2\n").unwrap();
     let mut golden = isa::ArchState::new();
     golden.run(&program, 10);
     let mut s = sim::Simulator::new(&design.netlist);

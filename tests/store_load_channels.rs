@@ -30,10 +30,7 @@ fn sc_safe_store_address_leaks_through_load_stall() {
     // addresses also agree on everything else observable. 5 and 6 differ
     // in offset (01 vs 10), neither matching 00: no stall either way.
     let res = check_sc_safe(&design, &program, SecretLocation::Reg(1), 5, 6, 3);
-    assert!(
-        !res.violated,
-        "both secrets avoid the stall: traces agree"
-    );
+    assert!(!res.violated, "both secrets avoid the stall: traces agree");
 }
 
 /// The paper's novel channel (§VII-A1): a *committed* store's drain stalls
