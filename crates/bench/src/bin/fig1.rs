@@ -40,6 +40,8 @@ fn main() {
         budget_pool: None,
         slot_base: 0,
         max_sources: Some(3),
+        coi: true,
+        static_prune: true,
     };
     let report = synthesize_leakage(&design, &[isa::Opcode::Mul], &leak_cfg);
     println!("leakage signature(s):");

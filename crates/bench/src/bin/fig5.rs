@@ -35,6 +35,8 @@ fn leak(
         budget_pool: None,
         slot_base,
         max_sources: Some(3),
+        coi: true,
+        static_prune: true,
     };
     let report = synthesize_leakage(design, &[p], &cfg);
     println!("-- {label} --");

@@ -66,6 +66,8 @@ fn main() {
         budget_pool: None,
         slot_base: 0,
         max_sources: Some(3),
+        coi: true,
+        static_prune: true,
     };
     let report = synthesize_leakage(&design, &[isa::Opcode::Div], &leak_cfg);
     println!("[4] leakage signatures:");

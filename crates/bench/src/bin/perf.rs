@@ -1,11 +1,14 @@
 //! E-P3: §VII-B3 property-evaluation performance, plus the parallel-engine
-//! perf report.
+//! and static-reduction perf report.
 //!
-//! Each stage runs twice — once on the sequential engine (`--jobs 1`) and
-//! once on the parallel property-evaluation engine — asserts the results
-//! are bit-identical, and reports the speedup. A machine-readable report
-//! (per-stage timings, shared budget-pool totals) is written to
-//! `BENCH_perf.json`.
+//! Each stage runs twice — once on the sequential engine (`--jobs 1`) with
+//! the static reductions (cone-of-influence slicing, taint-reachability
+//! pruning) disabled, and once on the parallel property-evaluation engine
+//! with the reductions enabled — asserts the results are bit-identical
+//! (proving both scheduling- and reduction-independence in one shot), and
+//! reports the speedup plus the COI bit-blast ratio and the number of SAT
+//! queries discharged statically. A machine-readable report is written to
+//! `BENCH_perf.json` (schema `synthlc-perf-v2`).
 //!
 //! ```text
 //! perf [--jobs N] [--out PATH] [stage-filter]
@@ -33,6 +36,12 @@ struct RunOutcome {
     undetermined: u64,
     conflicts: u64,
     propagations: u64,
+    /// Signal bits in scope before / after cone-of-influence slicing,
+    /// summed over all checker instances (equal when COI is off).
+    coi_bits_before: u64,
+    coi_bits_after: u64,
+    /// SAT queries avoided by the static taint-reachability prune.
+    discharged_static: u64,
 }
 
 struct StageResult {
@@ -47,6 +56,15 @@ impl StageResult {
     }
     fn speedup(&self) -> f64 {
         self.seq.seconds / self.par.seconds.max(1e-9)
+    }
+    /// Fraction of signal bits kept by COI slicing in the reduced run
+    /// (1.0 when no checker used a slice).
+    fn coi_ratio(&self) -> f64 {
+        if self.par.coi_bits_before == 0 {
+            1.0
+        } else {
+            self.par.coi_bits_after as f64 / self.par.coi_bits_before as f64
+        }
     }
 }
 
@@ -121,6 +139,9 @@ fn run_mupath(
         undetermined: r.stats.undetermined,
         conflicts: pool.conflicts(),
         propagations: pool.propagations(),
+        coi_bits_before: r.stats.coi_bits_before,
+        coi_bits_after: r.stats.coi_bits_after,
+        discharged_static: r.stats.discharged_static,
     }
 }
 
@@ -129,11 +150,14 @@ fn run_leakage(
     transponders: &[isa::Opcode],
     cfg: &synthlc::LeakConfig,
     threads: usize,
+    reductions: bool,
 ) -> RunOutcome {
     let pool = Arc::new(BudgetPool::new(None));
     let mut cfg = cfg.clone();
     cfg.threads = threads;
     cfg.budget_pool = Some(Arc::clone(&pool));
+    cfg.coi = reductions;
+    cfg.static_prune = reductions;
     let started = Instant::now();
     let r = synthesize_leakage(design, transponders, &cfg);
     RunOutcome {
@@ -143,6 +167,9 @@ fn run_leakage(
         undetermined: r.mupath_stats.undetermined + r.ift_stats.undetermined,
         conflicts: pool.conflicts(),
         propagations: pool.propagations(),
+        coi_bits_before: r.mupath_stats.coi_bits_before + r.ift_stats.coi_bits_before,
+        coi_bits_after: r.mupath_stats.coi_bits_after + r.ift_stats.coi_bits_after,
+        discharged_static: r.mupath_stats.discharged_static + r.ift_stats.discharged_static,
     }
 }
 
@@ -153,6 +180,9 @@ fn run_outcome_json(r: &RunOutcome) -> Json {
         ("undetermined".into(), Json::Int(r.undetermined)),
         ("conflicts".into(), Json::Int(r.conflicts)),
         ("propagations".into(), Json::Int(r.propagations)),
+        ("coi_bits_before".into(), Json::Int(r.coi_bits_before)),
+        ("coi_bits_after".into(), Json::Int(r.coi_bits_after)),
+        ("sat_calls_avoided".into(), Json::Int(r.discharged_static)),
     ])
 }
 
@@ -160,7 +190,7 @@ fn report_json(jobs: usize, scope: Scope, stages: &[StageResult]) -> Json {
     let total_seq: f64 = stages.iter().map(|s| s.seq.seconds).sum();
     let total_par: f64 = stages.iter().map(|s| s.par.seconds).sum();
     Json::Obj(vec![
-        ("schema".into(), Json::str("synthlc-perf-v1")),
+        ("schema".into(), Json::str("synthlc-perf-v2")),
         ("jobs".into(), Json::Int(jobs as u64)),
         (
             "scope".into(),
@@ -181,6 +211,11 @@ fn report_json(jobs: usize, scope: Scope, stages: &[StageResult]) -> Json {
                             ("sequential".into(), run_outcome_json(&s.seq)),
                             ("parallel".into(), run_outcome_json(&s.par)),
                             ("speedup".into(), Json::Num(s.speedup())),
+                            ("coi_ratio".into(), Json::Num(s.coi_ratio())),
+                            (
+                                "sat_calls_avoided".into(),
+                                Json::Int(s.par.discharged_static),
+                            ),
                             ("deterministic_match".into(), Json::Bool(s.matches())),
                         ])
                     })
@@ -254,31 +289,50 @@ fn main() {
         max_shapes: 64,
     };
     let (leak_ops, leak) = leak_cfg(&core, scope);
+    let cache_leak = synthlc::LeakConfig {
+        mupath: cache_cfg.clone(),
+        transmitters: vec![isa::Opcode::Lw, isa::Opcode::Sw],
+        kinds: vec![synthlc::TxKind::Intrinsic, synthlc::TxKind::Static],
+        bound: 20,
+        conflict_budget: Some(1_000_000),
+        threads: 0,
+        budget_pool: None,
+        slot_base: 1,
+        max_sources: Some(2),
+        coi: true,
+        static_prune: true,
+    };
 
     let mut stages = Vec::new();
-    let mut stage = |name: &'static str, run: &dyn Fn(usize) -> RunOutcome| {
+    // Sequential runs double as the reduction-off baseline: the fingerprint
+    // match below then certifies that neither worker scheduling nor the
+    // static reductions change any synthesis result.
+    let mut stage = |name: &'static str, run: &dyn Fn(usize, bool) -> RunOutcome| {
         if !name.contains(filter.as_str()) {
             return;
         }
-        println!("{name}: sequential ...");
-        let seq = run(1);
-        println!("{name}: parallel ({jobs} workers) ...");
-        let par = run(jobs);
+        println!("{name}: sequential, reductions off ...");
+        let seq = run(1, false);
+        println!("{name}: parallel ({jobs} workers), reductions on ...");
+        let par = run(jobs, true);
         let s = StageResult { name, seq, par };
         println!(
-            "{name}: {:.2}s -> {:.2}s  ({:.2}x, {} properties, match = {})\n",
+            "{name}: {:.2}s -> {:.2}s  ({:.2}x, {} properties, coi {:.0}%, \
+             {} SAT calls avoided, match = {})\n",
             s.seq.seconds,
             s.par.seconds,
             s.speedup(),
             s.par.properties,
+            s.coi_ratio() * 100.0,
+            s.par.discharged_static,
             s.matches()
         );
         stages.push(s);
     };
-    stage("mupath_core", &|threads| {
+    stage("mupath_core", &|threads, _| {
         run_mupath(&core, &core_ops, &core_cfg, threads)
     });
-    stage("mupath_cache", &|threads| {
+    stage("mupath_cache", &|threads, _| {
         run_mupath(
             &cache,
             &[isa::Opcode::Lw, isa::Opcode::Sw],
@@ -286,8 +340,11 @@ fn main() {
             threads,
         )
     });
-    stage("leakage_core", &|threads| {
-        run_leakage(&core, &leak_ops, &leak, threads)
+    stage("leakage_core", &|threads, reductions| {
+        run_leakage(&core, &leak_ops, &leak, threads, reductions)
+    });
+    stage("leakage_cache", &|threads, reductions| {
+        run_leakage(&cache, &[isa::Opcode::Lw], &cache_leak, threads, reductions)
     });
 
     let mismatches: Vec<&str> = stages
@@ -307,6 +364,7 @@ fn main() {
     );
     assert!(
         mismatches.is_empty(),
-        "parallel results diverged from --jobs 1 in: {mismatches:?}"
+        "reduced parallel results diverged from the unreduced --jobs 1 \
+         baseline in: {mismatches:?}"
     );
 }

@@ -90,6 +90,8 @@ pub fn leak_cfg(design: &Design, scope: Scope) -> (Vec<Opcode>, LeakConfig) {
         budget_pool: None,
         slot_base: 0,
         max_sources,
+        coi: true,
+        static_prune: true,
     };
     let _ = design;
     (transponders, cfg)

@@ -110,6 +110,48 @@ fn smear_up(b: &mut Builder, t: Wire) -> Wire {
     out
 }
 
+/// Static over-approximation of where taint introduced at `sources` can
+/// ever flow: the forward closure over combinational fan-out edges and
+/// register `next` edges, with `blocked` registers never accepting taint
+/// through their `next` input (mirroring the blocking rule of
+/// [`instrument`]). Sources themselves are always in the set — even when
+/// blocked, their *visible* taint includes the combinational enable.
+///
+/// Soundness: every CellIFT propagation rule emits zero taint when all of
+/// its inputs carry zero taint, so any signal outside this set has taint
+/// identically 0 in the instrumented design under any input sequence.
+/// SynthLC uses this to discharge transmitter→transponder pairs with no
+/// structural path without a SAT call.
+pub fn taint_reachable(
+    nl: &Netlist,
+    sources: &[SignalId],
+    blocked: &[SignalId],
+) -> HashSet<SignalId> {
+    let blocked: HashSet<SignalId> = blocked.iter().copied().collect();
+    // Forward adjacency: comb users of each signal, plus next -> reg edges
+    // (skipping blocked registers).
+    let mut fanout: Vec<Vec<SignalId>> = vec![Vec::new(); nl.len()];
+    for (id, node) in nl.iter() {
+        for src in node.op.comb_fanin() {
+            fanout[src.index()].push(id);
+        }
+        if let Op::Reg { next: Some(nx), .. } = node.op {
+            if !blocked.contains(&id) {
+                fanout[nx.index()].push(id);
+            }
+        }
+    }
+    let mut reach: HashSet<SignalId> = HashSet::new();
+    let mut stack: Vec<SignalId> = sources.to_vec();
+    while let Some(s) = stack.pop() {
+        if !reach.insert(s) {
+            continue;
+        }
+        stack.extend(fanout[s.index()].iter().copied());
+    }
+    reach
+}
+
 /// Instruments a netlist with a taint plane.
 ///
 /// # Panics
@@ -165,7 +207,7 @@ pub fn instrument(nl: &Netlist, opts: &IftOptions) -> Instrumented {
             taint[id.index()] = Some(visible);
         }
     }
-    let order = netlist::analysis::topo_order(nl);
+    let order = netlist::analysis::topo_order(nl).expect("validated netlist is acyclic");
     for &id in &order {
         let node = nl.node(id);
         let w = node.width;
@@ -530,6 +572,70 @@ mod tests {
             0b1100,
             "bits where arms differ leak select taint"
         );
+    }
+
+    #[test]
+    fn static_reach_set_over_approximates_simulated_taint() {
+        // A design exercising most cell rules, with one branch structurally
+        // cut off from the source (fed only by y) and a blocked register.
+        let mut bld = Builder::new();
+        let x = bld.input("x", 4);
+        let y = bld.input("y", 4);
+        let src = bld.reg("src", 4, 0);
+        bld.set_next(src, x).unwrap();
+        let yr = bld.reg("yr", 4, 0);
+        bld.set_next(yr, y).unwrap();
+        let sum = bld.add(src, yr);
+        bld.name(sum, "sum");
+        let prod = bld.mul(src, yr);
+        let sel = bld.bit(sum, 0);
+        let picked = bld.mux(sel, prod, sum);
+        let down = bld.reg("down", 4, 0);
+        bld.set_next(down, picked).unwrap();
+        let barrier = bld.reg("barrier", 4, 0);
+        bld.set_next(barrier, picked).unwrap();
+        let past = bld.not(barrier);
+        bld.name(past, "past_barrier");
+        // Clean island: depends only on y.
+        let island = bld.xor(yr, y);
+        bld.name(island, "island");
+        let nl = bld.finish().unwrap();
+        let src = nl.find("src").unwrap();
+        let barrier = nl.find("barrier").unwrap();
+        let reach = taint_reachable(&nl, &[src], &[barrier]);
+        assert!(!reach.contains(&nl.find("island").unwrap()));
+        assert!(!reach.contains(&barrier), "blocked reg is unreachable");
+        assert!(!reach.contains(&nl.find("past_barrier").unwrap()));
+        assert!(reach.contains(&nl.find("down").unwrap()));
+
+        let inst = instrument(
+            &nl,
+            &IftOptions {
+                sources: vec![src],
+                blocked: vec![barrier],
+                ..Default::default()
+            },
+        );
+        let en = inst.source_enable(src).unwrap();
+        let mut s = Simulator::new(&inst.netlist);
+        s.set_input(en, 1);
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        for cycle in 0..12 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s.set_input(nl.find("x").unwrap(), rng & 0xf);
+            s.set_input(nl.find("y").unwrap(), (rng >> 7) & 0xf);
+            s.step();
+            for (id, _) in nl.iter() {
+                if !reach.contains(&id) {
+                    assert_eq!(
+                        s.value(inst.taint_of(id)),
+                        0,
+                        "cycle {cycle}: {} outside the reach set must be clean",
+                        nl.display_name(id)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Cone-of-influence reduction: slice a netlist to the transitive fan-in of
+//! a property's referenced signals before bit-blasting.
+//!
+//! The slice walks *backwards* from the target signals over combinational
+//! fan-in edges and register `next` edges — i.e. through registers, across
+//! cycles — so a kept node's value at any frame depends only on kept nodes.
+//! The unrolling then simply skips the out-of-cone nodes: no literals, no
+//! clauses. Soundness: a cover/assume query only ever reads literals of its
+//! target signals, whose defining cones are fully present, so the projection
+//! of the sliced transition system onto the kept signals is *identical* to
+//! the unsliced one and every verdict (SAT/UNSAT, and k-induction's
+//! base/step) is preserved. Witness *traces* may differ in the unconstrained
+//! out-of-cone signals, which is why the synthesis pipeline applies COI only
+//! to Boolean-outcome queries (reachability/tagging), never to the
+//! trace-enumerating µPATH shape loop. See `DESIGN.md` §7.
+
+use netlist::{Netlist, Op, SignalId};
+
+/// A cone-of-influence slice: which nodes to keep, plus size accounting.
+#[derive(Clone, Debug)]
+pub struct CoiSlice {
+    keep: Vec<bool>,
+    /// Nodes kept by the slice.
+    pub kept_nodes: usize,
+    /// Total nodes in the netlist.
+    pub total_nodes: usize,
+    /// Signal bits kept (the per-frame literal count upper bound).
+    pub kept_bits: u64,
+    /// Total signal bits in the netlist.
+    pub total_bits: u64,
+}
+
+impl CoiSlice {
+    /// Computes the transitive fan-in slice of `targets`.
+    ///
+    /// Every signal a cover or assume of a query references must be listed
+    /// in `targets`; reading an unlisted signal's literals from a sliced
+    /// unrolling panics (empty literal vector).
+    pub fn compute(nl: &Netlist, targets: &[SignalId]) -> Self {
+        let mut keep = vec![false; nl.len()];
+        let mut stack: Vec<SignalId> = targets.to_vec();
+        while let Some(s) = stack.pop() {
+            if std::mem::replace(&mut keep[s.index()], true) {
+                continue;
+            }
+            let node = nl.node(s);
+            stack.extend(node.op.comb_fanin());
+            if let Op::Reg { next: Some(nx), .. } = node.op {
+                stack.push(nx);
+            }
+        }
+        let mut kept_nodes = 0;
+        let mut kept_bits = 0u64;
+        let mut total_bits = 0u64;
+        for (id, node) in nl.iter() {
+            total_bits += node.width as u64;
+            if keep[id.index()] {
+                kept_nodes += 1;
+                kept_bits += node.width as u64;
+            }
+        }
+        Self {
+            keep,
+            kept_nodes,
+            total_nodes: nl.len(),
+            kept_bits,
+            total_bits,
+        }
+    }
+
+    /// Whether the slice keeps `id`.
+    #[inline]
+    pub fn keeps(&self, id: SignalId) -> bool {
+        self.keep[id.index()]
+    }
+
+    /// Kept bits as a fraction of total bits (1.0 = no reduction).
+    pub fn bit_ratio(&self) -> f64 {
+        if self.total_bits == 0 {
+            1.0
+        } else {
+            self.kept_bits as f64 / self.total_bits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Checker, McConfig};
+    use netlist::Builder;
+
+    /// Two independent input-gated counters; a property over one should
+    /// slice away the other entirely. The enable inputs keep the logic
+    /// symbolic so the CNF sizes are meaningful.
+    fn two_counters() -> Netlist {
+        let mut b = Builder::new();
+        for name in ["a", "b"] {
+            let en = b.input(&format!("{name}_en"), 1);
+            let c = b.reg(name, 8, 0);
+            let one = b.constant(1, 8);
+            let n = b.add(c, one);
+            let gated = b.mux(en, n, c);
+            b.set_next(c, gated).unwrap();
+            let at5 = b.eq_const(c, 5);
+            b.name(at5, &format!("{name}_at5"));
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn slice_drops_independent_logic() {
+        let nl = two_counters();
+        let t = nl.find("a_at5").unwrap();
+        let coi = CoiSlice::compute(&nl, &[t]);
+        assert!(coi.keeps(nl.find("a").unwrap()));
+        assert!(!coi.keeps(nl.find("b").unwrap()));
+        assert!(!coi.keeps(nl.find("b_at5").unwrap()));
+        assert!(coi.kept_bits < coi.total_bits);
+        assert!(coi.bit_ratio() < 1.0);
+    }
+
+    #[test]
+    fn slice_follows_register_next_edges() {
+        // r2's cone must pull in r1 through the sequential edge.
+        let mut b = Builder::new();
+        let x = b.input("x", 4);
+        let r1 = b.reg("r1", 4, 0);
+        b.set_next(r1, x).unwrap();
+        let r2 = b.reg("r2", 4, 0);
+        b.set_next(r2, r1).unwrap();
+        let flag = b.eq_const(r2, 3);
+        b.name(flag, "flag");
+        let nl = b.finish().unwrap();
+        let coi = CoiSlice::compute(&nl, &[nl.find("flag").unwrap()]);
+        for name in ["x", "r1", "r2", "flag"] {
+            assert!(coi.keeps(nl.find(name).unwrap()), "{name} kept");
+        }
+        assert_eq!(
+            coi.kept_nodes, coi.total_nodes,
+            "every node is in this cone"
+        );
+    }
+
+    #[test]
+    fn sliced_and_unsliced_verdicts_match() {
+        let nl = two_counters();
+        let a5 = nl.find("a_at5").unwrap();
+        let cfg = McConfig {
+            bound: 8,
+            ..Default::default()
+        };
+        let mut plain = Checker::new(&nl, cfg);
+        let elab = std::sync::Arc::new(crate::Elab::new(&nl));
+        let coi = std::sync::Arc::new(CoiSlice::compute(&nl, &[a5]));
+        let mut sliced = Checker::with_coi(&nl, cfg, &[], elab, Some(coi));
+        assert!(plain.check_cover(a5, &[]).is_reachable());
+        assert!(sliced.check_cover(a5, &[]).is_reachable());
+        let (plain_vars, _) = plain.solver_stats();
+        let (sliced_vars, _) = sliced.solver_stats();
+        assert!(
+            sliced_vars < plain_vars,
+            "slice shrinks the CNF: {sliced_vars} < {plain_vars}"
+        );
+        let st = sliced.stats();
+        assert!(st.coi_bits_after < st.coi_bits_before);
+    }
+}

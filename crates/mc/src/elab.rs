@@ -29,7 +29,7 @@ impl Elab {
         nl.validate().expect("elaborating an invalid netlist");
         Self {
             len: nl.len(),
-            order: topo_order(nl),
+            order: topo_order(nl).expect("validated netlist is acyclic"),
         }
     }
 

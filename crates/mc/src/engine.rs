@@ -94,6 +94,15 @@ pub struct CheckStats {
     pub total_time: Duration,
     /// Longest single property evaluation.
     pub max_time: Duration,
+    /// Signal bits in the netlist before cone-of-influence slicing.
+    pub coi_bits_before: u64,
+    /// Signal bits actually bit-blasted (equals `coi_bits_before` when no
+    /// slice is active).
+    pub coi_bits_after: u64,
+    /// Properties discharged statically (no SAT call) by taint-reachability
+    /// pruning; these are *also* counted in `properties`/`unreachable` so
+    /// outcome counts match a run without pruning.
+    pub discharged_static: u64,
 }
 
 impl CheckStats {
@@ -123,6 +132,18 @@ impl CheckStats {
         self.undetermined += other.undetermined;
         self.total_time += other.total_time;
         self.max_time = self.max_time.max(other.max_time);
+        self.coi_bits_before += other.coi_bits_before;
+        self.coi_bits_after += other.coi_bits_after;
+        self.discharged_static += other.discharged_static;
+    }
+
+    /// Fraction of bits kept after cone-of-influence slicing (1.0 = none).
+    pub fn coi_ratio(&self) -> f64 {
+        if self.coi_bits_before == 0 {
+            1.0
+        } else {
+            self.coi_bits_after as f64 / self.coi_bits_before as f64
+        }
     }
 }
 
@@ -173,16 +194,46 @@ impl<'a> Checker<'a> {
     /// # Panics
     /// Panics if the elaboration does not match the netlist.
     pub fn with_elab(nl: &'a Netlist, cfg: McConfig, free: &[SignalId], elab: Arc<Elab>) -> Self {
+        Self::with_coi(nl, cfg, free, elab, None)
+    }
+
+    /// Like [`Checker::with_elab`], but restricts bit-blasting to a
+    /// cone-of-influence slice. Every cover/assume signal passed to queries
+    /// must be inside the slice's targets; verdicts are identical to an
+    /// unsliced checker (see [`crate::CoiSlice`]).
+    ///
+    /// # Panics
+    /// Panics if the elaboration or slice does not match the netlist.
+    pub fn with_coi(
+        nl: &'a Netlist,
+        cfg: McConfig,
+        free: &[SignalId],
+        elab: Arc<Elab>,
+        coi: Option<Arc<crate::CoiSlice>>,
+    ) -> Self {
         let mut unroll = Unrolling::with_elab(nl, InitMode::Reset, elab);
         unroll.set_free_regs(free);
+        unroll.set_coi(coi.clone());
         unroll.extend_to(cfg.bound);
+        let mut stats = CheckStats::default();
+        match &coi {
+            Some(c) => {
+                stats.coi_bits_before = c.total_bits;
+                stats.coi_bits_after = c.kept_bits;
+            }
+            None => {
+                let total: u64 = nl.iter().map(|(_, n)| n.width as u64).sum();
+                stats.coi_bits_before = total;
+                stats.coi_bits_after = total;
+            }
+        }
         Self {
             nl,
             cfg,
             unroll,
             assume_cache: HashMap::new(),
             cover_cache: HashMap::new(),
-            stats: CheckStats::default(),
+            stats,
             pool: None,
             charged: sat::SolverStats::default(),
         }
@@ -279,6 +330,21 @@ impl<'a> Checker<'a> {
         self.record(started, outcome)
     }
 
+    /// Notes that the *next* property was discharged by a static analysis
+    /// (pure bookkeeping; pair with [`Checker::discharge_unreachable`] or a
+    /// debug cross-check via [`Checker::check_cover`]).
+    pub fn note_static_discharge(&mut self) {
+        self.stats.discharged_static += 1;
+    }
+
+    /// Records a property as `Unreachable` without any SAT call — used when
+    /// a static over-approximation (e.g. taint reachability) already proves
+    /// no witness exists. Counts into `properties`/`unreachable` exactly as
+    /// a solved query would, so outcome fingerprints match unpruned runs.
+    pub fn discharge_unreachable(&mut self) -> Outcome {
+        self.record(Instant::now(), Outcome::Unreachable)
+    }
+
     fn record(&mut self, started: Instant, outcome: Outcome) -> Outcome {
         let elapsed = started.elapsed();
         self.stats.properties += 1;
@@ -341,6 +407,7 @@ impl<'a> Checker<'a> {
             return false;
         }
         let mut ind = Unrolling::with_elab(self.nl, InitMode::Free, self.unroll.elab());
+        ind.set_coi(self.unroll.coi());
         ind.extend_to(k + 1);
         let mut assumptions = Vec::new();
         for t in 0..=k {

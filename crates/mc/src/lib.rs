@@ -33,6 +33,7 @@
 //! ```
 
 mod cnf;
+pub mod coi;
 mod elab;
 mod engine;
 pub mod par;
@@ -40,6 +41,7 @@ mod trace;
 mod unroll;
 
 pub use cnf::GateBuilder;
+pub use coi::CoiSlice;
 pub use elab::Elab;
 pub use engine::{CheckStats, Checker, McConfig, Outcome};
 pub use par::{default_threads, resolve_threads, run_jobs};

@@ -1,6 +1,7 @@
 //! Time-frame expansion of a netlist into SAT literals.
 
 use crate::cnf::GateBuilder;
+use crate::coi::CoiSlice;
 use crate::elab::Elab;
 use netlist::{BinOp, Netlist, Op, SignalId, UnOp};
 use std::collections::HashSet;
@@ -23,6 +24,8 @@ pub struct Unrolling<'a> {
     elab: Arc<Elab>,
     init: InitMode,
     free_regs: HashSet<SignalId>,
+    /// Optional cone-of-influence slice: out-of-cone nodes get no literals.
+    coi: Option<Arc<CoiSlice>>,
     gate: GateBuilder,
     /// `frames[t][sig.index()]` = LSB-first literals of the signal at cycle t.
     frames: Vec<Vec<Vec<sat::Lit>>>,
@@ -54,9 +57,32 @@ impl<'a> Unrolling<'a> {
             elab,
             init,
             free_regs: HashSet::new(),
+            coi: None,
             gate: GateBuilder::new(),
             frames: Vec::new(),
         }
+    }
+
+    /// Restricts the unrolling to a cone-of-influence slice: nodes outside
+    /// the slice are skipped entirely (no literals, no clauses). Reading an
+    /// out-of-cone signal's literals afterwards panics, so the slice must
+    /// cover every cover/assume signal the caller will reference. Must be
+    /// called before any frame is built.
+    ///
+    /// # Panics
+    /// Panics if frames have already been built or the slice belongs to a
+    /// different netlist.
+    pub fn set_coi(&mut self, coi: Option<Arc<CoiSlice>>) {
+        assert!(self.frames.is_empty(), "set_coi after unrolling");
+        if let Some(c) = &coi {
+            assert_eq!(c.total_nodes, self.nl.len(), "slice of a different netlist");
+        }
+        self.coi = coi;
+    }
+
+    /// The active cone-of-influence slice, if any.
+    pub fn coi(&self) -> Option<Arc<CoiSlice>> {
+        self.coi.clone()
     }
 
     /// The shared elaboration backing this unrolling.
@@ -122,6 +148,9 @@ impl<'a> Unrolling<'a> {
         let mut cur: Vec<Vec<sat::Lit>> = vec![Vec::new(); n];
         let elab = Arc::clone(&self.elab);
         for &id in elab.order() {
+            if self.coi.as_ref().is_some_and(|c| !c.keeps(id)) {
+                continue;
+            }
             let node = self.nl.node(id);
             let w = node.width;
             let bits = match &node.op {

@@ -145,7 +145,17 @@ pub fn duv_pl_reachability(design: &Design, cfg: &SynthConfig) -> DuvPlReport {
         }
     }
     let netlist = b.finish().expect("monitored netlist is valid");
-    let mut checker = Checker::with_free_regs(&netlist, cfg.mc_config(), &arch_free_regs(design));
+    // Boolean-outcome query: slice to the occupancy monitors' cone (verdict-
+    // preserving — no witness data is consumed here).
+    let elab = std::sync::Arc::new(mc::Elab::new(&netlist));
+    let coi = std::sync::Arc::new(mc::CoiSlice::compute(&netlist, &occupied_sigs));
+    let mut checker = Checker::with_coi(
+        &netlist,
+        cfg.mc_config(),
+        &arch_free_regs(design),
+        elab,
+        Some(coi),
+    );
     let reachable = occupied_sigs
         .iter()
         .map(|&sig| checker.check_cover(sig, &[]).is_reachable())
@@ -492,7 +502,23 @@ pub fn dom_excl_relations(design: &Design, opcode: Opcode, cfg: &SynthConfig) ->
         }
     }
     let netlist = b.finish().expect("dom/excl monitored netlist");
-    let mut checker = Checker::with_free_regs(&netlist, cfg.mc_config(), &arch_free_regs(design));
+    // Boolean-outcome queries: slice to the dom/excl covers plus the
+    // harness assumes (all of which the activation clauses read).
+    let targets: Vec<SignalId> = dom_sigs
+        .iter()
+        .chain(excl_sigs.iter())
+        .map(|&(_, s)| s)
+        .chain(harness.assumes.iter().copied())
+        .collect();
+    let elab = std::sync::Arc::new(mc::Elab::new(&netlist));
+    let coi = std::sync::Arc::new(mc::CoiSlice::compute(&netlist, &targets));
+    let mut checker = Checker::with_coi(
+        &netlist,
+        cfg.mc_config(),
+        &arch_free_regs(design),
+        elab,
+        Some(coi),
+    );
     let mut dominates = Vec::new();
     for ((i, j), sig) in dom_sigs {
         if checker.check_cover(sig, &harness.assumes).is_unreachable() {

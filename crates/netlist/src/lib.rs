@@ -34,7 +34,9 @@ pub mod analysis;
 pub mod annotate;
 mod build;
 mod ir;
+pub mod lint;
 pub mod text;
 
+pub use analysis::CycleError;
 pub use build::{Builder, MemArray, Wire};
 pub use ir::{mask, BinOp, Netlist, NetlistError, Node, Op, SignalId, UnOp};

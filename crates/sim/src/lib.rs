@@ -61,7 +61,7 @@ impl<'a> Simulator<'a> {
     /// Panics if the netlist is invalid (validate it first).
     pub fn new(nl: &'a Netlist) -> Self {
         nl.validate().expect("simulating an invalid netlist");
-        let order = topo_order(nl);
+        let order = topo_order(nl).expect("validated netlist is acyclic");
         let mut s = Self {
             nl,
             order,

@@ -621,6 +621,25 @@ impl LeakHarness {
         self.class_tainted[c.index()]
     }
 
+    /// Every signal any query may pass as an *assume*: the cone-of-influence
+    /// slice of a shared cover netlist must keep all of them, since assume
+    /// activation reads their literals at every frame (see
+    /// [`mc::CoiSlice`]).
+    pub fn assume_signal_universe(&self) -> Vec<SignalId> {
+        let mut sigs = self.base_assumes.clone();
+        sigs.extend(self.opcode_assume_p.iter().map(|(_, s)| *s));
+        sigs.extend(self.opcode_assume_t.iter().map(|(_, s)| *s));
+        sigs.extend([
+            self.taint_rs1,
+            self.taint_rs2,
+            self.flush_zero,
+            self.flush_at_demat,
+        ]);
+        sigs.extend(self.inflight_at.iter().copied());
+        sigs.extend(self.dead_at.iter().copied());
+        sigs
+    }
+
     /// Builds (into a fresh extension of this harness's netlist) the
     /// decision-taint covers for a set of class-level decisions of one
     /// transponder. Returns the extended netlist plus one cover signal per

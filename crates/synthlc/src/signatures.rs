@@ -155,6 +155,15 @@ pub struct LeakConfig {
     /// for expensive sweeps (Appendix §I-F: "select three source PLs
     /// apiece ... with the highest number of destination PL sets").
     pub max_sources: Option<usize>,
+    /// Slice each decision-cover netlist to the cone of influence of its
+    /// covers and assume signals before bit-blasting. Verdict-preserving
+    /// (see `mc::CoiSlice`); purely a CNF-size reduction.
+    pub coi: bool,
+    /// Discharge (transmitter operand, decision) pairs with no structural
+    /// taint path as `Unreachable` without a SAT call (see
+    /// [`ift::taint_reachable`]). Debug builds still run the precise query
+    /// and assert agreement.
+    pub static_prune: bool,
 }
 
 impl LeakConfig {
@@ -185,6 +194,8 @@ impl LeakConfig {
             slot_base: 0,
             max_sources: None,
             budget_pool: None,
+            coi: true,
+            static_prune: true,
         }
     }
 
@@ -228,6 +239,80 @@ fn slots_for(kind: TxKind, base: usize) -> (usize, usize) {
     }
 }
 
+/// Static taint-reachability pruning state, computed once per design on the
+/// *original* (uninstrumented) netlist: the forward-reachable set of each
+/// operand's taint-introduction registers, and the µFSM state registers
+/// backing each destination class. A decision-taint cover can only fire if
+/// some destination class's µFSM register is structurally reachable by the
+/// operand's taint — otherwise every taint shadow in the cover's support is
+/// identically zero and the query is `Unreachable` by construction.
+struct StaticPrune {
+    /// Forward taint-reach sets, indexed `[rs1, rs2]`.
+    reach: [std::collections::HashSet<netlist::SignalId>; 2],
+    /// Per class PlId: the vars + pcr of every µFSM owning a member PL.
+    class_regs: Vec<Vec<netlist::SignalId>>,
+}
+
+impl StaticPrune {
+    fn build(design: &Design) -> Self {
+        let ann = &design.annotations;
+        let blocked: Vec<netlist::SignalId> =
+            ann.arf.iter().chain(ann.amem.iter()).copied().collect();
+        // Taint-introduction registers per operand, mirroring
+        // `build_leak_harness`: ARF designs taint the register named by the
+        // rs field (any ARF register), request-driven DUVs taint the
+        // per-operand request register.
+        let use_arf = design.rs_fields.is_some() && !ann.arf.is_empty();
+        let (src1, src2) = if use_arf {
+            (ann.arf.clone(), ann.arf.clone())
+        } else {
+            (vec![ann.operand_regs[0]], vec![ann.operand_regs[1]])
+        };
+        let reach = [
+            ift::taint_reachable(&design.netlist, &src1, &blocked),
+            ift::taint_reachable(&design.netlist, &src2, &blocked),
+        ];
+        // Class table built exactly like the harness's: candidate-state
+        // names with trailing digits trimmed, first-seen order.
+        let mut class_table = uhb::PlTable::new();
+        let mut class_regs: Vec<Vec<netlist::SignalId>> = Vec::new();
+        for ufsm in &ann.ufsms {
+            for st in ufsm.candidate_states(&design.netlist) {
+                let cname = st
+                    .name
+                    .trim_end_matches(|c: char| c.is_ascii_digit())
+                    .to_owned();
+                let cid = match class_table.find(&cname) {
+                    Some(c) => c,
+                    None => {
+                        class_regs.push(Vec::new());
+                        class_table.add(cname)
+                    }
+                };
+                let regs = &mut class_regs[cid.index()];
+                for &r in ufsm.vars.iter().chain(std::iter::once(&ufsm.pcr)) {
+                    if !regs.contains(&r) {
+                        regs.push(r);
+                    }
+                }
+            }
+        }
+        Self { reach, class_regs }
+    }
+
+    /// Whether taint introduced at `operand` can structurally reach the
+    /// µFSM state of any destination class of `d`.
+    fn may_reach(&self, operand: Operand, d: &Decision) -> bool {
+        let reach = &self.reach[match operand {
+            Operand::Rs1 => 0,
+            Operand::Rs2 => 1,
+        }];
+        d.dst
+            .iter()
+            .any(|c| self.class_regs[c.index()].iter().any(|r| reach.contains(r)))
+    }
+}
+
 /// Runs the IFT queries of one (transponder, slot arrangement, transmitter
 /// typing) job. The harness is shared immutably across every job of its
 /// slot arrangement; the decision-cover netlist and its elaboration are
@@ -242,11 +327,19 @@ fn ift_kind_job(
     netlist: &netlist::Netlist,
     covers: &[netlist::SignalId],
     elab: &Arc<Elab>,
+    coi: Option<&Arc<mc::CoiSlice>>,
+    prune: Option<&StaticPrune>,
     free: &[netlist::SignalId],
     cfg: &LeakConfig,
 ) -> (Vec<Tag>, CheckStats) {
     let mut tags = Vec::new();
-    let mut checker = Checker::with_elab(netlist, cfg.mc_config(), free, Arc::clone(elab));
+    let mut checker = Checker::with_coi(
+        netlist,
+        cfg.mc_config(),
+        free,
+        Arc::clone(elab),
+        coi.cloned(),
+    );
     if let Some(pool) = &cfg.budget_pool {
         checker.set_budget_pool(Arc::clone(pool));
     }
@@ -275,7 +368,25 @@ fn ift_kind_job(
                 if kind != TxKind::Intrinsic {
                     assumes.push(harness.relation_assume(kind, d.src));
                 }
-                let outcome = checker.check_cover(covers[decision_ix], &assumes);
+                let discharged = prune.is_some_and(|pr| !pr.may_reach(operand, d));
+                let outcome = if discharged {
+                    checker.note_static_discharge();
+                    if cfg!(debug_assertions) {
+                        // Cross-check: the precise IFT query must agree with
+                        // the static over-approximation.
+                        let o = checker.check_cover(covers[decision_ix], &assumes);
+                        debug_assert!(
+                            !o.is_reachable(),
+                            "static taint prune contradicted precise IFT query \
+                             ({p} {kind} {operand} decision {decision_ix})"
+                        );
+                        o
+                    } else {
+                        checker.discharge_unreachable()
+                    }
+                } else {
+                    checker.check_cover(covers[decision_ix], &assumes)
+                };
                 if outcome.is_reachable() {
                     let src_class = harness.class_table().name(d.src);
                     tags.push(Tag {
@@ -384,6 +495,7 @@ pub fn synthesize_leakage(
         netlist: netlist::Netlist,
         covers: Vec<netlist::SignalId>,
         elab: Arc<Elab>,
+        coi: Option<Arc<mc::CoiSlice>>,
     }
     let cover_jobs: Vec<(usize, usize)> = (0..work.len())
         .flat_map(|wi| (0..pairings.len()).map(move |pi| (wi, pi)))
@@ -391,10 +503,19 @@ pub fn synthesize_leakage(
     let cover_nets: Vec<CoverNet> = mc::run_jobs(cover_jobs, threads, |_, (wi, pi)| {
         let (netlist, covers) = harnesses[pi].decision_covers(&work[wi].decisions);
         let elab = Arc::new(Elab::new(&netlist));
+        // The slice must keep every signal a query can reference: the
+        // covers plus the full assume universe of the harness (harness
+        // signal ids are preserved by the cover-netlist extension).
+        let coi = cfg.coi.then(|| {
+            let mut targets = covers.clone();
+            targets.extend(harnesses[pi].assume_signal_universe());
+            Arc::new(mc::CoiSlice::compute(&netlist, &targets))
+        });
         CoverNet {
             netlist,
             covers,
             elab,
+            coi,
         }
     });
 
@@ -415,6 +536,7 @@ pub fn synthesize_leakage(
         .chain(design.annotations.amem.iter())
         .copied()
         .collect();
+    let prune = cfg.static_prune.then(|| StaticPrune::build(design));
     let results: Vec<(Vec<Tag>, CheckStats)> =
         mc::run_jobs(units.clone(), threads, |_, (wi, pi, kind)| {
             let w = &work[wi];
@@ -427,6 +549,8 @@ pub fn synthesize_leakage(
                 &cn.netlist,
                 &cn.covers,
                 &cn.elab,
+                cn.coi.as_ref(),
+                prune.as_ref(),
                 &free,
                 cfg,
             )

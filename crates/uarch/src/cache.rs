@@ -538,6 +538,7 @@ pub fn build_cache() -> Design {
     let fetch_fire_sig = f("req_fire");
     let pc_sig = f("txid");
     let issue_valid_sig = f("lk_v");
+    let outputs = vec![f("resp_fire_reg"), f("resp_id_reg"), f("resp_data_reg")];
     Design {
         name: "MiniCache".into(),
         netlist,
@@ -554,5 +555,6 @@ pub fn build_cache() -> Design {
         type_field: TypeField { hi: 16, lo: 16 },
         type_values: vec![(Opcode::Lw, 0), (Opcode::Sw, 1)],
         max_latency: 10,
+        outputs,
     }
 }

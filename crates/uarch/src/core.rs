@@ -75,7 +75,10 @@ pub fn build_core(cfg: &CoreConfig) -> Design {
     let id_instr = b.reg("id_instr", 16, 0);
     let id_valid = b.reg("id_valid", 1, 0);
     let id_pc = b.reg("id_pc", PCW, 0);
-    let id_wait = b.reg("id_wait", 1, 0); // operand-packing extra decode cycle
+    // Operand-packing extra decode cycle; only instantiated when the
+    // packing feature reads it (a permanently-unread register is dead
+    // logic, and the lint suite rightly flags it).
+    let id_wait = cfg.op_packing.then(|| b.reg("id_wait", 1, 0));
 
     let op_a = b.reg("op_a", W, 0); // operand registers (taint sources)
     let op_b = b.reg("op_b", W, 0);
@@ -623,7 +626,7 @@ pub fn build_core(cfg: &CoreConfig) -> Design {
         let both = b.or(rs1_val, rs2_val);
         let upper = b.slice(both, 7, 4);
         let wide = b.red_or(upper);
-        let first_cycle = b.not(id_wait);
+        let first_cycle = b.not(id_wait.expect("op_packing instantiates id_wait"));
         let aw = b.and(is_add, wide);
         b.and(aw, first_cycle)
     } else {
@@ -788,12 +791,14 @@ pub fn build_core(cfg: &CoreConfig) -> Design {
     b.set_next(id_instr, id_instr_next).expect("id_instr");
     let id_pc_next = b.mux(if_to_id, if_pc, id_pc);
     b.set_next(id_pc, id_pc_next).expect("id_pc");
-    let id_wait_next = {
-        let set = b.mux(packing_stall, one1, id_wait);
-        let cleared = b.mux(if_to_id, zero1, set);
-        b.mux(redirect, zero1, cleared)
-    };
-    b.set_next(id_wait, id_wait_next).expect("id_wait");
+    if let Some(id_wait) = id_wait {
+        let id_wait_next = {
+            let set = b.mux(packing_stall, one1, id_wait);
+            let cleared = b.mux(if_to_id, zero1, set);
+            b.mux(redirect, zero1, cleared)
+        };
+        b.set_next(id_wait, id_wait_next).expect("id_wait");
+    }
 
     // Operand registers: latched at issue.
     let op_a_next = b.mux(issue_fire, rs1_val, op_a);
@@ -1143,5 +1148,6 @@ pub fn build_core(cfg: &CoreConfig) -> Design {
         type_field: crate::TypeField { hi: 15, lo: 11 },
         type_values: vec![],
         max_latency: cfg.max_instr_latency(1),
+        outputs: vec![],
     }
 }

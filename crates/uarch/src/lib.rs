@@ -75,6 +75,10 @@ pub struct Design {
     /// Conservative bound on one instruction's fetch-to-retire latency,
     /// used to size complete BMC bounds.
     pub max_latency: usize,
+    /// Externally observable interface signals beyond the harness hooks
+    /// (e.g. the cache's response port). Logic feeding only these is live,
+    /// not dead — the lint suite roots its dead-logic analysis here.
+    pub outputs: Vec<SignalId>,
 }
 
 impl Design {
@@ -87,4 +91,34 @@ impl Design {
             .map(|(_, v)| *v)
             .unwrap_or(op.bits() as u64)
     }
+}
+
+/// Runs the full lint suite on a design, rooted at its annotation bundle
+/// and harness hook signals (so logic feeding only the verification hooks
+/// is not reported dead), with the fetch/issue strobes checked for
+/// structural constancy.
+pub fn lint_design(design: &Design) -> netlist::lint::LintReport {
+    let mut roots: Vec<SignalId> = vec![
+        design.fetch_instr_input,
+        design.fetch_valid_input,
+        design.fetch_fire,
+        design.issue_fire,
+        design.issue_pc,
+        design.issue_valid,
+        design.pc,
+    ];
+    if let Some((rs1, rs2)) = design.rs_fields {
+        roots.extend([rs1, rs2]);
+    }
+    roots.extend(design.outputs.iter().copied());
+    let cx = netlist::lint::LintContext {
+        netlist: &design.netlist,
+        annotations: Some(&design.annotations),
+        roots,
+        strobes: vec![
+            ("fetch_fire".to_owned(), design.fetch_fire),
+            ("issue_fire".to_owned(), design.issue_fire),
+        ],
+    };
+    netlist::lint::Linter::new().run(&cx)
 }

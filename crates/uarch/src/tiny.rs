@@ -215,5 +215,6 @@ pub fn build_tiny() -> Design {
             Opcode::Addi,
         ],
         max_latency: 4,
+        outputs: vec![],
     }
 }

@@ -27,6 +27,8 @@ fn audit(name: &str, cfg: &CoreConfig) {
         budget_pool: None,
         slot_base: 0,
         max_sources: Some(3),
+        coi: true,
+        static_prune: true,
     };
     let report = synthesize_leakage(&design, &[isa::Opcode::Div], &leak_cfg);
     println!("== {name} ==");

@@ -21,4 +21,7 @@ cargo clippy "${OFFLINE[@]}" --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q "${OFFLINE[@]}" --workspace
 
+echo "== lint-designs (static-analysis suite, warnings fatal) =="
+cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- lint all --deny-warnings
+
 echo "CI OK"

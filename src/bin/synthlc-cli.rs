@@ -4,10 +4,16 @@
 //! synthlc-cli pls    <design>                 # §V-B1 DUV PL reachability
 //! synthlc-cli paths  <design> <instr> [opts]  # RTL2MµPATH for one instruction
 //! synthlc-cli leak   <design> <instr> [opts]  # SynthLC signatures + contracts
+//! synthlc-cli lint   [<design>|all]           # static-analysis lint suite
 //! synthlc-cli designs                         # list available designs
 //!
 //! designs: minicva6 | minicva6-mul | minicva6-op | hardened | tinycore | minicache
 //! options: --slots 0,1   --bound N   --context any|nocf|solo   --budget N   --jobs N
+//!          --lint   --deny-warnings
+//!
+//! Every synthesis command lints its design first and aborts on error-level
+//! findings (`--deny-warnings` makes warnings fatal too; `--lint` prints the
+//! report even when clean).
 //! ```
 //!
 //! Run via `cargo run --release --bin synthlc-cli -- <args>`.
@@ -44,6 +50,8 @@ struct Opts {
     context: ContextMode,
     budget: u64,
     jobs: usize,
+    lint: bool,
+    deny_warnings: bool,
 }
 
 fn parse_opts(args: &[String], design: &Design) -> Result<Opts, String> {
@@ -57,6 +65,8 @@ fn parse_opts(args: &[String], design: &Design) -> Result<Opts, String> {
         },
         budget: 2_000_000,
         jobs: 0,
+        lint: false,
+        deny_warnings: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -87,6 +97,8 @@ fn parse_opts(args: &[String], design: &Design) -> Result<Opts, String> {
                     .parse()
                     .map_err(|_| "bad --jobs".to_owned())?;
             }
+            "--lint" => o.lint = true,
+            "--deny-warnings" => o.deny_warnings = true,
             "--context" => {
                 o.context = match val("--context")?.as_str() {
                     "any" => ContextMode::Any,
@@ -109,6 +121,36 @@ fn synth_cfg(o: &Opts) -> SynthConfig {
         conflict_budget: Some(o.budget),
         max_shapes: 64,
     }
+}
+
+/// Lints one design; returns an error message when findings exceed the
+/// acceptable severity (`Error` always; `Warning` too under
+/// `deny_warnings`). Verbose mode prints the full report even when clean.
+fn lint_one(design: &Design, deny_warnings: bool, verbose: bool) -> Result<(), String> {
+    let report = uarch::lint_design(design);
+    let failing = report.has_errors() || (deny_warnings && !report.is_clean());
+    if failing || verbose {
+        print!("{}", report.render());
+        println!();
+    }
+    if failing {
+        Err(format!(
+            "lint failed for {}: {}",
+            design.name,
+            report.summary()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_lint(names: &[&str], deny_warnings: bool) -> Result<(), String> {
+    for name in names {
+        let design = design_by_name(name).ok_or_else(|| format!("unknown design `{name}`"))?;
+        println!("== {name} ==");
+        lint_one(&design, deny_warnings, true)?;
+    }
+    Ok(())
 }
 
 fn cmd_pls(design: &Design, o: &Opts) {
@@ -193,6 +235,8 @@ fn cmd_leak(design: &Design, op: isa::Opcode, o: &Opts) {
         threads: o.jobs,
         slot_base: 0,
         max_sources: Some(3),
+        coi: true,
+        static_prune: true,
         budget_pool: None,
     };
     let report = synthesize_leakage(design, &[op], &cfg);
@@ -231,6 +275,23 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        "lint" => {
+            let dname = args.get(1).map(String::as_str).unwrap_or("all");
+            let deny = args.iter().any(|a| a == "--deny-warnings");
+            let all = [
+                "minicva6",
+                "minicva6-mul",
+                "minicva6-op",
+                "hardened",
+                "tinycore",
+                "minicache",
+            ];
+            if dname == "all" {
+                cmd_lint(&all, deny)
+            } else {
+                cmd_lint(&[dname], deny)
+            }
+        }
         "pls" | "paths" | "leak" => {
             let dname = args
                 .get(1)
@@ -239,6 +300,7 @@ fn run() -> Result<(), String> {
                 design_by_name(dname).ok_or_else(|| format!("unknown design `{dname}`"))?;
             if cmd == "pls" {
                 let o = parse_opts(&args[2..], &design)?;
+                lint_one(&design, o.deny_warnings, o.lint)?;
                 cmd_pls(&design, &o);
                 return Ok(());
             }
@@ -248,6 +310,7 @@ fn run() -> Result<(), String> {
             let op = opcode_by_name(&design, iname)
                 .ok_or_else(|| format!("`{iname}` is not implemented by {dname}"))?;
             let o = parse_opts(&args[3..], &design)?;
+            lint_one(&design, o.deny_warnings, o.lint)?;
             if cmd == "paths" {
                 cmd_paths(&design, op, &o);
             } else {
@@ -257,10 +320,12 @@ fn run() -> Result<(), String> {
         }
         _ => {
             println!(
-                "usage:\n  synthlc-cli designs\n  synthlc-cli pls <design> [opts]\n  \
+                "usage:\n  synthlc-cli designs\n  synthlc-cli lint [<design>|all] [--deny-warnings]\n  \
+                 synthlc-cli pls <design> [opts]\n  \
                  synthlc-cli paths <design> <instr> [opts]\n  synthlc-cli leak <design> <instr> [opts]\n\
                  \ndesigns: minicva6 minicva6-mul minicva6-op hardened tinycore minicache\n\
-                 opts: --slots 0,1  --bound N  --context any|nocf|solo  --budget N  --jobs N"
+                 opts: --slots 0,1  --bound N  --context any|nocf|solo  --budget N  --jobs N\n      \
+                 --lint (print lint report)  --deny-warnings (lint warnings are fatal)"
             );
             Ok(())
         }

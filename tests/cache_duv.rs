@@ -146,6 +146,8 @@ fn earlier_load_is_a_static_transmitter_for_later_loads() {
         budget_pool: None,
         slot_base: 1,
         max_sources: Some(1),
+        coi: true,
+        static_prune: true,
     };
     let report = synthesize_leakage(&design, &[isa::Opcode::Lw], &cfg);
     let statics = report.transmitter_opcodes(TxKind::Static);

@@ -23,6 +23,8 @@ fn quick_cfg() -> LeakConfig {
         budget_pool: None,
         slot_base: 0,
         max_sources: Some(2),
+        coi: true,
+        static_prune: true,
     }
 }
 

@@ -124,6 +124,8 @@ fn divider_leakage_synthesis_is_deterministic_across_worker_counts() {
         budget_pool: None,
         slot_base: 0,
         max_sources: Some(2),
+        coi: true,
+        static_prune: true,
     };
     let mut runs = Vec::new();
     for threads in [1, 3] {
@@ -178,6 +180,8 @@ fn fig8_quick_scope_leakage_is_deterministic_across_worker_counts() {
         budget_pool: None,
         slot_base: 0,
         max_sources: Some(3),
+        coi: true,
+        static_prune: true,
     };
     let mut runs = Vec::new();
     for threads in [1, 4] {
