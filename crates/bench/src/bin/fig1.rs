@@ -42,6 +42,7 @@ fn main() {
         max_sources: Some(3),
         coi: true,
         static_prune: true,
+        robust: Default::default(),
     };
     let report = synthesize_leakage(&design, &[isa::Opcode::Mul], &leak_cfg);
     println!("leakage signature(s):");

@@ -37,6 +37,7 @@ fn leak(
         max_sources: Some(3),
         coi: true,
         static_prune: true,
+        robust: Default::default(),
     };
     let report = synthesize_leakage(design, &[p], &cfg);
     println!("-- {label} --");

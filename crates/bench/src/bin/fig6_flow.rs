@@ -68,6 +68,7 @@ fn main() {
         max_sources: Some(3),
         coi: true,
         static_prune: true,
+        robust: Default::default(),
     };
     let report = synthesize_leakage(&design, &[isa::Opcode::Div], &leak_cfg);
     println!("[4] leakage signatures:");

@@ -8,7 +8,7 @@
 //! (proving both scheduling- and reduction-independence in one shot), and
 //! reports the speedup plus the COI bit-blast ratio and the number of SAT
 //! queries discharged statically. A machine-readable report is written to
-//! `BENCH_perf.json` (schema `synthlc-perf-v2`).
+//! `BENCH_perf.json` (schema `synthlc-perf-v3`).
 //!
 //! ```text
 //! perf [--jobs N] [--out PATH] [stage-filter]
@@ -42,6 +42,12 @@ struct RunOutcome {
     coi_bits_after: u64,
     /// SAT queries avoided by the static taint-reachability prune.
     discharged_static: u64,
+    /// Jobs degraded to an undetermined stand-in (panic/fault/deadline);
+    /// always 0 here — the perf pipeline runs with robustness off — but
+    /// reported so the schema matches long-run CLI reports.
+    degraded_jobs: u64,
+    /// Jobs replayed from a checkpoint journal; always 0 here, as above.
+    resumed_jobs: u64,
 }
 
 struct StageResult {
@@ -129,6 +135,7 @@ fn run_mupath(
     let opts = EngineOptions {
         threads,
         budget_pool: Some(Arc::clone(&pool)),
+        robust: Default::default(),
     };
     let started = Instant::now();
     let r = synthesize_isa_with(design, ops, cfg, &opts);
@@ -142,6 +149,8 @@ fn run_mupath(
         coi_bits_before: r.stats.coi_bits_before,
         coi_bits_after: r.stats.coi_bits_after,
         discharged_static: r.stats.discharged_static,
+        degraded_jobs: r.degraded_jobs,
+        resumed_jobs: r.resumed_jobs,
     }
 }
 
@@ -170,6 +179,8 @@ fn run_leakage(
         coi_bits_before: r.mupath_stats.coi_bits_before + r.ift_stats.coi_bits_before,
         coi_bits_after: r.mupath_stats.coi_bits_after + r.ift_stats.coi_bits_after,
         discharged_static: r.mupath_stats.discharged_static + r.ift_stats.discharged_static,
+        degraded_jobs: r.degraded_jobs,
+        resumed_jobs: r.resumed_jobs,
     }
 }
 
@@ -183,6 +194,8 @@ fn run_outcome_json(r: &RunOutcome) -> Json {
         ("coi_bits_before".into(), Json::Int(r.coi_bits_before)),
         ("coi_bits_after".into(), Json::Int(r.coi_bits_after)),
         ("sat_calls_avoided".into(), Json::Int(r.discharged_static)),
+        ("degraded_jobs".into(), Json::Int(r.degraded_jobs)),
+        ("resumed_jobs".into(), Json::Int(r.resumed_jobs)),
     ])
 }
 
@@ -190,7 +203,7 @@ fn report_json(jobs: usize, scope: Scope, stages: &[StageResult]) -> Json {
     let total_seq: f64 = stages.iter().map(|s| s.seq.seconds).sum();
     let total_par: f64 = stages.iter().map(|s| s.par.seconds).sum();
     Json::Obj(vec![
-        ("schema".into(), Json::str("synthlc-perf-v2")),
+        ("schema".into(), Json::str("synthlc-perf-v3")),
         ("jobs".into(), Json::Int(jobs as u64)),
         (
             "scope".into(),
@@ -301,6 +314,7 @@ fn main() {
         max_sources: Some(2),
         coi: true,
         static_prune: true,
+        robust: Default::default(),
     };
 
     let mut stages = Vec::new();

@@ -6,7 +6,10 @@
 //! outputs. Scope is controlled by `SYNTHLC_SCOPE` = `quick` (default) or
 //! `full`.
 
-pub mod json;
+/// Re-export: the JSON reader/writer moved to its own crate (`jsonio`) so
+/// lower layers (the `synthlc` journal) can use it without a dependency
+/// cycle; existing `bench::json::Json` call sites keep working.
+pub use jsonio as json;
 
 use isa::Opcode;
 use mupath::{ContextMode, SynthConfig};
@@ -92,6 +95,7 @@ pub fn leak_cfg(design: &Design, scope: Scope) -> (Vec<Opcode>, LeakConfig) {
         max_sources,
         coi: true,
         static_prune: true,
+        robust: Default::default(),
     };
     let _ = design;
     (transponders, cfg)

@@ -1,0 +1,501 @@
+//! A minimal hand-rolled JSON reader/writer. The container has no serde;
+//! this covers the small fixed schemas the repo emits and consumes: the
+//! machine-readable benchmark reports (`BENCH_perf.json`, written through
+//! the pretty renderer — objects keep insertion order so reports diff
+//! cleanly across runs) and the crash-safe synthesis journal (one compact
+//! record per line, read back with [`Json::parse`]).
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Finite floats only; non-finite values render as `null`.
+    Num(f64),
+    Int(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// Renders with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Renders on a single line with no trailing newline — the journal's
+    /// record-per-line format.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
+    /// Parses one JSON value from `src` (which must contain nothing else
+    /// but whitespace around it). Numbers without `.`/`e` that fit a `u64`
+    /// parse as [`Json::Int`]; everything else numeric parses as
+    /// [`Json::Num`].
+    pub fn parse(src: &str) -> Result<Json, ParseError> {
+        let bytes = src.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(ParseError {
+                pos,
+                what: "trailing garbage after value",
+            });
+        }
+        Ok(value)
+    }
+
+    /// The object field named `key`, when this is an object that has one.
+    pub fn field(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer value, accepting `Int` and integral `Num`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            Json::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool value, when this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array items, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) if x.is_finite() => out.push_str(&format!("{x}")),
+            Json::Num(_) => out.push_str("null"),
+            Json::Int(n) => out.push_str(&format!("{n}")),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, depth, '[', ']', items.iter(), |out, depth, v| {
+                v.write(out, depth);
+            }),
+            Json::Obj(fields) => {
+                write_seq(out, depth, '{', '}', fields.iter(), |out, depth, (k, v)| {
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth);
+                });
+            }
+        }
+    }
+}
+
+/// A parse failure: byte offset plus a static description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.pos, self.what)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_lit(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), ParseError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(ParseError {
+            pos: *pos,
+            what: "unrecognized literal",
+        })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(ParseError {
+            pos: *pos,
+            what: "unexpected end of input",
+        });
+    };
+    match b {
+        b'n' => expect_lit(bytes, pos, "null").map(|()| Json::Null),
+        b't' => expect_lit(bytes, pos, "true").map(|()| Json::Bool(true)),
+        b'f' => expect_lit(bytes, pos, "false").map(|()| Json::Bool(false)),
+        b'"' => parse_string(bytes, pos).map(Json::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            pos: *pos,
+                            what: "expected ',' or ']' in array",
+                        })
+                    }
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(ParseError {
+                        pos: *pos,
+                        what: "expected ':' after object key",
+                    });
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            pos: *pos,
+                            what: "expected ',' or '}' in object",
+                        })
+                    }
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        _ => Err(ParseError {
+            pos: *pos,
+            what: "unexpected character",
+        }),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(ParseError {
+            pos: *pos,
+            what: "expected '\"'",
+        });
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(ParseError {
+                pos: *pos,
+                what: "unterminated string",
+            });
+        };
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos + 1) else {
+                    return Err(ParseError {
+                        pos: *pos,
+                        what: "unterminated escape",
+                    });
+                };
+                *pos += 2;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(ParseError {
+                                pos: *pos,
+                                what: "bad \\u escape",
+                            })?;
+                        *pos += 4;
+                        // Surrogate pairs don't occur in the journal's own
+                        // output; map lone surrogates to the replacement
+                        // character rather than failing the record.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            pos: *pos - 1,
+                            what: "unknown escape",
+                        })
+                    }
+                }
+            }
+            _ => {
+                // Copy one UTF-8 scalar; the input is a &str so the
+                // boundaries are valid by construction.
+                let s = &bytes[*pos..];
+                let step = match s[0] {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                out.push_str(std::str::from_utf8(&s[..step]).map_err(|_| ParseError {
+                    pos: *pos,
+                    what: "invalid utf-8",
+                })?);
+                *pos += step;
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number text");
+    if !is_float {
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Json::Int(n));
+        }
+    }
+    text.parse::<f64>().map(Json::Num).map_err(|_| ParseError {
+        pos: start,
+        what: "malformed number",
+    })
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    depth: usize,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut each: impl FnMut(&mut String, usize, T),
+) {
+    if items.len() == 0 {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        out.push('\n');
+        out.push_str(&"  ".repeat(depth + 1));
+        each(out, depth + 1, item);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    out.push('\n');
+    out.push_str(&"  ".repeat(depth));
+    out.push(close);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Json;
+
+    #[test]
+    fn scalars_render_flat() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::Bool(true).render(), "true\n");
+        assert_eq!(Json::Int(42).render(), "42\n");
+        assert_eq!(Json::Num(1.5).render(), "1.5\n");
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+        assert_eq!(Json::str("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn containers_indent_and_keep_order() {
+        let v = Json::Obj(vec![
+            ("z".into(), Json::Int(1)),
+            ("a".into(), Json::Arr(vec![Json::Int(2), Json::Int(3)])),
+            ("empty".into(), Json::Arr(vec![])),
+        ]);
+        assert_eq!(
+            v.render(),
+            "{\n  \"z\": 1,\n  \"a\": [\n    2,\n    3\n  ],\n  \"empty\": []\n}\n"
+        );
+    }
+
+    #[test]
+    fn compact_render_round_trips_through_parse() {
+        let v = Json::Obj(vec![
+            ("kind".into(), Json::str("verdict")),
+            ("ix".into(), Json::Int(7)),
+            ("ok".into(), Json::Bool(true)),
+            ("t".into(), Json::Num(1.25)),
+            ("none".into(), Json::Null),
+            (
+                "tags".into(),
+                Json::Arr(vec![Json::str("a\"b\\c\nd"), Json::Int(0)]),
+            ),
+        ]);
+        let line = v.render_compact();
+        assert!(!line.contains('\n'), "compact output must be one line");
+        assert_eq!(Json::parse(&line).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_accepts_pretty_output_too() {
+        let v = Json::Obj(vec![
+            ("z".into(), Json::Int(1)),
+            ("a".into(), Json::Arr(vec![Json::Int(2), Json::Int(3)])),
+        ]);
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_torn_records() {
+        for torn in [
+            "{\"kind\":\"verdict\",\"ix\":",
+            "{\"kind\":\"verd",
+            "{\"kind\":\"verdict\"} extra",
+            "",
+        ] {
+            assert!(Json::parse(torn).is_err(), "accepted torn record {torn:?}");
+        }
+    }
+
+    #[test]
+    fn parse_handles_negative_and_float_numbers() {
+        assert_eq!(Json::parse("-3").unwrap(), Json::Num(-3.0));
+        assert_eq!(Json::parse("2.5e2").unwrap(), Json::Num(250.0));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::Int(u64::MAX)
+        );
+        assert!(Json::parse("\\u0041").is_err());
+        assert_eq!(Json::parse("\"\\u0041\"").unwrap(), Json::str("A"));
+    }
+}

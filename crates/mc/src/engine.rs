@@ -7,10 +7,50 @@ use crate::elab::Elab;
 use crate::trace::Trace;
 use crate::unroll::{InitMode, Unrolling};
 use netlist::{Netlist, SignalId};
-use sat::{BudgetPool, Lit, SolveResult};
+use sat::{BudgetPool, CancelToken, Lit, SolveResult, StopCause};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Why a verdict degraded to [`Outcome::Undetermined`]. Structured so that
+/// reports can say *which* resource gave out, and so the fault-injection
+/// harness can assert it only ever widens verdicts (DESIGN.md §8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum UndeterminedReason {
+    /// A conflict budget ran out — the per-query budget, the shared
+    /// [`BudgetPool`] cap, or an incomplete bound without an induction
+    /// proof (the paper's "budget/bound exhausted" bucket, §V-B).
+    BudgetExhausted,
+    /// A wall-clock deadline passed or the run was cancelled.
+    Deadline,
+    /// The job panicked and the supervisor caught it.
+    JobPanicked,
+    /// The fault-injection harness forced this verdict.
+    FaultInjected,
+}
+
+impl UndeterminedReason {
+    /// Stable lowercase label used in journals and report lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UndeterminedReason::BudgetExhausted => "budget",
+            UndeterminedReason::Deadline => "deadline",
+            UndeterminedReason::JobPanicked => "panicked",
+            UndeterminedReason::FaultInjected => "fault",
+        }
+    }
+
+    /// Parses a [`label`](Self::label) back.
+    pub fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "budget" => UndeterminedReason::BudgetExhausted,
+            "deadline" => UndeterminedReason::Deadline,
+            "panicked" => UndeterminedReason::JobPanicked,
+            "fault" => UndeterminedReason::FaultInjected,
+            _ => return None,
+        })
+    }
+}
 
 /// Outcome of a cover query, mirroring the paper's model-checker outcomes.
 #[derive(Clone, Debug)]
@@ -19,8 +59,8 @@ pub enum Outcome {
     Reachable(Trace),
     /// Proven: no such trace exists (complete bound or induction).
     Unreachable,
-    /// Budget/bound exhausted without a verdict.
-    Undetermined,
+    /// No verdict; the reason records which resource or fault gave out.
+    Undetermined(UndeterminedReason),
 }
 
 impl Outcome {
@@ -36,7 +76,15 @@ impl Outcome {
 
     /// `true` when undetermined.
     pub fn is_undetermined(&self) -> bool {
-        matches!(self, Outcome::Undetermined)
+        matches!(self, Outcome::Undetermined(_))
+    }
+
+    /// Why the verdict is undetermined, when it is.
+    pub fn undetermined_reason(&self) -> Option<UndeterminedReason> {
+        match self {
+            Outcome::Undetermined(r) => Some(*r),
+            _ => None,
+        }
     }
 
     /// The witness trace, when reachable.
@@ -103,6 +151,14 @@ pub struct CheckStats {
     /// pruning; these are *also* counted in `properties`/`unreachable` so
     /// outcome counts match a run without pruning.
     pub discharged_static: u64,
+    /// Undetermined outcomes caused by budget/bound exhaustion.
+    pub undet_budget: u64,
+    /// Undetermined outcomes caused by a deadline or cancellation.
+    pub undet_deadline: u64,
+    /// Undetermined outcomes caused by a caught job panic.
+    pub undet_panicked: u64,
+    /// Undetermined outcomes caused by an injected fault.
+    pub undet_fault: u64,
 }
 
 impl CheckStats {
@@ -135,6 +191,29 @@ impl CheckStats {
         self.coi_bits_before += other.coi_bits_before;
         self.coi_bits_after += other.coi_bits_after;
         self.discharged_static += other.discharged_static;
+        self.undet_budget += other.undet_budget;
+        self.undet_deadline += other.undet_deadline;
+        self.undet_panicked += other.undet_panicked;
+        self.undet_fault += other.undet_fault;
+    }
+
+    /// Records one undetermined outcome of the given reason (counter
+    /// bookkeeping for results produced outside a [`Checker`], e.g. a
+    /// supervised job that panicked before reporting stats).
+    pub fn count_undetermined(&mut self, reason: UndeterminedReason) {
+        self.undetermined += 1;
+        match reason {
+            UndeterminedReason::BudgetExhausted => self.undet_budget += 1,
+            UndeterminedReason::Deadline => self.undet_deadline += 1,
+            UndeterminedReason::JobPanicked => self.undet_panicked += 1,
+            UndeterminedReason::FaultInjected => self.undet_fault += 1,
+        }
+    }
+
+    /// Undetermined outcomes that stem from degradation (panic, fault,
+    /// deadline) rather than ordinary budget exhaustion.
+    pub fn degraded(&self) -> u64 {
+        self.undet_deadline + self.undet_panicked + self.undet_fault
     }
 
     /// Fraction of bits kept after cone-of-influence slicing (1.0 = none).
@@ -168,6 +247,11 @@ pub struct Checker<'a> {
     pool: Option<Arc<BudgetPool>>,
     /// Solver-stats snapshot at the last pool charge, for delta accounting.
     charged: sat::SolverStats,
+    /// Cooperative cancellation, shared with the solve loop.
+    cancel: Option<Arc<CancelToken>>,
+    /// When set, every subsequent query degrades to this reason without
+    /// solving (the fault-injection harness's forced-Unknown mode).
+    fault: Option<UndeterminedReason>,
 }
 
 impl<'a> Checker<'a> {
@@ -236,16 +320,46 @@ impl<'a> Checker<'a> {
             stats,
             pool: None,
             charged: sat::SolverStats::default(),
+            cancel: None,
+            fault: None,
         }
     }
 
     /// Attaches a shared budget pool: every query charges its
     /// conflict/propagation deltas into the pool, and once the pool's
     /// global cap is exhausted further queries return
-    /// [`Outcome::Undetermined`] without solving. An uncapped pool is pure
-    /// accounting and never alters outcomes.
+    /// [`Outcome::Undetermined`] without solving. When the pool has a cap,
+    /// the solve loop also polls it mid-query, bounding cap overshoot to
+    /// one poll interval. An uncapped pool is pure accounting and never
+    /// alters outcomes (no watch is attached, so the solve loop stays on
+    /// its zero-knob path).
     pub fn set_budget_pool(&mut self, pool: Arc<BudgetPool>) {
+        if pool.cap().is_some() {
+            self.unroll
+                .gate()
+                .solver()
+                .set_pool_watch(Some(Arc::clone(&pool)));
+        }
         self.pool = Some(pool);
+    }
+
+    /// Attaches a cancellation token: the solve loop polls it, and a fired
+    /// token degrades in-flight and subsequent queries to
+    /// [`Outcome::Undetermined`] with [`UndeterminedReason::Deadline`].
+    pub fn set_cancel_token(&mut self, token: Arc<CancelToken>) {
+        self.unroll
+            .gate()
+            .solver()
+            .set_cancel_token(Some(Arc::clone(&token)));
+        self.cancel = Some(token);
+    }
+
+    /// Forces every subsequent query to degrade to `Undetermined(reason)`
+    /// without solving — the fault-injection harness's forced-Unknown
+    /// mode. Faults can only widen verdicts: a degraded query never
+    /// reports Reachable/Unreachable.
+    pub fn set_fault(&mut self, reason: UndeterminedReason) {
+        self.fault = Some(reason);
     }
 
     /// The checker's netlist.
@@ -302,8 +416,14 @@ impl<'a> Checker<'a> {
     /// `assumes` (each holding at every cycle).
     pub fn check_cover(&mut self, cover_sig: SignalId, assumes: &[SignalId]) -> Outcome {
         let started = Instant::now();
+        if let Some(reason) = self.fault {
+            return self.record(started, Outcome::Undetermined(reason));
+        }
         if self.pool.as_ref().is_some_and(|p| p.exhausted()) {
-            return self.record(started, Outcome::Undetermined);
+            return self.record(
+                started,
+                Outcome::Undetermined(UndeterminedReason::BudgetExhausted),
+            );
         }
         let mut assumptions: Vec<Lit> =
             assumes.iter().map(|&a| self.assume_activation(a)).collect();
@@ -322,12 +442,21 @@ impl<'a> Checker<'a> {
                 if proved {
                     Outcome::Unreachable
                 } else {
-                    Outcome::Undetermined
+                    Outcome::Undetermined(UndeterminedReason::BudgetExhausted)
                 }
             }
-            SolveResult::Unknown => Outcome::Undetermined,
+            SolveResult::Unknown => Outcome::Undetermined(self.unknown_reason()),
         };
         self.record(started, outcome)
+    }
+
+    /// Maps the solver's stop cause for an `Unknown` result onto the
+    /// structured undetermined reason.
+    fn unknown_reason(&mut self) -> UndeterminedReason {
+        match self.unroll.gate().solver().last_stop() {
+            Some(StopCause::Cancelled | StopCause::Deadline) => UndeterminedReason::Deadline,
+            _ => UndeterminedReason::BudgetExhausted,
+        }
     }
 
     /// Notes that the *next* property was discharged by a static analysis
@@ -353,7 +482,7 @@ impl<'a> Checker<'a> {
         match &outcome {
             Outcome::Reachable(_) => self.stats.reachable += 1,
             Outcome::Unreachable => self.stats.unreachable += 1,
-            Outcome::Undetermined => self.stats.undetermined += 1,
+            Outcome::Undetermined(reason) => self.stats.count_undetermined(*reason),
         }
         outcome
     }
@@ -423,6 +552,14 @@ impl<'a> Checker<'a> {
         ind.gate()
             .solver()
             .set_conflict_budget(self.cfg.conflict_budget);
+        if let Some(token) = &self.cancel {
+            ind.gate()
+                .solver()
+                .set_cancel_token(Some(Arc::clone(token)));
+        }
+        if let Some(pool) = self.pool.as_ref().filter(|p| p.cap().is_some()) {
+            ind.gate().solver().set_pool_watch(Some(Arc::clone(pool)));
+        }
         let proved = ind.gate().solver().solve_assuming(&assumptions).is_unsat();
         if let Some(pool) = &self.pool {
             let st = ind.gate().solver().stats();

@@ -37,13 +37,16 @@ pub mod coi;
 mod elab;
 mod engine;
 pub mod par;
+pub mod supervise;
 mod trace;
 mod unroll;
 
 pub use cnf::GateBuilder;
 pub use coi::CoiSlice;
 pub use elab::Elab;
-pub use engine::{CheckStats, Checker, McConfig, Outcome};
+pub use engine::{CheckStats, Checker, McConfig, Outcome, UndeterminedReason};
 pub use par::{default_threads, resolve_threads, run_jobs};
+pub use sat::{CancelReason, CancelToken};
+pub use supervise::{run_jobs_supervised, FaultKind, FaultPlan, JobFailure, JobStore};
 pub use trace::Trace;
 pub use unroll::{InitMode, Unrolling};

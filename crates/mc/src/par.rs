@@ -67,13 +67,17 @@ where
                 if ix >= slots.len() {
                     break;
                 }
+                // Recover poisoned slots instead of double-panicking: a
+                // sibling worker may have panicked (e.g. under fault
+                // injection) and poisoning is per-mutex state, not data
+                // corruption — each slot is touched by exactly one worker.
                 let job = slots[ix]
                     .lock()
-                    .expect("no poisoned job slot")
+                    .unwrap_or_else(|e| e.into_inner())
                     .take()
                     .expect("each job taken exactly once");
                 let r = f(ix, job);
-                *results[ix].lock().expect("no poisoned result slot") = Some(r);
+                *results[ix].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
             });
         }
     });
@@ -81,7 +85,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("no poisoned result slot")
+                .unwrap_or_else(|e| e.into_inner())
                 .expect("every job produced a result")
         })
         .collect()

@@ -1,0 +1,251 @@
+//! Job supervision, deterministic fault injection, and the checkpoint
+//! store interface — the runtime half of DESIGN.md §8.
+//!
+//! [`run_jobs_supervised`] wraps every job of [`run_jobs`] in
+//! `catch_unwind`, so one panicking property sweep yields a per-job
+//! [`JobFailure`] merged deterministically into the results instead of
+//! tearing down the whole `std::thread::scope`. Drivers degrade a failed
+//! job to [`Outcome::Undetermined`] with
+//! [`UndeterminedReason::JobPanicked`].
+//!
+//! [`FaultPlan`] deterministically schedules injected faults (panics,
+//! forced-Unknown queries, expired deadlines) from a seed and a rate, so a
+//! failing fault-injected run replays from `SYNTHLC_FAULT_SEED` alone.
+//!
+//! [`JobStore`] is the narrow interface drivers use to checkpoint and
+//! replay completed job verdicts; `synthlc::journal::Journal` implements
+//! it with an append-only, fsync'd, torn-tail-tolerant file.
+//!
+//! [`run_jobs`]: crate::par::run_jobs
+//! [`Outcome::Undetermined`]: crate::Outcome::Undetermined
+//! [`UndeterminedReason::JobPanicked`]: crate::UndeterminedReason::JobPanicked
+
+use crate::par::run_jobs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A panic caught by the supervisor while running one job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Index of the failed job in the submitted job list.
+    pub job_id: usize,
+    /// The panic payload, when it was a string (the common case).
+    pub payload_msg: String,
+    /// How to localise the failure in a rerun.
+    pub backtrace_hint: String,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {} panicked: {} ({})",
+            self.job_id, self.payload_msg, self.backtrace_hint
+        )
+    }
+}
+
+fn payload_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Like [`run_jobs`], but each job runs under `catch_unwind`: a panic in
+/// job `ix` becomes `Err(JobFailure)` at index `ix` while every other job
+/// completes normally. Result order and content are a pure function of
+/// the job list, independent of worker count — the same merge-by-job-id
+/// determinism contract as `run_jobs` itself.
+pub fn run_jobs_supervised<J, R, F>(
+    jobs: Vec<J>,
+    threads: usize,
+    f: F,
+) -> Vec<Result<R, JobFailure>>
+where
+    J: Send,
+    R: Send,
+    F: Fn(usize, J) -> R + Sync,
+{
+    run_jobs(jobs, threads, |ix, job| {
+        catch_unwind(AssertUnwindSafe(|| f(ix, job))).map_err(|payload| JobFailure {
+            job_id: ix,
+            payload_msg: payload_msg(payload.as_ref()),
+            backtrace_hint: format!(
+                "rerun with RUST_BACKTRACE=1 SYNTHLC_THREADS=1 to localise job {ix}"
+            ),
+        })
+    })
+}
+
+/// What an injected fault does to its job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The job panics mid-flight (exercises the supervisor).
+    Panic,
+    /// Every solver query in the job is forced to `Unknown` (exercises
+    /// the forced-degradation path without burning solver time).
+    ForceUnknown,
+    /// The job runs under an already-expired deadline (exercises the
+    /// cancellation plumbing end to end).
+    DeadlineExpired,
+}
+
+/// A deterministic schedule of injected faults.
+///
+/// Whether job `ix` of a named phase faults — and how — is a pure
+/// function of `(seed, phase, ix)`, so a run replays exactly from its
+/// seed, at any worker count. A rate of `0.0` plans nothing and is the
+/// zero-cost default.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan injecting faults at `rate` (a probability in `[0, 1]` per
+    /// job) from `seed`.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        Self {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The inactive plan: never faults.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether this plan can fault at all.
+    pub fn is_active(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The seed from `SYNTHLC_FAULT_SEED` (decimal), defaulting to 0.
+    pub fn env_seed() -> u64 {
+        std::env::var("SYNTHLC_FAULT_SEED")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// The fault planned for job `ix` of `phase`, if any. Phases keep
+    /// independent streams so e.g. µPATH slot jobs and IFT unit jobs
+    /// fault independently under one seed.
+    pub fn fault_for(&self, phase: &str, ix: usize) -> Option<FaultKind> {
+        if self.rate <= 0.0 {
+            return None;
+        }
+        // FNV-1a over (phase, ix), decorrelated by the seed, feeds a
+        // per-job PRNG stream.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in phase.as_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h = (h ^ ix as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        let mut rng = prng::Rng::new(h ^ self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if !rng.chance(self.rate) {
+            return None;
+        }
+        Some(match rng.range(0, 3) {
+            0 => FaultKind::Panic,
+            1 => FaultKind::ForceUnknown,
+            _ => FaultKind::DeadlineExpired,
+        })
+    }
+}
+
+/// A persistent store of completed job results, keyed by stable
+/// fingerprint strings — the interface drivers journal through without
+/// depending on the journal's file format. Implementations must be safe
+/// to call from parallel workers.
+pub trait JobStore: std::fmt::Debug + Send + Sync {
+    /// The stored record for `key`, if one was completed earlier.
+    fn get(&self, key: &str) -> Option<String>;
+
+    /// Durably persists `record` under `key`.
+    fn put(&self, key: &str, record: &str);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supervised_jobs_isolate_panics() {
+        let jobs: Vec<usize> = (0..16).collect();
+        for threads in [1, 4] {
+            let out = run_jobs_supervised(jobs.clone(), threads, |_, j| {
+                if j % 5 == 3 {
+                    panic!("boom at {j}");
+                }
+                j * 2
+            });
+            assert_eq!(out.len(), 16);
+            for (ix, r) in out.iter().enumerate() {
+                if ix % 5 == 3 {
+                    let err = r.as_ref().unwrap_err();
+                    assert_eq!(err.job_id, ix);
+                    assert_eq!(err.payload_msg, format!("boom at {ix}"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), ix * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_results_match_across_thread_counts() {
+        let jobs: Vec<usize> = (0..32).collect();
+        let run = |threads| {
+            run_jobs_supervised(jobs.clone(), threads, |_, j| {
+                if j == 7 || j == 20 {
+                    panic!("injected");
+                }
+                j + 100
+            })
+        };
+        assert_eq!(run(1), run(6));
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_phase_split() {
+        let plan = FaultPlan::new(42, 0.5);
+        let a: Vec<_> = (0..64).map(|ix| plan.fault_for("ift", ix)).collect();
+        let b: Vec<_> = (0..64).map(|ix| plan.fault_for("ift", ix)).collect();
+        assert_eq!(a, b, "same (seed, phase, ix) must plan the same fault");
+        let c: Vec<_> = (0..64).map(|ix| plan.fault_for("mupath", ix)).collect();
+        assert_ne!(a, c, "phases should have independent fault streams");
+        let hits = a.iter().flatten().count();
+        assert!(
+            (10..60).contains(&hits),
+            "rate 0.5 planned {hits}/64 faults"
+        );
+    }
+
+    #[test]
+    fn disabled_plan_never_faults() {
+        let plan = FaultPlan::disabled();
+        assert!(!plan.is_active());
+        assert!((0..256).all(|ix| plan.fault_for("any", ix).is_none()));
+    }
+
+    #[test]
+    fn fault_kinds_all_occur_at_high_rate() {
+        let plan = FaultPlan::new(7, 1.0);
+        let kinds: std::collections::BTreeSet<_> = (0..64)
+            .filter_map(|ix| plan.fault_for("k", ix))
+            .map(|k| format!("{k:?}"))
+            .collect();
+        assert_eq!(kinds.len(), 3, "expected all three fault kinds: {kinds:?}");
+    }
+}

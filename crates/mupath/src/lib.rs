@@ -29,10 +29,33 @@ pub use synth::{
 };
 
 use isa::Opcode;
-use mc::CheckStats;
-use sat::BudgetPool;
+use mc::{CheckStats, FaultKind, FaultPlan, JobStore, UndeterminedReason};
+use sat::{BudgetPool, CancelToken};
 use std::sync::Arc;
 use uarch::Design;
+
+/// Robustness knobs shared by the whole-ISA driver here and by SynthLC's
+/// leakage driver (DESIGN.md §8). The default — no token, inactive fault
+/// plan, no journal — adds no work and no nondeterminism to a run.
+#[derive(Clone, Debug, Default)]
+pub struct RobustOptions {
+    /// Run-wide cancellation token (explicit cancel and/or wall-clock
+    /// deadline). Queries that trip it degrade to
+    /// `Undetermined(Deadline)`.
+    pub cancel: Option<Arc<CancelToken>>,
+    /// Deterministic fault-injection schedule (testing only).
+    pub faults: FaultPlan,
+    /// Checkpoint store for completed job verdicts; jobs whose key is
+    /// already stored are replayed without running.
+    pub journal: Option<Arc<dyn JobStore>>,
+}
+
+impl RobustOptions {
+    /// Whether any robustness machinery is switched on.
+    pub fn is_active(&self) -> bool {
+        self.cancel.is_some() || self.faults.is_active() || self.journal.is_some()
+    }
+}
 
 /// Options for the parallel property-evaluation engine, shared by the
 /// whole-ISA driver here and by SynthLC's leakage driver.
@@ -47,6 +70,8 @@ pub struct EngineOptions {
     /// cap is reached (at the cost of scheduling-dependent results — see
     /// `DESIGN.md` §6).
     pub budget_pool: Option<Arc<BudgetPool>>,
+    /// Fault-tolerance knobs (cancellation, fault injection, journal).
+    pub robust: RobustOptions,
 }
 
 impl EngineOptions {
@@ -54,7 +79,7 @@ impl EngineOptions {
     pub fn sequential() -> Self {
         Self {
             threads: 1,
-            budget_pool: None,
+            ..Default::default()
         }
     }
 
@@ -62,7 +87,7 @@ impl EngineOptions {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads,
-            budget_pool: None,
+            ..Default::default()
         }
     }
 
@@ -77,6 +102,61 @@ impl EngineOptions {
     }
 }
 
+/// A stable fingerprint of a design, mixed into every journal key so a
+/// journal written against one RTL revision can never replay onto another.
+/// FNV-1a over the canonical netlist text plus the design name.
+pub fn design_fingerprint(design: &Design) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let eat = |h: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *h = (*h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&mut h, design.name.as_bytes());
+    eat(&mut h, &[0]);
+    eat(&mut h, netlist::text::emit(&design.netlist).as_bytes());
+    h
+}
+
+/// Serializes [`CheckStats`] counters for a journal record. Durations are
+/// deliberately dropped — they are nondeterministic, and resumed runs must
+/// reproduce the uninterrupted run's report byte for byte.
+pub fn encode_check_stats(s: &CheckStats) -> jsonio::Json {
+    use jsonio::Json;
+    Json::Obj(vec![
+        ("p".into(), Json::Int(s.properties)),
+        ("r".into(), Json::Int(s.reachable)),
+        ("u".into(), Json::Int(s.unreachable)),
+        ("ud".into(), Json::Int(s.undetermined)),
+        ("cb".into(), Json::Int(s.coi_bits_before)),
+        ("ca".into(), Json::Int(s.coi_bits_after)),
+        ("ds".into(), Json::Int(s.discharged_static)),
+        ("udb".into(), Json::Int(s.undet_budget)),
+        ("udd".into(), Json::Int(s.undet_deadline)),
+        ("udp".into(), Json::Int(s.undet_panicked)),
+        ("udf".into(), Json::Int(s.undet_fault)),
+    ])
+}
+
+/// Parses a journaled [`encode_check_stats`] record (durations zero).
+pub fn decode_check_stats(j: &jsonio::Json) -> Option<CheckStats> {
+    let mut s = CheckStats {
+        properties: j.field("p")?.as_u64()?,
+        reachable: j.field("r")?.as_u64()?,
+        unreachable: j.field("u")?.as_u64()?,
+        undetermined: j.field("ud")?.as_u64()?,
+        ..Default::default()
+    };
+    s.coi_bits_before = j.field("cb")?.as_u64()?;
+    s.coi_bits_after = j.field("ca")?.as_u64()?;
+    s.discharged_static = j.field("ds")?.as_u64()?;
+    s.undet_budget = j.field("udb")?.as_u64()?;
+    s.undet_deadline = j.field("udd")?.as_u64()?;
+    s.undet_panicked = j.field("udp")?.as_u64()?;
+    s.undet_fault = j.field("udf")?.as_u64()?;
+    Some(s)
+}
+
 /// Whole-ISA synthesis results.
 #[derive(Clone, Debug)]
 pub struct IsaSynthesis {
@@ -84,6 +164,11 @@ pub struct IsaSynthesis {
     pub instrs: Vec<InstrSynthesis>,
     /// Aggregate property statistics (the §VII-B3 accounting).
     pub stats: CheckStats,
+    /// Jobs that degraded to an undetermined stand-in (panic, injected
+    /// fault, or deadline) instead of completing.
+    pub degraded_jobs: u64,
+    /// Jobs replayed from the checkpoint journal instead of running.
+    pub resumed_jobs: u64,
 }
 
 impl IsaSynthesis {
@@ -132,29 +217,103 @@ pub fn synthesize_isa_with(
     opts: &EngineOptions,
 ) -> IsaSynthesis {
     let threads = opts.effective_threads();
-    let jobs: Vec<(usize, usize)> = ops
+    let robust = &opts.robust;
+    let fp = robust.journal.as_ref().map(|_| design_fingerprint(design));
+    // Resolve journal hits on the coordinating thread so `resumed_jobs` is
+    // counted before workers start; cache hits become pre-filled jobs.
+    let mut resumed_jobs = 0u64;
+    let jobs: Vec<(usize, usize, Option<synth::SlotSynthesis>, Option<String>)> = ops
         .iter()
         .enumerate()
         .flat_map(|(oi, _)| (0..cfg.slots.len()).map(move |si| (oi, si)))
+        .map(|(oi, si)| {
+            let key = fp.map(|fp| slot_job_key(fp, ops[oi], cfg.slots[si], cfg));
+            let cached = key
+                .as_deref()
+                .zip(robust.journal.as_deref())
+                .and_then(|(k, j)| j.get(k))
+                .and_then(|rec| synth::SlotSynthesis::decode(&rec));
+            if cached.is_some() {
+                resumed_jobs += 1;
+            }
+            (oi, si, cached, key)
+        })
         .collect();
-    let results = mc::run_jobs(jobs, threads, |_, (oi, si)| {
-        synth::synthesize_instr_slot(
+    let results = mc::run_jobs_supervised(jobs, threads, |ix, (oi, si, cached, key)| {
+        if let Some(s) = cached {
+            return s;
+        }
+        let fault = robust.faults.fault_for("mupath", ix);
+        if fault == Some(FaultKind::Panic) {
+            panic!("injected fault: panic in mupath job {ix}");
+        }
+        let r = synth::synthesize_instr_slot(
             design,
             ops[oi],
             cfg.slots[si],
             si == 0,
             cfg,
             opts.budget_pool.as_ref(),
-        )
+            robust.cancel.as_ref(),
+            fault,
+        );
+        // Only clean verdicts are journaled: degraded jobs must rerun on
+        // resume so an interrupted faulty run can still converge to the
+        // uninterrupted result.
+        if fault.is_none() && r.stats.degraded() == 0 {
+            if let (Some(j), Some(k)) = (robust.journal.as_deref(), key.as_deref()) {
+                j.put(k, &r.encode());
+            }
+        }
+        r
     });
+    let mut degraded_jobs = 0u64;
     let mut results = results.into_iter();
     let mut instrs = Vec::new();
     let mut stats = CheckStats::default();
     for &op in ops {
-        let slots: Vec<_> = results.by_ref().take(cfg.slots.len()).collect();
-        let r = synth::assemble_instr(op, slots);
+        let slots: Vec<synth::SlotSynthesis> = results
+            .by_ref()
+            .take(cfg.slots.len())
+            .map(|r| match r {
+                Ok(s) => {
+                    if s.stats.degraded() > 0 {
+                        degraded_jobs += 1;
+                    }
+                    s
+                }
+                Err(_) => {
+                    degraded_jobs += 1;
+                    synth::SlotSynthesis::degraded(UndeterminedReason::JobPanicked)
+                }
+            })
+            .collect();
+        let r = synth::assemble_instr(op, slots, || {
+            // Slot 0 was resumed or degraded, so its metadata never reached
+            // us; recompute it (no solver queries), shielding against the
+            // same panic the supervised job may have hit.
+            let slot0 = cfg.slots.first().copied().unwrap_or(0);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                synth::slot_meta(design, op, slot0, cfg)
+            }))
+            .ok()
+        });
         stats.absorb(&r.stats);
         instrs.push(r);
     }
-    IsaSynthesis { instrs, stats }
+    IsaSynthesis {
+        instrs,
+        stats,
+        degraded_jobs,
+        resumed_jobs,
+    }
+}
+
+/// The stable journal key of one (instruction, fetch-slot) job: design
+/// fingerprint plus every configuration knob that can change the verdict.
+fn slot_job_key(fp: u64, op: Opcode, slot: usize, cfg: &SynthConfig) -> String {
+    format!(
+        "mupath:{fp:016x}:{op:?}:{slot}:{:?}:{}:{:?}:{}",
+        cfg.context, cfg.bound, cfg.conflict_budget, cfg.max_shapes
+    )
 }

@@ -22,10 +22,10 @@
 
 use crate::harness::{build_harness, ContextMode, HarnessConfig, IuvHarness};
 use isa::Opcode;
-use mc::{CheckStats, Checker, McConfig, Outcome};
+use mc::{CheckStats, Checker, FaultKind, McConfig, Outcome, UndeterminedReason};
 use netlist::analysis::comb_connected;
 use netlist::{Builder, SignalId};
-use sat::BudgetPool;
+use sat::{BudgetPool, CancelToken};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
 use uarch::Design;
@@ -214,20 +214,149 @@ pub(crate) struct SlotMeta {
     candidates: BTreeSet<(PlId, PlId)>,
 }
 
+/// Recomputes [`SlotMeta`] for `opcode` without running any solver query.
+/// Used by the whole-ISA driver when the first slot's job was resumed from
+/// a journal (metadata is derivable, so it is never journaled) or degraded
+/// by a fault.
+pub(crate) fn slot_meta(
+    design: &Design,
+    opcode: Opcode,
+    slot: usize,
+    cfg: &SynthConfig,
+) -> SlotMeta {
+    let harness = build_harness(
+        design,
+        &HarnessConfig {
+            opcode,
+            fetch_slot: slot,
+            context: cfg.context,
+        },
+    );
+    SlotMeta {
+        pls: harness.pls.clone(),
+        classes: harness.classes.clone(),
+        candidates: hb_edge_candidates(design, &harness),
+    }
+}
+
 /// The result of one (instruction, fetch-slot) enumeration job — the unit
 /// of parallelism of the whole-ISA driver. Jobs over the same instruction
 /// are merged in slot order by [`assemble_instr`], reproducing the
 /// sequential per-instruction result exactly.
 pub(crate) struct SlotSynthesis {
     shapes: BTreeMap<Signature, ConcretePath>,
-    complete: bool,
-    stats: CheckStats,
+    pub(crate) complete: bool,
+    pub(crate) stats: CheckStats,
     meta: Option<SlotMeta>,
+}
+
+impl SlotSynthesis {
+    /// The stand-in result for a job the supervisor caught panicking (or
+    /// that a fault plan killed): no shapes, incomplete, one undetermined
+    /// property on the books under `reason`.
+    pub(crate) fn degraded(reason: UndeterminedReason) -> Self {
+        let mut stats = CheckStats {
+            properties: 1,
+            ..Default::default()
+        };
+        stats.count_undetermined(reason);
+        Self {
+            shapes: BTreeMap::new(),
+            complete: false,
+            stats,
+            meta: None,
+        }
+    }
+
+    /// Serializes the slot verdict for the checkpoint journal. Metadata and
+    /// durations are excluded: the former is derivable from the design, the
+    /// latter is nondeterministic.
+    pub(crate) fn encode(&self) -> String {
+        use jsonio::Json;
+        let shapes: Vec<Json> = self
+            .shapes
+            .iter()
+            .map(|(sig, path)| {
+                let bits: String = sig
+                    .iter()
+                    .flat_map(|&(a, b, c)| [a, b, c])
+                    .map(|b| if b { '1' } else { '0' })
+                    .collect();
+                let occ: Vec<Json> = path
+                    .pl_set()
+                    .iter()
+                    .map(|&pl| {
+                        Json::Arr(vec![
+                            Json::Int(pl.index() as u64),
+                            Json::Arr(
+                                path.cycles(pl)
+                                    .iter()
+                                    .map(|&c| Json::Int(c as u64))
+                                    .collect(),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("sig".into(), Json::Str(bits)),
+                    ("occ".into(), Json::Arr(occ)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("v".into(), Json::Int(1)),
+            ("complete".into(), Json::Bool(self.complete)),
+            ("shapes".into(), Json::Arr(shapes)),
+            ("stats".into(), crate::encode_check_stats(&self.stats)),
+        ])
+        .render_compact()
+    }
+
+    /// Parses a journaled record back into a slot verdict (`meta` stays
+    /// `None`; the driver recomputes it when needed). Returns `None` on any
+    /// shape mismatch, which the driver treats as a cache miss.
+    pub(crate) fn decode(s: &str) -> Option<Self> {
+        let j = jsonio::Json::parse(s).ok()?;
+        if j.field("v")?.as_u64()? != 1 {
+            return None;
+        }
+        let complete = j.field("complete")?.as_bool()?;
+        let mut shapes = BTreeMap::new();
+        for sh in j.field("shapes")?.as_arr()? {
+            let bits = sh.field("sig")?.as_str()?;
+            if bits.len() % 3 != 0 || !bits.bytes().all(|b| b == b'0' || b == b'1') {
+                return None;
+            }
+            let sig: Signature = bits
+                .as_bytes()
+                .chunks(3)
+                .map(|c| (c[0] == b'1', c[1] == b'1', c[2] == b'1'))
+                .collect();
+            let mut path = ConcretePath::new();
+            for entry in sh.field("occ")?.as_arr()? {
+                let pair = entry.as_arr()?;
+                let pl = PlId(pair.first()?.as_u64()? as u32);
+                for cyc in pair.get(1)?.as_arr()? {
+                    path.visit(pl, cyc.as_u64()? as usize);
+                }
+            }
+            shapes.insert(sig, path);
+        }
+        Some(Self {
+            shapes,
+            complete,
+            stats: crate::decode_check_stats(j.field("stats")?)?,
+            meta: None,
+        })
+    }
 }
 
 /// Enumerates the µPATH shapes of `opcode` fetched in one slot. The job
 /// owns its harness, unrolling, and SAT solver; `pool`, when present, is
-/// the globally shared budget account.
+/// the globally shared budget account; `cancel` is the run-wide
+/// cancellation token; `fault` is the fault plan's order for this job
+/// ([`FaultKind::Panic`] is raised by the driver before this runs).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn synthesize_instr_slot(
     design: &Design,
     opcode: Opcode,
@@ -235,6 +364,8 @@ pub(crate) fn synthesize_instr_slot(
     want_meta: bool,
     cfg: &SynthConfig,
     pool: Option<&Arc<BudgetPool>>,
+    cancel: Option<&Arc<CancelToken>>,
+    fault: Option<FaultKind>,
 ) -> SlotSynthesis {
     let harness = build_harness(
         design,
@@ -254,6 +385,16 @@ pub(crate) fn synthesize_instr_slot(
         Checker::with_free_regs(&harness.netlist, cfg.mc_config(), &arch_free_regs(design));
     if let Some(p) = pool {
         checker.set_budget_pool(Arc::clone(p));
+    }
+    if let Some(token) = cancel {
+        checker.set_cancel_token(Arc::clone(token));
+    }
+    match fault {
+        Some(FaultKind::ForceUnknown) => checker.set_fault(UndeterminedReason::FaultInjected),
+        Some(FaultKind::DeadlineExpired) => checker.set_cancel_token(Arc::new(
+            CancelToken::deadline_in(std::time::Duration::ZERO),
+        )),
+        _ => {}
     }
     let mut shapes: BTreeMap<Signature, ConcretePath> = BTreeMap::new();
     let mut complete = true;
@@ -297,7 +438,7 @@ pub(crate) fn synthesize_instr_slot(
                 shapes.entry(signature).or_insert(path);
             }
             Outcome::Unreachable => break,
-            Outcome::Undetermined => {
+            Outcome::Undetermined(_) => {
                 complete = false;
                 break;
             }
@@ -313,8 +454,15 @@ pub(crate) fn synthesize_instr_slot(
 
 /// Merges one instruction's slot jobs (in slot order: earlier slots' shape
 /// witnesses win ties, exactly as the sequential loop inserted them) into
-/// the final [`InstrSynthesis`].
-pub(crate) fn assemble_instr(opcode: Opcode, slots: Vec<SlotSynthesis>) -> InstrSynthesis {
+/// the final [`InstrSynthesis`]. When no slot carried metadata (all
+/// resumed from a journal, or slot 0 degraded), `fallback_meta` is asked
+/// once; if it also fails the result is emptied and marked incomplete
+/// rather than panicking.
+pub(crate) fn assemble_instr(
+    opcode: Opcode,
+    slots: Vec<SlotSynthesis>,
+    fallback_meta: impl FnOnce() -> Option<SlotMeta>,
+) -> InstrSynthesis {
     let mut shapes: BTreeMap<Signature, ConcretePath> = BTreeMap::new();
     let mut complete = true;
     let mut stats = CheckStats::default();
@@ -329,7 +477,17 @@ pub(crate) fn assemble_instr(opcode: Opcode, slots: Vec<SlotSynthesis>) -> Instr
             shapes.entry(signature).or_insert(path);
         }
     }
-    let meta = meta.expect("at least one slot");
+    let Some(meta) = meta.or_else(fallback_meta) else {
+        return InstrSynthesis {
+            opcode,
+            paths: Vec::new(),
+            concrete: Vec::new(),
+            decisions: Vec::new(),
+            class_decisions: Vec::new(),
+            complete: false,
+            stats,
+        };
+    };
     let concrete: Vec<ConcretePath> = shapes.into_values().collect();
     let paths: Vec<MuPath> = concrete
         .iter()
@@ -358,9 +516,11 @@ pub fn synthesize_instr(design: &Design, opcode: Opcode, cfg: &SynthConfig) -> I
         .slots
         .iter()
         .enumerate()
-        .map(|(ix, &slot)| synthesize_instr_slot(design, opcode, slot, ix == 0, cfg, None))
+        .map(|(ix, &slot)| {
+            synthesize_instr_slot(design, opcode, slot, ix == 0, cfg, None, None, None)
+        })
         .collect();
-    assemble_instr(opcode, slots)
+    assemble_instr(opcode, slots, || None)
 }
 
 /// §V-B5 candidate filter: PL pairs whose source µFSM state registers feed

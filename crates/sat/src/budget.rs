@@ -60,8 +60,16 @@ impl BudgetPool {
 
     /// Whether the global conflict cap has been reached.
     pub fn exhausted(&self) -> bool {
+        self.would_exhaust(0)
+    }
+
+    /// Whether charging `pending` additional conflicts would reach the
+    /// cap. The solve loop polls this with its own un-charged delta so an
+    /// in-flight query stops within one check interval of the cap instead
+    /// of running its full per-query budget past it.
+    pub fn would_exhaust(&self, pending: u64) -> bool {
         match self.cap {
-            Some(cap) => self.conflicts() >= cap,
+            Some(cap) => self.conflicts().saturating_add(pending) >= cap,
             None => false,
         }
     }

@@ -1,0 +1,121 @@
+//! Cooperative cancellation for long solver runs.
+//!
+//! A [`CancelToken`] is a thread-shared "stop soon" signal: an atomic flag
+//! (set by [`CancelToken::cancel`]) plus an optional wall-clock deadline
+//! fixed at construction. The CDCL solve loop polls it every few hundred
+//! conflicts, so cancellation is cooperative — an in-flight query winds
+//! down at the next conflict and reports [`SolveResult::Unknown`], which
+//! the model checker surfaces as an *undetermined* verdict rather than a
+//! wrong one.
+//!
+//! Determinism contract: a token that never fires has no effect on
+//! results. A deadline makes *which* queries get cut off depend on
+//! wall-clock timing, exactly like the global conflict cap of
+//! [`BudgetPool`] — callers that need bit-identical reruns must not set
+//! one (DESIGN.md §8).
+//!
+//! [`SolveResult::Unknown`]: crate::SolveResult::Unknown
+//! [`BudgetPool`]: crate::BudgetPool
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Why a [`CancelToken`] fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    Deadline,
+}
+
+/// A thread-shared cancellation signal: atomic flag plus optional
+/// deadline. Cheap to share behind an `Arc`; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; fires only via [`cancel`](Self::cancel).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that fires once `deadline` passes (or on `cancel`).
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self {
+            flag: AtomicBool::new(false),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// A token whose deadline is `budget` from now. `Duration::ZERO`
+    /// yields an already-expired token (used by the fault-injection
+    /// harness to exercise the deadline path deterministically).
+    pub fn deadline_in(budget: Duration) -> Self {
+        Self::with_deadline(Instant::now() + budget)
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Why the token has fired, or `None` while it hasn't. An explicit
+    /// `cancel` takes precedence over a passed deadline.
+    pub fn fired(&self) -> Option<CancelReason> {
+        if self.flag.load(Ordering::Relaxed) {
+            return Some(CancelReason::Cancelled);
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Some(CancelReason::Deadline),
+            _ => None,
+        }
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.fired().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_has_not_fired() {
+        let t = CancelToken::new();
+        assert_eq!(t.fired(), None);
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_fires_and_is_idempotent() {
+        let t = CancelToken::new();
+        t.cancel();
+        t.cancel();
+        assert_eq!(t.fired(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn zero_deadline_is_already_expired() {
+        let t = CancelToken::deadline_in(Duration::ZERO);
+        assert_eq!(t.fired(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn far_deadline_has_not_fired_but_cancel_wins() {
+        let t = CancelToken::deadline_in(Duration::from_secs(3600));
+        assert_eq!(t.fired(), None);
+        t.cancel();
+        assert_eq!(t.fired(), Some(CancelReason::Cancelled));
+    }
+}

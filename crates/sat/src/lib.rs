@@ -23,11 +23,13 @@
 //! ```
 
 mod budget;
+mod cancel;
 pub mod dimacs;
 mod heap;
 mod solver;
 mod types;
 
 pub use budget::BudgetPool;
-pub use solver::{Solver, SolverStats};
+pub use cancel::{CancelReason, CancelToken};
+pub use solver::{Solver, SolverStats, StopCause};
 pub use types::{Lit, SolveResult, Var};

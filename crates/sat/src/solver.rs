@@ -9,14 +9,21 @@
 //! — the difference between ~1M and tens of millions of propagations per
 //! second on unrolled-circuit CNFs.
 
+use crate::budget::BudgetPool;
+use crate::cancel::{CancelReason, CancelToken};
 use crate::heap::ActivityHeap;
 use crate::types::{Lit, SolveResult, Var};
+use std::sync::Arc;
 
 const UNASSIGNED: i8 = -1;
 const VAR_DECAY: f64 = 0.95;
 const CLAUSE_DECAY: f32 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
 const RESTART_BASE: u64 = 100;
+/// Conflicts between cooperative cancellation / pool-cap polls. Polling
+/// only happens when a token or pool watch is attached, so unset knobs
+/// cost one `Option` test per conflict.
+const STOP_CHECK_INTERVAL: u64 = 128;
 
 /// Offset of a clause in the arena.
 type ClauseRef = u32;
@@ -91,6 +98,28 @@ struct Watcher {
     blocker: Lit,
 }
 
+/// Why the most recent solve call stopped with [`SolveResult::Unknown`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopCause {
+    /// The per-query conflict budget ran out.
+    ConflictBudget,
+    /// The attached [`BudgetPool`]'s global cap was (about to be) reached.
+    PoolCap,
+    /// The attached [`CancelToken`] was cancelled explicitly.
+    Cancelled,
+    /// The attached [`CancelToken`]'s wall-clock deadline passed.
+    Deadline,
+}
+
+impl From<CancelReason> for StopCause {
+    fn from(r: CancelReason) -> Self {
+        match r {
+            CancelReason::Cancelled => StopCause::Cancelled,
+            CancelReason::Deadline => StopCause::Deadline,
+        }
+    }
+}
+
 /// Cumulative statistics of a solver instance.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SolverStats {
@@ -143,6 +172,9 @@ pub struct Solver {
     stats: SolverStats,
     conflict_budget: Option<u64>,
     num_original: usize,
+    cancel: Option<Arc<CancelToken>>,
+    pool_watch: Option<Arc<BudgetPool>>,
+    last_stop: Option<StopCause>,
 }
 
 impl Solver {
@@ -189,6 +221,30 @@ impl Solver {
     /// removes the budget.
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Attaches a cancellation token polled every [`STOP_CHECK_INTERVAL`]
+    /// conflicts (and once at solve entry, so an already-fired token stops
+    /// a query before any search). `None` detaches — the default, with no
+    /// per-conflict cost beyond one `Option` test.
+    pub fn set_cancel_token(&mut self, token: Option<Arc<CancelToken>>) {
+        self.cancel = token;
+    }
+
+    /// Attaches a shared budget pool whose *global* conflict cap the solve
+    /// loop honors mid-query: every [`STOP_CHECK_INTERVAL`] conflicts the
+    /// solver asks whether its own un-charged delta would exhaust the
+    /// pool, bounding cap overshoot to one interval. Attach only pools
+    /// with a cap — an uncapped pool never fires, and skipping the watch
+    /// keeps capless runs byte-deterministic by construction.
+    pub fn set_pool_watch(&mut self, pool: Option<Arc<BudgetPool>>) {
+        self.pool_watch = pool;
+    }
+
+    /// Why the most recent solve call returned [`SolveResult::Unknown`]
+    /// (`None` after a Sat/Unsat result or before any solve).
+    pub fn last_stop(&self) -> Option<StopCause> {
+        self.last_stop
     }
 
     #[inline]
@@ -579,8 +635,13 @@ impl Solver {
     /// (including learnt clauses) persists across calls, enabling the
     /// incremental per-property queries issued by the model checker.
     pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.last_stop = None;
         if !self.ok {
             return SolveResult::Unsat;
+        }
+        if let Some(reason) = self.cancel.as_ref().and_then(|t| t.fired()) {
+            self.last_stop = Some(reason.into());
+            return SolveResult::Unknown;
         }
         let budget_start = self.stats.conflicts;
         let mut conflicts_since_restart = 0u64;
@@ -606,8 +667,26 @@ impl Solver {
                 }
                 self.var_inc /= VAR_DECAY;
                 self.clause_inc /= CLAUSE_DECAY;
+                let spent = self.stats.conflicts - budget_start;
                 if let Some(b) = self.conflict_budget {
-                    if self.stats.conflicts - budget_start >= b {
+                    if spent >= b {
+                        self.last_stop = Some(StopCause::ConflictBudget);
+                        break SolveResult::Unknown;
+                    }
+                }
+                if (self.cancel.is_some() || self.pool_watch.is_some())
+                    && spent.is_multiple_of(STOP_CHECK_INTERVAL)
+                {
+                    if let Some(reason) = self.cancel.as_ref().and_then(|t| t.fired()) {
+                        self.last_stop = Some(reason.into());
+                        break SolveResult::Unknown;
+                    }
+                    if self
+                        .pool_watch
+                        .as_ref()
+                        .is_some_and(|p| p.would_exhaust(spent))
+                    {
+                        self.last_stop = Some(StopCause::PoolCap);
                         break SolveResult::Unknown;
                     }
                 }
@@ -798,6 +877,82 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Unknown);
         s.set_conflict_budget(None);
         assert!(s.solve().is_unsat());
+    }
+
+    fn pigeonhole(s: &mut Solver, pigeons: usize, holes: usize) {
+        let mut p = vec![vec![Var(0); holes]; pigeons];
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().copied().map(Lit::pos).collect();
+            s.add_clause(&lits);
+        }
+        for j in 0..holes {
+            for (i1, row1) in p.iter().enumerate() {
+                for row2 in &p[i1 + 1..] {
+                    s.add_clause(&[Lit::neg(row1[j]), Lit::neg(row2[j])]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefired_cancel_token_stops_before_search() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 6, 5);
+        let token = Arc::new(CancelToken::new());
+        token.cancel();
+        s.set_cancel_token(Some(Arc::clone(&token)));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.last_stop(), Some(StopCause::Cancelled));
+        // Detached, the same formula solves normally and clears the cause.
+        s.set_cancel_token(None);
+        assert!(s.solve().is_unsat());
+        assert_eq!(s.last_stop(), None);
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_cause() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 6, 5);
+        let token = Arc::new(CancelToken::deadline_in(std::time::Duration::ZERO));
+        s.set_cancel_token(Some(token));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.last_stop(), Some(StopCause::Deadline));
+    }
+
+    #[test]
+    fn pool_watch_bounds_cap_overshoot_mid_solve() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 8, 7);
+        let pool = Arc::new(BudgetPool::new(Some(200)));
+        s.set_pool_watch(Some(Arc::clone(&pool)));
+        let r = s.solve();
+        if r == SolveResult::Unknown {
+            assert_eq!(s.last_stop(), Some(StopCause::PoolCap));
+            // Overshoot past the cap is bounded by one poll interval.
+            assert!(
+                s.stats().conflicts <= 200 + STOP_CHECK_INTERVAL,
+                "ran {} conflicts past a 200-conflict cap",
+                s.stats().conflicts
+            );
+        } else {
+            // The instance resolved under the cap; the watch must not
+            // have perturbed the result.
+            assert!(r.is_unsat());
+        }
+    }
+
+    #[test]
+    fn conflict_budget_reports_cause() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 6, 5);
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.last_stop(), Some(StopCause::ConflictBudget));
     }
 
     #[test]

@@ -329,6 +329,8 @@ mod tests {
             transmitters,
             mupath_stats: CheckStats::default(),
             ift_stats: CheckStats::default(),
+            degraded_jobs: 0,
+            resumed_jobs: 0,
         }
     }
 

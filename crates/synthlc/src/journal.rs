@@ -1,0 +1,244 @@
+//! The crash-safe checkpoint journal (DESIGN.md §8): an append-only file
+//! of completed job verdicts, one compact JSON record per line, fsync'd
+//! per record so a kill at any instant loses at most the record being
+//! written — and that torn tail is detected and dropped on resume, never
+//! treated as fatal.
+//!
+//! Records are keyed by stable job fingerprints (design hash + job kind +
+//! indices + the config knobs that can change the verdict), so a journal
+//! can only replay onto the run that wrote it. The drivers journal only
+//! *clean* verdicts — degraded jobs rerun on resume — which is what makes
+//! a resumed run's report byte-identical to an uninterrupted one.
+
+use mc::JobStore;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// An append-only, fsync'd, torn-tail-tolerant store of job verdicts.
+#[derive(Debug)]
+pub struct Journal {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    file: File,
+    seen: HashMap<String, String>,
+    hits: u64,
+}
+
+impl Journal {
+    /// Creates (or truncates) a fresh journal at `path` — the `--journal`
+    /// mode of a first run.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Journal> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Journal {
+            inner: Mutex::new(Inner {
+                file,
+                seen: HashMap::new(),
+                hits: 0,
+            }),
+        })
+    }
+
+    /// Opens an existing journal and replays its completed records — the
+    /// `--resume` mode. The file is scanned front to back; at the first
+    /// malformed or truncated record (a torn write from a kill mid-append)
+    /// the file is truncated to the last good record and the rest is
+    /// dropped: those jobs simply rerun. New verdicts append to the same
+    /// file, so a resumed run leaves a journal that is again resumable.
+    pub fn resume(path: impl AsRef<Path>) -> std::io::Result<Journal> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+        let mut seen = HashMap::new();
+        let mut good = 0usize;
+        for line in text.split_inclusive('\n') {
+            let Some(record) = parse_record(line) else {
+                break;
+            };
+            seen.insert(record.0, record.1);
+            good += line.len();
+        }
+        if good < text.len() {
+            file.set_len(good as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(Journal {
+            inner: Mutex::new(Inner {
+                file,
+                seen,
+                hits: 0,
+            }),
+        })
+    }
+
+    /// Completed records currently held (replayed plus appended).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .seen
+            .len()
+    }
+
+    /// Whether no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many `get` calls found a record — the run's replayed-job count.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).hits
+    }
+}
+
+/// One journal line: `{"k": <key>, "r": <record>}` with the record kept as
+/// an escaped string so `get` round-trips it untouched.
+fn parse_record(line: &str) -> Option<(String, String)> {
+    let line = line.strip_suffix('\n')?;
+    let j = jsonio::Json::parse(line).ok()?;
+    Some((
+        j.field("k")?.as_str()?.to_owned(),
+        j.field("r")?.as_str()?.to_owned(),
+    ))
+}
+
+impl JobStore for Journal {
+    fn get(&self, key: &str) -> Option<String> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let found = inner.seen.get(key).cloned();
+        if found.is_some() {
+            inner.hits += 1;
+        }
+        found
+    }
+
+    fn put(&self, key: &str, record: &str) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.seen.contains_key(key) {
+            return;
+        }
+        let line = jsonio::Json::Obj(vec![
+            ("k".into(), jsonio::Json::str(key)),
+            ("r".into(), jsonio::Json::str(record)),
+        ])
+        .render_compact();
+        // Append + flush + fsync before admitting the record to the map:
+        // a verdict is only "completed" once it would survive a crash.
+        let ok = writeln!(inner.file, "{line}")
+            .and_then(|()| inner.file.flush())
+            .and_then(|()| inner.file.sync_data())
+            .is_ok();
+        if ok {
+            inner.seen.insert(key.to_owned(), record.to_owned());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("synthlc-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let path = tmp("roundtrip");
+        let j = Journal::create(&path).unwrap();
+        assert!(j.is_empty());
+        j.put("k1", "{\"v\":1}");
+        j.put("k2", "plain text with \"quotes\" and\nnewlines");
+        assert_eq!(j.get("k1").as_deref(), Some("{\"v\":1}"));
+        assert_eq!(
+            j.get("k2").as_deref(),
+            Some("plain text with \"quotes\" and\nnewlines")
+        );
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(j.hits(), 2);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn resume_replays_and_appends() {
+        let path = tmp("resume");
+        {
+            let j = Journal::create(&path).unwrap();
+            j.put("a", "1");
+            j.put("b", "2");
+        }
+        let j = Journal::resume(&path).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.get("a").as_deref(), Some("1"));
+        j.put("c", "3");
+        drop(j);
+        let j2 = Journal::resume(&path).unwrap();
+        assert_eq!(j2.len(), 3);
+        assert_eq!(j2.get("c").as_deref(), Some("3"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_put_keeps_first_record() {
+        let path = tmp("dup");
+        let j = Journal::create(&path).unwrap();
+        j.put("k", "first");
+        j.put("k", "second");
+        assert_eq!(j.get("k").as_deref(), Some("first"));
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = tmp("torn");
+        {
+            let j = Journal::create(&path).unwrap();
+            j.put("a", "1");
+            j.put("b", "2");
+        }
+        // Simulate a kill mid-append: chop bytes off the final record.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let j = Journal::resume(&path).unwrap();
+        assert_eq!(j.len(), 1, "torn record must be dropped");
+        assert_eq!(j.get("a").as_deref(), Some("1"));
+        assert_eq!(j.get("b"), None);
+        // The torn bytes are gone from disk; the journal appends cleanly.
+        j.put("b", "2-again");
+        drop(j);
+        let j2 = Journal::resume(&path).unwrap();
+        assert_eq!(j2.len(), 2);
+        assert_eq!(j2.get("b").as_deref(), Some("2-again"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn missing_trailing_newline_counts_as_torn() {
+        let path = tmp("nonl");
+        {
+            let j = Journal::create(&path).unwrap();
+            j.put("a", "1");
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"k\":\"b\",\"r\":\"2\"}"); // no '\n'
+        std::fs::write(&path, &bytes).unwrap();
+        let j = Journal::resume(&path).unwrap();
+        assert_eq!(j.len(), 1);
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -43,10 +43,13 @@
 
 pub mod contracts;
 mod harness;
+pub mod journal;
 pub mod scsafe;
 mod signatures;
 
 pub use harness::{build_leak_harness, LeakHarness, LeakHarnessConfig, Operand, Tracked, TxKind};
+pub use journal::Journal;
+pub use mupath::RobustOptions;
 pub use signatures::{
     synthesize_leakage, LeakConfig, LeakageReport, LeakageSignature, Tag, TypedTransmitter,
 };

@@ -4,9 +4,9 @@
 
 use crate::harness::{build_leak_harness, LeakHarness, LeakHarnessConfig, Operand, TxKind};
 use isa::Opcode;
-use mc::{CheckStats, Checker, Elab, McConfig};
-use mupath::{synthesize_isa_with, EngineOptions, InstrSynthesis, SynthConfig};
-use sat::BudgetPool;
+use mc::{CheckStats, Checker, Elab, FaultKind, McConfig, UndeterminedReason};
+use mupath::{synthesize_isa_with, EngineOptions, InstrSynthesis, RobustOptions, SynthConfig};
+use sat::{BudgetPool, CancelToken};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use uarch::Design;
@@ -100,6 +100,11 @@ pub struct LeakageReport {
     pub mupath_stats: CheckStats,
     /// IFT-phase property statistics.
     pub ift_stats: CheckStats,
+    /// Jobs (across both phases) that degraded to an undetermined stand-in
+    /// (panic, injected fault, or deadline) instead of completing.
+    pub degraded_jobs: u64,
+    /// Jobs replayed from the checkpoint journal instead of running.
+    pub resumed_jobs: u64,
 }
 
 impl LeakageReport {
@@ -164,6 +169,9 @@ pub struct LeakConfig {
     /// [`ift::taint_reachable`]). Debug builds still run the precise query
     /// and assert agreement.
     pub static_prune: bool,
+    /// Fault-tolerance knobs (cancellation, fault injection, journal),
+    /// shared with the µPATH phase. See `DESIGN.md` §8.
+    pub robust: RobustOptions,
 }
 
 impl LeakConfig {
@@ -196,6 +204,7 @@ impl LeakConfig {
             budget_pool: None,
             coi: true,
             static_prune: true,
+            robust: RobustOptions::default(),
         }
     }
 
@@ -331,6 +340,7 @@ fn ift_kind_job(
     prune: Option<&StaticPrune>,
     free: &[netlist::SignalId],
     cfg: &LeakConfig,
+    fault: Option<FaultKind>,
 ) -> (Vec<Tag>, CheckStats) {
     let mut tags = Vec::new();
     let mut checker = Checker::with_coi(
@@ -342,6 +352,16 @@ fn ift_kind_job(
     );
     if let Some(pool) = &cfg.budget_pool {
         checker.set_budget_pool(Arc::clone(pool));
+    }
+    if let Some(token) = &cfg.robust.cancel {
+        checker.set_cancel_token(Arc::clone(token));
+    }
+    match fault {
+        Some(FaultKind::ForceUnknown) => checker.set_fault(UndeterminedReason::FaultInjected),
+        Some(FaultKind::DeadlineExpired) => checker.set_cancel_token(Arc::new(
+            CancelToken::deadline_in(std::time::Duration::ZERO),
+        )),
+        _ => {}
     }
     let t_candidates: Vec<Opcode> = if kind == TxKind::Intrinsic {
         vec![p]
@@ -417,9 +437,12 @@ pub fn synthesize_leakage(
     let engine = EngineOptions {
         threads,
         budget_pool: cfg.budget_pool.clone(),
+        robust: cfg.robust.clone(),
     };
     let isa_synth = synthesize_isa_with(design, transponders, &cfg.mupath, &engine);
     let mupath_stats = isa_synth.stats;
+    let mut degraded_jobs = isa_synth.degraded_jobs;
+    let mut resumed_jobs = isa_synth.resumed_jobs;
 
     // Phase 2: symbolic IFT per candidate transponder.
     struct Work {
@@ -537,11 +560,57 @@ pub fn synthesize_leakage(
         .copied()
         .collect();
     let prune = cfg.static_prune.then(|| StaticPrune::build(design));
-    let results: Vec<(Vec<Tag>, CheckStats)> =
-        mc::run_jobs(units.clone(), threads, |_, (wi, pi, kind)| {
+    // Resolve journal hits on the coordinating thread (counting them),
+    // then run the remaining units supervised: a panicking unit degrades
+    // to an empty-tag `JobPanicked` stand-in instead of aborting the run.
+    let fp = cfg
+        .robust
+        .journal
+        .as_ref()
+        .map(|_| mupath::design_fingerprint(design));
+    type IftJob = (
+        usize,
+        usize,
+        TxKind,
+        Option<(Vec<Tag>, CheckStats)>,
+        Option<String>,
+    );
+    let unit_jobs: Vec<IftJob> = units
+        .iter()
+        .map(|&(wi, pi, kind)| {
+            let key = fp.map(|fp| {
+                ift_job_key(
+                    fp,
+                    cfg,
+                    work[wi].p,
+                    &work[wi].decisions,
+                    pairings[pi].0,
+                    kind,
+                )
+            });
+            let cached = key
+                .as_deref()
+                .zip(cfg.robust.journal.as_deref())
+                .and_then(|(k, j)| j.get(k))
+                .and_then(|rec| decode_ift_record(&rec));
+            if cached.is_some() {
+                resumed_jobs += 1;
+            }
+            (wi, pi, kind, cached, key)
+        })
+        .collect();
+    let supervised =
+        mc::run_jobs_supervised(unit_jobs, threads, |ix, (wi, pi, kind, cached, key)| {
+            if let Some(c) = cached {
+                return c;
+            }
+            let fault = cfg.robust.faults.fault_for("ift", ix);
+            if fault == Some(FaultKind::Panic) {
+                panic!("injected fault: panic in ift job {ix}");
+            }
             let w = &work[wi];
             let cn = &cover_nets[wi * pairings.len() + pi];
-            ift_kind_job(
+            let r = ift_kind_job(
                 w.p,
                 &w.decisions,
                 kind,
@@ -553,8 +622,37 @@ pub fn synthesize_leakage(
                 prune.as_ref(),
                 &free,
                 cfg,
-            )
+                fault,
+            );
+            // Only clean verdicts are journaled (degraded jobs rerun on
+            // resume), so a resumed run converges to the uninterrupted result.
+            if fault.is_none() && r.1.degraded() == 0 {
+                if let (Some(j), Some(k)) = (cfg.robust.journal.as_deref(), key.as_deref()) {
+                    j.put(k, &encode_ift_record(&r.0, &r.1));
+                }
+            }
+            r
         });
+    let results: Vec<(Vec<Tag>, CheckStats)> = supervised
+        .into_iter()
+        .map(|r| match r {
+            Ok(r) => {
+                if r.1.degraded() > 0 {
+                    degraded_jobs += 1;
+                }
+                r
+            }
+            Err(_) => {
+                degraded_jobs += 1;
+                let mut stats = CheckStats {
+                    properties: 1,
+                    ..Default::default()
+                };
+                stats.count_undetermined(UndeterminedReason::JobPanicked);
+                (Vec::new(), stats)
+            }
+        })
+        .collect();
 
     // Phase 3: assemble signatures.
     let mut ift_stats = CheckStats::default();
@@ -638,5 +736,108 @@ pub fn synthesize_leakage(
         transmitters,
         mupath_stats,
         ift_stats,
+        degraded_jobs,
+        resumed_jobs,
     }
+}
+
+/// FNV-1a over a byte string.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The stable journal key of one IFT unit job: design fingerprint, job
+/// identity, and every configuration knob (including the transponder's
+/// decision list, hashed) that can change the verdict.
+fn ift_job_key(
+    fp: u64,
+    cfg: &LeakConfig,
+    p: Opcode,
+    decisions: &[Decision],
+    slots: (usize, usize),
+    kind: TxKind,
+) -> String {
+    let dhash = fnv(format!("{:?}|{decisions:?}", cfg.transmitters).as_bytes());
+    format!(
+        "ift:{fp:016x}:{p:?}:{}:{}:{kind:?}:{}:{:?}:{}:{}:{dhash:016x}",
+        slots.0, slots.1, cfg.bound, cfg.conflict_budget, cfg.coi, cfg.static_prune
+    )
+}
+
+/// Serializes one IFT unit verdict for the journal (durations excluded:
+/// nondeterministic). Tags are `[decision_ix, opcode, operand, kind,
+/// primary]` rows with enum discriminants as the stable encoding.
+fn encode_ift_record(tags: &[Tag], stats: &CheckStats) -> String {
+    use jsonio::Json;
+    let tags: Vec<Json> = tags
+        .iter()
+        .map(|t| {
+            Json::Arr(vec![
+                Json::Int(t.decision_ix as u64),
+                Json::Int(t.tx.opcode as u64),
+                Json::Int(match t.tx.operand {
+                    Operand::Rs1 => 0,
+                    Operand::Rs2 => 1,
+                }),
+                Json::Int(match t.tx.kind {
+                    TxKind::Intrinsic => 0,
+                    TxKind::DynamicOlder => 1,
+                    TxKind::DynamicYounger => 2,
+                    TxKind::Static => 3,
+                }),
+                Json::Bool(t.primary),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("v".into(), Json::Int(1)),
+        ("tags".into(), Json::Arr(tags)),
+        ("stats".into(), mupath::encode_check_stats(stats)),
+    ])
+    .render_compact()
+}
+
+/// Parses a journaled [`encode_ift_record`]; `None` (a cache miss) on any
+/// mismatch.
+fn decode_ift_record(s: &str) -> Option<(Vec<Tag>, CheckStats)> {
+    let j = jsonio::Json::parse(s).ok()?;
+    if j.field("v")?.as_u64()? != 1 {
+        return None;
+    }
+    let mut tags = Vec::new();
+    for t in j.field("tags")?.as_arr()? {
+        let t = t.as_arr()?;
+        if t.len() != 5 {
+            return None;
+        }
+        let opcode_n = t[1].as_u64()?;
+        let opcode = Opcode::ALL
+            .iter()
+            .copied()
+            .find(|&o| o as u64 == opcode_n)?;
+        tags.push(Tag {
+            decision_ix: t[0].as_u64()? as usize,
+            tx: TypedTransmitter {
+                opcode,
+                operand: match t[2].as_u64()? {
+                    0 => Operand::Rs1,
+                    1 => Operand::Rs2,
+                    _ => return None,
+                },
+                kind: match t[3].as_u64()? {
+                    0 => TxKind::Intrinsic,
+                    1 => TxKind::DynamicOlder,
+                    2 => TxKind::DynamicYounger,
+                    3 => TxKind::Static,
+                    _ => return None,
+                },
+            },
+            primary: t[4].as_bool()?,
+        });
+    }
+    Some((tags, mupath::decode_check_stats(j.field("stats")?)?))
 }

@@ -29,6 +29,7 @@ fn audit(name: &str, cfg: &CoreConfig) {
         max_sources: Some(3),
         coi: true,
         static_prune: true,
+        robust: Default::default(),
     };
     let report = synthesize_leakage(&design, &[isa::Opcode::Div], &leak_cfg);
     println!("== {name} ==");

@@ -24,4 +24,30 @@ cargo test -q "${OFFLINE[@]}" --workspace
 echo "== lint-designs (static-analysis suite, warnings fatal) =="
 cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- lint all --deny-warnings
 
+echo "== fault-smoke (inject a fault, journal, resume clean) =="
+# Seed 2 at rate 0.5 deterministically faults one of tinycore add's two
+# µPATH jobs and leaves the other clean: the run must degrade (exit 2),
+# journal exactly the clean verdict, and a --resume replay must converge
+# to a clean exit 0.
+JOURNAL=$(mktemp -t synthlc-fault-smoke.XXXXXX)
+trap 'rm -f "$JOURNAL"' EXIT
+rm -f "$JOURNAL"
+set +e
+SYNTHLC_FAULT_SEED=2 cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
+  paths tinycore add --fault-rate 0.5 --journal "$JOURNAL" >/dev/null
+FAULT_EXIT=$?
+set -e
+if [ "$FAULT_EXIT" != 2 ]; then
+  echo "fault-smoke: expected exit 2 from the faulted run, got $FAULT_EXIT" >&2
+  exit 1
+fi
+if ! grep -q '^{"k":"mupath:' "$JOURNAL"; then
+  echo "fault-smoke: journal has no well-formed µPATH record:" >&2
+  cat "$JOURNAL" >&2
+  exit 1
+fi
+cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
+  paths tinycore add --resume "$JOURNAL" >/dev/null
+echo "fault-smoke OK (degrade -> journal -> resume clean)"
+
 echo "CI OK"

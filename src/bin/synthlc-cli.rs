@@ -9,18 +9,29 @@
 //!
 //! designs: minicva6 | minicva6-mul | minicva6-op | hardened | tinycore | minicache
 //! options: --slots 0,1   --bound N   --context any|nocf|solo   --budget N   --jobs N
-//!          --lint   --deny-warnings
+//!          --deadline-secs N   --journal PATH   --resume PATH   --fault-rate F
+//!          --fail-on-undetermined   --lint   --deny-warnings
 //!
 //! Every synthesis command lints its design first and aborts on error-level
 //! findings (`--deny-warnings` makes warnings fatal too; `--lint` prints the
 //! report even when clean).
+//!
+//! Exit codes (paths/leak): 0 = every property decided; 2 = the run
+//! completed but some jobs degraded to Undetermined (deadline, fault, or
+//! caught panic; any undetermined at all under --fail-on-undetermined);
+//! 1 = hard errors (bad arguments, lint failures, unusable journal).
 //! ```
 //!
 //! Run via `cargo run --release --bin synthlc-cli -- <args>`.
 
-use mupath::{synthesize_instr, ContextMode, HarnessConfig, SynthConfig};
+use mc::{CancelToken, CheckStats, FaultPlan, JobStore};
+use mupath::{
+    synthesize_isa_with, ContextMode, EngineOptions, HarnessConfig, RobustOptions, SynthConfig,
+};
 use std::process::ExitCode;
-use synthlc::{contracts, synthesize_leakage, LeakConfig, TxKind};
+use std::sync::Arc;
+use std::time::Duration;
+use synthlc::{contracts, synthesize_leakage, Journal, LeakConfig, TxKind};
 use uarch::{build_core, build_tiny, CoreConfig, Design};
 
 fn design_by_name(name: &str) -> Option<Design> {
@@ -52,6 +63,11 @@ struct Opts {
     jobs: usize,
     lint: bool,
     deny_warnings: bool,
+    deadline_secs: Option<u64>,
+    journal: Option<String>,
+    resume: Option<String>,
+    fault_rate: f64,
+    fail_on_undetermined: bool,
 }
 
 fn parse_opts(args: &[String], design: &Design) -> Result<Opts, String> {
@@ -67,6 +83,11 @@ fn parse_opts(args: &[String], design: &Design) -> Result<Opts, String> {
         jobs: 0,
         lint: false,
         deny_warnings: false,
+        deadline_secs: None,
+        journal: None,
+        resume: None,
+        fault_rate: 0.0,
+        fail_on_undetermined: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -99,6 +120,24 @@ fn parse_opts(args: &[String], design: &Design) -> Result<Opts, String> {
             }
             "--lint" => o.lint = true,
             "--deny-warnings" => o.deny_warnings = true,
+            "--deadline-secs" => {
+                o.deadline_secs = Some(
+                    val("--deadline-secs")?
+                        .parse()
+                        .map_err(|_| "bad --deadline-secs".to_owned())?,
+                );
+            }
+            "--journal" => o.journal = Some(val("--journal")?),
+            "--resume" => o.resume = Some(val("--resume")?),
+            "--fault-rate" => {
+                o.fault_rate = val("--fault-rate")?
+                    .parse()
+                    .map_err(|_| "bad --fault-rate".to_owned())?;
+                if !(0.0..=1.0).contains(&o.fault_rate) {
+                    return Err("--fault-rate must be in [0, 1]".to_owned());
+                }
+            }
+            "--fail-on-undetermined" => o.fail_on_undetermined = true,
             "--context" => {
                 o.context = match val("--context")?.as_str() {
                     "any" => ContextMode::Any,
@@ -120,6 +159,57 @@ fn synth_cfg(o: &Opts) -> SynthConfig {
         bound: o.bound,
         conflict_budget: Some(o.budget),
         max_shapes: 64,
+    }
+}
+
+/// Assembles the robustness knobs from the CLI options: wall-clock
+/// deadline, fault plan (seeded by `SYNTHLC_FAULT_SEED`), journal.
+fn robust_opts(o: &Opts) -> Result<RobustOptions, String> {
+    let journal: Option<Arc<dyn JobStore>> = match (&o.journal, &o.resume) {
+        (Some(_), Some(_)) => {
+            return Err("--journal and --resume are mutually exclusive".to_owned())
+        }
+        (Some(p), None) => Some(Arc::new(
+            Journal::create(p).map_err(|e| format!("--journal {p}: {e}"))?,
+        )),
+        (None, Some(p)) => Some(Arc::new(
+            Journal::resume(p).map_err(|e| format!("--resume {p}: {e}"))?,
+        )),
+        (None, None) => None,
+    };
+    Ok(RobustOptions {
+        cancel: o
+            .deadline_secs
+            .map(|s| Arc::new(CancelToken::deadline_in(Duration::from_secs(s)))),
+        faults: FaultPlan::new(FaultPlan::env_seed(), o.fault_rate),
+        journal,
+    })
+}
+
+/// Prints the one-line degradation summary and returns the exit code the
+/// run has earned: 2 when any job degraded (or, under
+/// `--fail-on-undetermined`, when any property at all went undetermined),
+/// 0 otherwise.
+fn degradation_exit(
+    o: &Opts,
+    stats: &CheckStats,
+    degraded_jobs: u64,
+    resumed_jobs: u64,
+) -> ExitCode {
+    if degraded_jobs > 0 || resumed_jobs > 0 || stats.undetermined > 0 {
+        println!(
+            "degraded: {degraded_jobs} job(s) [budget={} deadline={} panicked={} fault={}], \
+             resumed: {resumed_jobs} job(s)",
+            stats.undet_budget, stats.undet_deadline, stats.undet_panicked, stats.undet_fault
+        );
+    }
+    if stats.degraded() > 0
+        || degraded_jobs > 0
+        || (o.fail_on_undetermined && stats.undetermined > 0)
+    {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -171,8 +261,14 @@ fn cmd_pls(design: &Design, o: &Opts) {
     println!("({} properties, {:.2}s avg)", s.properties, s.avg_seconds());
 }
 
-fn cmd_paths(design: &Design, op: isa::Opcode, o: &Opts) {
-    let r = synthesize_instr(design, op, &synth_cfg(o));
+fn cmd_paths(design: &Design, op: isa::Opcode, o: &Opts) -> Result<ExitCode, String> {
+    let opts = EngineOptions {
+        threads: o.jobs,
+        budget_pool: None,
+        robust: robust_opts(o)?,
+    };
+    let isa_synth = synthesize_isa_with(design, &[op], &synth_cfg(o), &opts);
+    let r = &isa_synth.instrs[0];
     println!(
         "{op}: {} µPATH(s), complete = {}",
         r.paths.len(),
@@ -202,9 +298,15 @@ fn cmd_paths(design: &Design, op: isa::Opcode, o: &Opts) {
         r.stats.avg_seconds(),
         r.stats.undetermined_pct()
     );
+    Ok(degradation_exit(
+        o,
+        &isa_synth.stats,
+        isa_synth.degraded_jobs,
+        isa_synth.resumed_jobs,
+    ))
 }
 
-fn cmd_leak(design: &Design, op: isa::Opcode, o: &Opts) {
+fn cmd_leak(design: &Design, op: isa::Opcode, o: &Opts) -> Result<ExitCode, String> {
     let cfg = LeakConfig {
         mupath: synth_cfg(o),
         transmitters: design
@@ -238,11 +340,15 @@ fn cmd_leak(design: &Design, op: isa::Opcode, o: &Opts) {
         coi: true,
         static_prune: true,
         budget_pool: None,
+        robust: robust_opts(o)?,
     };
     let report = synthesize_leakage(design, &[op], &cfg);
+    let mut stats = report.mupath_stats;
+    stats.absorb(&report.ift_stats);
+    let exit = degradation_exit(o, &stats, report.degraded_jobs, report.resumed_jobs);
     if report.signatures.is_empty() {
         println!("{op}: no leakage signatures (not a transponder, or no tagged decisions)");
-        return;
+        return Ok(exit);
     }
     println!("leakage signatures for {op}:");
     for s in &report.signatures {
@@ -250,9 +356,10 @@ fn cmd_leak(design: &Design, op: isa::Opcode, o: &Opts) {
     }
     let c = contracts::derive_contracts(&report);
     println!("\n{}", contracts::render_table1(&c));
+    Ok(exit)
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
@@ -273,7 +380,7 @@ fn run() -> Result<(), String> {
                     design.annotations.ufsms.len()
                 );
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "lint" => {
             let dname = args.get(1).map(String::as_str).unwrap_or("all");
@@ -287,10 +394,11 @@ fn run() -> Result<(), String> {
                 "minicache",
             ];
             if dname == "all" {
-                cmd_lint(&all, deny)
+                cmd_lint(&all, deny)?;
             } else {
-                cmd_lint(&[dname], deny)
+                cmd_lint(&[dname], deny)?;
             }
+            Ok(ExitCode::SUCCESS)
         }
         "pls" | "paths" | "leak" => {
             let dname = args
@@ -302,7 +410,7 @@ fn run() -> Result<(), String> {
                 let o = parse_opts(&args[2..], &design)?;
                 lint_one(&design, o.deny_warnings, o.lint)?;
                 cmd_pls(&design, &o);
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
             let iname = args
                 .get(2)
@@ -312,11 +420,10 @@ fn run() -> Result<(), String> {
             let o = parse_opts(&args[3..], &design)?;
             lint_one(&design, o.deny_warnings, o.lint)?;
             if cmd == "paths" {
-                cmd_paths(&design, op, &o);
+                cmd_paths(&design, op, &o)
             } else {
-                cmd_leak(&design, op, &o);
+                cmd_leak(&design, op, &o)
             }
-            Ok(())
         }
         _ => {
             println!(
@@ -325,16 +432,21 @@ fn run() -> Result<(), String> {
                  synthlc-cli paths <design> <instr> [opts]\n  synthlc-cli leak <design> <instr> [opts]\n\
                  \ndesigns: minicva6 minicva6-mul minicva6-op hardened tinycore minicache\n\
                  opts: --slots 0,1  --bound N  --context any|nocf|solo  --budget N  --jobs N\n      \
-                 --lint (print lint report)  --deny-warnings (lint warnings are fatal)"
+                 --deadline-secs N (degrade, don't hang, past the wall clock)\n      \
+                 --journal PATH (checkpoint verdicts)  --resume PATH (replay a journal)\n      \
+                 --fault-rate F (inject faults, seed SYNTHLC_FAULT_SEED)\n      \
+                 --fail-on-undetermined (exit 2 on any undetermined outcome)\n      \
+                 --lint (print lint report)  --deny-warnings (lint warnings are fatal)\n\
+                 \nexit codes: 0 all decided; 2 degraded/undetermined; 1 hard error"
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
     }
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

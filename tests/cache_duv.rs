@@ -148,6 +148,7 @@ fn earlier_load_is_a_static_transmitter_for_later_loads() {
         max_sources: Some(1),
         coi: true,
         static_prune: true,
+        robust: Default::default(),
     };
     let report = synthesize_leakage(&design, &[isa::Opcode::Lw], &cfg);
     let statics = report.transmitter_opcodes(TxKind::Static);

@@ -25,6 +25,7 @@ fn quick_cfg() -> LeakConfig {
         max_sources: Some(2),
         coi: true,
         static_prune: true,
+        robust: Default::default(),
     }
 }
 

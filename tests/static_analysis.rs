@@ -193,6 +193,7 @@ fn cache_leakage_reductions_preserve_report() {
         max_sources: Some(1),
         coi: false,
         static_prune: false,
+        robust: Default::default(),
     };
     let plain = synthesize_leakage(&design, &[isa::Opcode::Lw], &base);
     let reduced_cfg = LeakConfig {
