@@ -1,0 +1,209 @@
+//! A deliberately tiny reference DPLL solver.
+//!
+//! This is the golden model for oracle (a): no watched literals, no
+//! learning, no heuristics — just unit propagation by full clause scans
+//! and chronological backtracking, simple enough to audit by eye. It is
+//! step-capped so a pathological formula degrades to a *skipped* case
+//! rather than a hang.
+
+use sat::Lit;
+
+/// Outcome of a capped DPLL run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DpllResult {
+    /// Satisfiable; `model[v]` is the assignment of variable `v`.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+const UNASSIGNED: i8 = -1;
+
+#[inline]
+fn lit_val(assign: &[i8], l: Lit) -> i8 {
+    let a = assign[l.var().index()];
+    if a == UNASSIGNED {
+        UNASSIGNED
+    } else if l.is_pos() {
+        a
+    } else {
+        1 - a
+    }
+}
+
+/// Solves `clauses` over `num_vars` variables, spending at most `step_cap`
+/// clause scans. Returns `None` when the cap is hit (caller should skip
+/// the case). `bug` injects a mutated satisfaction comparison — the
+/// deliberately seeded defect the differential oracle must catch — and is
+/// only reachable through [`crate::SeededBug`].
+pub fn solve(
+    num_vars: usize,
+    clauses: &[Vec<Lit>],
+    step_cap: u64,
+    bug: bool,
+) -> Option<DpllResult> {
+    let mut assign = vec![UNASSIGNED; num_vars];
+    // (var, value-tried, is-decision) in assignment order.
+    let mut trail: Vec<(usize, bool, bool)> = Vec::new();
+    let mut steps = 0u64;
+    loop {
+        // Unit propagation: rescan until a fixpoint or a conflict.
+        let mut conflict = false;
+        'propagate: loop {
+            let mut changed = false;
+            for clause in clauses {
+                steps += 1;
+                if steps > step_cap {
+                    return None;
+                }
+                let mut unassigned: Option<Lit> = None;
+                let mut n_unassigned = 0usize;
+                let mut satisfied = false;
+                for &l in clause {
+                    match lit_val(&assign, l) {
+                        // The seeded bug flips which polarity counts as
+                        // satisfying, wrecking the verdict on purpose.
+                        1 if !bug => satisfied = true,
+                        0 if bug => satisfied = true,
+                        UNASSIGNED => {
+                            n_unassigned += 1;
+                            unassigned = Some(l);
+                        }
+                        _ => {}
+                    }
+                    if satisfied {
+                        break;
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match n_unassigned {
+                    0 => {
+                        conflict = true;
+                        break 'propagate;
+                    }
+                    1 => {
+                        let l = unassigned.expect("counted one unassigned literal");
+                        assign[l.var().index()] = i8::from(l.is_pos());
+                        trail.push((l.var().index(), l.is_pos(), false));
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if conflict {
+            // Chronological backtracking: undo to the newest decision with
+            // an untried value.
+            loop {
+                match trail.pop() {
+                    None => return Some(DpllResult::Unsat),
+                    Some((v, _, false)) => assign[v] = UNASSIGNED,
+                    Some((v, tried, true)) => {
+                        // Flip: re-assign the opposite value as an implied
+                        // (non-decision) entry so it is not flipped twice.
+                        assign[v] = i8::from(!tried);
+                        trail.push((v, !tried, false));
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
+        // Decide the lowest-index unassigned variable, `false` first.
+        match assign.iter().position(|&a| a == UNASSIGNED) {
+            Some(v) => {
+                assign[v] = 0;
+                trail.push((v, false, true));
+            }
+            None => {
+                return Some(DpllResult::Sat(assign.iter().map(|&a| a == 1).collect()));
+            }
+        }
+    }
+}
+
+/// True when `model` satisfies every clause — the internal consistency
+/// check both solvers' Sat answers are held to.
+pub fn model_satisfies(model: &[bool], clauses: &[Vec<Lit>]) -> bool {
+    clauses
+        .iter()
+        .all(|c| c.iter().any(|&l| model[l.var().index()] == l.is_pos()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat::{Lit, Solver, Var};
+
+    fn lit(v: u32, pos: bool) -> Lit {
+        let var = Var(v);
+        if pos {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    #[test]
+    fn trivial_formulas() {
+        // (x0 | x1) & (!x0) => x1 must be true.
+        let cls = vec![vec![lit(0, true), lit(1, true)], vec![lit(0, false)]];
+        match solve(2, &cls, 10_000, false) {
+            Some(DpllResult::Sat(m)) => {
+                assert!(!m[0] && m[1]);
+                assert!(model_satisfies(&m, &cls));
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+        // x0 & !x0 is unsat.
+        let cls = vec![vec![lit(0, true)], vec![lit(0, false)]];
+        assert_eq!(solve(1, &cls, 10_000, false), Some(DpllResult::Unsat));
+        // Empty clause is unsat.
+        let cls = vec![vec![]];
+        assert_eq!(solve(0, &cls, 10_000, false), Some(DpllResult::Unsat));
+    }
+
+    #[test]
+    fn agrees_with_cdcl_on_random_small_formulas() {
+        prng::for_each_case("dpll-vs-cdcl", 0xD9_11, 150, |rng| {
+            let n_vars = 1 + rng.range_usize(0, 8);
+            let n_clauses = 1 + rng.range_usize(0, 24);
+            let clauses: Vec<Vec<Lit>> = (0..n_clauses)
+                .map(|_| {
+                    let len = 1 + rng.range_usize(0, 3);
+                    (0..len)
+                        .map(|_| lit(rng.range(0, n_vars as u64) as u32, rng.flip()))
+                        .collect()
+                })
+                .collect();
+            let mut cdcl = Solver::new();
+            for _ in 0..n_vars {
+                cdcl.new_var();
+            }
+            let mut ok = true;
+            for c in &clauses {
+                ok &= cdcl.add_clause(c);
+            }
+            let cdcl_sat = ok && cdcl.solve().is_sat();
+            match solve(n_vars, &clauses, 1_000_000, false) {
+                Some(DpllResult::Sat(m)) => {
+                    assert!(cdcl_sat, "DPLL Sat but CDCL Unsat");
+                    assert!(model_satisfies(&m, &clauses));
+                }
+                Some(DpllResult::Unsat) => assert!(!cdcl_sat, "DPLL Unsat but CDCL Sat"),
+                None => {}
+            }
+        });
+    }
+
+    #[test]
+    fn step_cap_skips_rather_than_hangs() {
+        let cls = vec![vec![lit(0, true), lit(1, true)]];
+        assert_eq!(solve(2, &cls, 1, false), None);
+    }
+}

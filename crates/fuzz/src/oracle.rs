@@ -1,0 +1,541 @@
+//! The five differential oracles.
+//!
+//! Each oracle runs one generated design through two *independent*
+//! implementations of the same question and reports whether the verdicts
+//! agree. The engines share no code on the compared axis: the CDCL solver
+//! is checked against a from-scratch DPLL, the model checker against the
+//! interpreter-style simulator, symbolic induction against explicit-state
+//! fixpoint enumeration, reductions against the unreduced baseline, and
+//! the IFT taint plane against two-run low-equivalence simulation.
+
+use crate::dpll::{self, DpllResult};
+use crate::gen::BuiltDesign;
+use crate::SeededBug;
+use mc::{Checker, CoiSlice, InitMode, McConfig, Outcome, Trace, UndeterminedReason, Unrolling};
+use netlist::{mask, Netlist, SignalId};
+use sim::Simulator;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Which engine pair a case exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OracleKind {
+    /// (a) CDCL vs. reference DPLL on the bit-blasted unrolling CNF.
+    Sat,
+    /// (b) BMC verdicts vs. simulation: witness replay + brute-force reach.
+    Bmc,
+    /// (c) k-induction proofs vs. explicit-state fixpoint enumeration.
+    Induction,
+    /// (d) COI / static-prune / cache reductions on vs. off.
+    Reductions,
+    /// (e) IFT taint covers vs. two-run low-equivalence simulation.
+    Ift,
+}
+
+impl OracleKind {
+    /// All five oracles, in report order.
+    pub const ALL: [OracleKind; 5] = [
+        OracleKind::Sat,
+        OracleKind::Bmc,
+        OracleKind::Induction,
+        OracleKind::Reductions,
+        OracleKind::Ift,
+    ];
+
+    /// Stable lowercase name used in reports and repro files.
+    pub fn label(self) -> &'static str {
+        match self {
+            OracleKind::Sat => "sat",
+            OracleKind::Bmc => "bmc",
+            OracleKind::Induction => "induction",
+            OracleKind::Reductions => "reductions",
+            OracleKind::Ift => "ift",
+        }
+    }
+
+    /// Inverse of [`OracleKind::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.label() == s)
+    }
+}
+
+/// Per-case resource knobs. Defaults keep a case well under a millisecond
+/// on typical generated sizes while skipping (not hanging on) outliers.
+#[derive(Clone, Debug)]
+pub struct OracleOpts {
+    /// BMC bound (frames `0..bound` are checked).
+    pub bound: usize,
+    /// Reference-DPLL clause-scan cap before the case is skipped.
+    pub dpll_step_cap: u64,
+    /// Brute-force (state, input) expansion cap before the case is skipped.
+    pub brute_cap: u64,
+    /// Cycles simulated by the IFT low-equivalence runs.
+    pub ift_cycles: usize,
+    /// A deliberately planted engine defect (tests only).
+    pub seeded_bug: Option<SeededBug>,
+}
+
+impl Default for OracleOpts {
+    fn default() -> Self {
+        Self {
+            bound: 4,
+            dpll_step_cap: 2_000_000,
+            brute_cap: 300_000,
+            ift_cycles: 8,
+            seeded_bug: None,
+        }
+    }
+}
+
+/// Outcome of running one oracle over one design.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CaseResult {
+    /// Both engines agree; the string is the canonical verdict line that
+    /// feeds the deterministic report.
+    Agree(String),
+    /// The case was out of budget for the reference engine; nothing was
+    /// compared.
+    Skipped(&'static str),
+    /// The engines disagree — a bug in one of them (or a planted one).
+    Mismatch {
+        /// The reference engine's verdict.
+        expected: String,
+        /// The engine-under-test's verdict.
+        actual: String,
+        /// Human-oriented context (sizes, frame numbers, signal names).
+        detail: String,
+    },
+}
+
+impl CaseResult {
+    /// True for [`CaseResult::Mismatch`].
+    pub fn is_mismatch(&self) -> bool {
+        matches!(self, CaseResult::Mismatch { .. })
+    }
+}
+
+/// Runs one oracle over one built design.
+pub fn run_oracle(kind: OracleKind, d: &BuiltDesign, opts: &OracleOpts) -> CaseResult {
+    match kind {
+        OracleKind::Sat => oracle_sat(d, opts),
+        OracleKind::Bmc => oracle_bmc(d, opts),
+        OracleKind::Induction => oracle_induction(d, opts),
+        OracleKind::Reductions => oracle_reductions(d, opts),
+        OracleKind::Ift => oracle_ift(d, opts),
+    }
+}
+
+/// Replays a `Reachable` trace cycle-accurately through the simulator:
+/// every recorded signal value must match and the cover must fire at some
+/// frame. `coi`, when present, restricts the comparison to in-cone
+/// signals (out-of-cone model values are unconstrained placeholders).
+/// Returns the first frame the cover fired at.
+pub fn replay_witness(
+    nl: &Netlist,
+    trace: &Trace,
+    cover: SignalId,
+    coi: Option<&CoiSlice>,
+) -> Result<usize, String> {
+    let mut s = Simulator::new(nl);
+    let script = trace.input_script();
+    let mut fired = None;
+    for (t, frame_inputs) in script.iter().enumerate() {
+        for (&sig, &v) in frame_inputs {
+            s.set_input(sig, v);
+        }
+        for (id, _) in nl.iter() {
+            if coi.is_some_and(|c| !c.keeps(id)) {
+                continue;
+            }
+            let sim_v = s.value(id);
+            let model_v = trace.value(t, id);
+            if sim_v != model_v {
+                return Err(format!(
+                    "frame {t}: {} is {sim_v:#x} in sim but {model_v:#x} in the witness",
+                    nl.display_name(id)
+                ));
+            }
+        }
+        if fired.is_none() && s.value(cover) != 0 {
+            fired = Some(t);
+        }
+        s.step();
+    }
+    fired.ok_or_else(|| "cover never fired during witness replay".to_string())
+}
+
+/// Explicit-state layered BFS from reset. Checks the cover on every
+/// `(state, input)` expansion for frames `0..bound` (`bound == usize::MAX`
+/// runs to the reachability fixpoint). Returns `None` when `cap`
+/// expansions were exceeded, `Some(Some(t))` when the cover fires at
+/// frame `t`, `Some(None)` when it provably cannot within the explored
+/// horizon.
+fn brute_reach(nl: &Netlist, cover: SignalId, bound: usize, cap: u64) -> Option<Option<usize>> {
+    let inputs = nl.inputs();
+    let regs = nl.regs();
+    let input_bits: u32 = inputs.iter().map(|&i| nl.width(i) as u32).sum();
+    if input_bits > 12 {
+        return None;
+    }
+    let mut s = Simulator::new(nl);
+    let reset: Vec<u64> = regs.iter().map(|&r| nl.reg_init(r)).collect();
+    let mut visited: BTreeSet<Vec<u64>> = BTreeSet::new();
+    visited.insert(reset.clone());
+    let mut layer: BTreeSet<Vec<u64>> = BTreeSet::new();
+    layer.insert(reset);
+    let mut expansions = 0u64;
+    let mut t = 0usize;
+    while t < bound && !layer.is_empty() {
+        let mut next_layer = BTreeSet::new();
+        for state in &layer {
+            for combo in 0..(1u64 << input_bits) {
+                expansions += 1;
+                if expansions > cap {
+                    return None;
+                }
+                for (i, &r) in regs.iter().enumerate() {
+                    s.poke_reg(r, state[i]);
+                }
+                let mut rest = combo;
+                for &input in &inputs {
+                    let w = nl.width(input);
+                    s.set_input(input, rest & mask(w));
+                    rest >>= w;
+                }
+                if s.value(cover) != 0 {
+                    return Some(Some(t));
+                }
+                s.step();
+                let ns: Vec<u64> = regs.iter().map(|&r| s.value(r)).collect();
+                if visited.insert(ns.clone()) {
+                    next_layer.insert(ns);
+                }
+            }
+        }
+        layer = next_layer;
+        t += 1;
+    }
+    Some(None)
+}
+
+fn outcome_label(o: &Outcome) -> String {
+    match o {
+        Outcome::Reachable(_) => "reachable".to_string(),
+        Outcome::Unreachable => "unreachable".to_string(),
+        Outcome::Undetermined(r) => format!("undet:{}", r.label()),
+    }
+}
+
+/// (a) CDCL vs. reference DPLL on the exact clause set of the unrolled
+/// cover query, captured via the solver's clause log.
+fn oracle_sat(d: &BuiltDesign, opts: &OracleOpts) -> CaseResult {
+    let mut u = Unrolling::new(&d.netlist, InitMode::Reset);
+    u.gate().solver().set_clause_log(true);
+    u.extend_to(opts.bound);
+    let cover_lits: Vec<sat::Lit> = (0..opts.bound).map(|t| u.lit(t, d.cover)).collect();
+    u.gate().add_clause(&cover_lits);
+    let true_lit = u.gate().true_lit();
+    let num_vars = u.gate().num_vars();
+    let cdcl = u.gate().solver().solve();
+    // The gate builder's constant-true unit clause predates the log.
+    let mut clauses: Vec<Vec<sat::Lit>> = vec![vec![true_lit]];
+    clauses.extend(u.gate().solver_ref().logged_clauses().iter().cloned());
+    let bug = opts.seeded_bug == Some(SeededBug::DpllBadSat);
+    let reference = match dpll::solve(num_vars, &clauses, opts.dpll_step_cap, bug) {
+        None => return CaseResult::Skipped("dpll-cap"),
+        Some(r) => r,
+    };
+    let detail = format!("{num_vars} vars, {} clauses", clauses.len());
+    match (&reference, cdcl) {
+        (DpllResult::Sat(model), r) if r.is_sat() => {
+            if !dpll::model_satisfies(model, &clauses) {
+                return CaseResult::Mismatch {
+                    expected: "sat(model-valid)".into(),
+                    actual: "sat(model-invalid)".into(),
+                    detail,
+                };
+            }
+            CaseResult::Agree("sat".into())
+        }
+        (DpllResult::Unsat, r) if r.is_unsat() => CaseResult::Agree("unsat".into()),
+        (dp, r) => CaseResult::Mismatch {
+            expected: match dp {
+                DpllResult::Sat(_) => "sat".into(),
+                DpllResult::Unsat => "unsat".into(),
+            },
+            actual: format!("{r:?}").to_lowercase(),
+            detail,
+        },
+    }
+}
+
+/// (b) BMC vs. simulation: `Reachable` witnesses must replay; an
+/// `Unreachable`-within-bound verdict must survive exhaustive
+/// enumeration of the bounded state space.
+fn oracle_bmc(d: &BuiltDesign, opts: &OracleOpts) -> CaseResult {
+    let cfg = McConfig {
+        bound: opts.bound,
+        bound_is_complete: true,
+        try_induction: false,
+        ..Default::default()
+    };
+    let mut chk = Checker::new(&d.netlist, cfg);
+    if opts.seeded_bug == Some(SeededBug::ForceUnknownMisread) {
+        chk.set_fault(UndeterminedReason::FaultInjected);
+    }
+    let outcome = chk.check_cover(d.cover, &[]);
+    let verdict = match &outcome {
+        Outcome::Reachable(trace) => {
+            return match replay_witness(&d.netlist, trace, d.cover, None) {
+                Ok(t) => CaseResult::Agree(format!("reachable@{t}")),
+                Err(why) => CaseResult::Mismatch {
+                    expected: "replayable witness".into(),
+                    actual: "diverging witness".into(),
+                    detail: why,
+                },
+            };
+        }
+        Outcome::Unreachable => "unreachable",
+        Outcome::Undetermined(_) if opts.seeded_bug == Some(SeededBug::ForceUnknownMisread) => {
+            // The planted defect: a fault-degraded Unknown misread as a
+            // proof of unreachability.
+            "unreachable"
+        }
+        Outcome::Undetermined(_) => return CaseResult::Skipped("undetermined"),
+    };
+    match brute_reach(&d.netlist, d.cover, opts.bound, opts.brute_cap) {
+        None => CaseResult::Skipped("brute-cap"),
+        Some(Some(t)) => CaseResult::Mismatch {
+            expected: format!("reachable@{t}"),
+            actual: verdict.into(),
+            detail: format!(
+                "brute-force fires the cover at frame {t} within bound {}",
+                opts.bound
+            ),
+        },
+        Some(None) => CaseResult::Agree(verdict.into()),
+    }
+}
+
+/// (c) k-induction vs. bounded exhaustive enumeration: an
+/// induction-backed `Unreachable` is a *global* claim, so it is checked
+/// against the full reachability fixpoint, not just the BMC bound.
+fn oracle_induction(d: &BuiltDesign, opts: &OracleOpts) -> CaseResult {
+    let cfg = McConfig {
+        bound: opts.bound,
+        bound_is_complete: false,
+        try_induction: true,
+        induction_depth: 3.min(opts.bound),
+        ..Default::default()
+    };
+    let mut chk = Checker::new(&d.netlist, cfg);
+    match chk.check_cover(d.cover, &[]) {
+        Outcome::Reachable(trace) => match replay_witness(&d.netlist, &trace, d.cover, None) {
+            Ok(t) => CaseResult::Agree(format!("reachable@{t}")),
+            Err(why) => CaseResult::Mismatch {
+                expected: "replayable witness".into(),
+                actual: "diverging witness".into(),
+                detail: why,
+            },
+        },
+        Outcome::Unreachable => {
+            match brute_reach(&d.netlist, d.cover, usize::MAX, opts.brute_cap) {
+                None => CaseResult::Skipped("brute-cap"),
+                Some(Some(t)) => CaseResult::Mismatch {
+                    expected: format!("reachable@{t}"),
+                    actual: "unreachable(induction)".into(),
+                    detail: format!("fixpoint enumeration fires the cover at frame {t}"),
+                },
+                Some(None) => CaseResult::Agree("unreachable(induction)".into()),
+            }
+        }
+        Outcome::Undetermined(_) => CaseResult::Skipped("induction-failed"),
+    }
+}
+
+/// (d) Reductions on vs. off: the COI-sliced checker, a repeated query on
+/// the same checker (activation cache), and the static constant-cone
+/// prune must all report the same verdict kind as the plain checker, and
+/// every `Reachable` leg must hand back a replayable witness.
+fn oracle_reductions(d: &BuiltDesign, opts: &OracleOpts) -> CaseResult {
+    let cfg = McConfig {
+        bound: opts.bound,
+        bound_is_complete: true,
+        try_induction: false,
+        ..Default::default()
+    };
+    let legs = run_reduction_legs(d, cfg, opts);
+    let (baseline, _) = &legs[0];
+    for (verdict, name) in &legs[1..] {
+        if verdict != baseline {
+            return CaseResult::Mismatch {
+                expected: format!("plain:{baseline}"),
+                actual: format!("{name}:{verdict}"),
+                detail: "reduction changed the verdict kind".into(),
+            };
+        }
+    }
+    CaseResult::Agree(baseline.clone())
+}
+
+/// Runs the four reduction legs, returning `(verdict-line, leg-name)`
+/// pairs; a failed witness replay is folded into the verdict line so it
+/// can never be mistaken for agreement.
+fn run_reduction_legs(
+    d: &BuiltDesign,
+    cfg: McConfig,
+    _opts: &OracleOpts,
+) -> Vec<(String, &'static str)> {
+    let mut legs: Vec<(String, &'static str)> = Vec::new();
+    // Leg 0: plain checker (the baseline), queried twice — the second
+    // query exercises the cover-activation cache.
+    let mut plain = Checker::new(&d.netlist, cfg);
+    let first = plain.check_cover(d.cover, &[]);
+    legs.push((leg_verdict(d, &first, None), "plain"));
+    let second = plain.check_cover(d.cover, &[]);
+    legs.push((leg_verdict(d, &second, None), "cached-requery"));
+    // Leg 2: cone-of-influence slice.
+    let elab = Arc::new(mc::Elab::new(&d.netlist));
+    let coi = Arc::new(CoiSlice::compute(&d.netlist, &[d.cover]));
+    let mut sliced = Checker::with_coi(&d.netlist, cfg, &[], elab, Some(Arc::clone(&coi)));
+    let sliced_out = sliced.check_cover(d.cover, &[]);
+    legs.push((leg_verdict(d, &sliced_out, Some(&coi)), "coi"));
+    // Leg 3: static prune — when the cover's cone contains no input and no
+    // register, its reset-time simulated value decides the query without
+    // any solver call.
+    let cone_has_state = d
+        .netlist
+        .iter()
+        .any(|(id, n)| coi.keeps(id) && (n.op.is_input() || n.op.is_reg()));
+    if !cone_has_state {
+        let mut s = Simulator::new(&d.netlist);
+        let verdict = if s.value(d.cover) != 0 {
+            // A constant-true cover fires at frame 0; agree iff the
+            // baseline found *a* witness (frame may differ, so compare
+            // kind only).
+            match &first {
+                Outcome::Reachable(_) => legs[0].0.clone(),
+                _ => "reachable@0".to_string(),
+            }
+        } else {
+            "unreachable".to_string()
+        };
+        legs.push((verdict, "static-prune"));
+    }
+    legs
+}
+
+/// Canonical per-leg verdict: `Reachable` legs must replay (the frame is
+/// folded out of the line so legs with different-but-valid witnesses
+/// still compare equal).
+fn leg_verdict(d: &BuiltDesign, outcome: &Outcome, coi: Option<&CoiSlice>) -> String {
+    match outcome {
+        Outcome::Reachable(trace) => match replay_witness(&d.netlist, trace, d.cover, coi) {
+            Ok(_) => "reachable".to_string(),
+            Err(why) => format!("reachable(bad-witness: {why})"),
+        },
+        _ => outcome_label(outcome),
+    }
+}
+
+/// (e) IFT soundness: any signal whose value differs between two runs
+/// that disagree only in the taint source's initial value must carry
+/// taint, and no signal outside the static forward closure may ever
+/// carry taint.
+fn oracle_ift(d: &BuiltDesign, opts: &OracleOpts) -> CaseResult {
+    let regs = d.netlist.regs();
+    let Some(&src) = regs.first() else {
+        return CaseResult::Skipped("no-register");
+    };
+    let src_w = d.netlist.width(src);
+    let inst = ift::instrument(
+        &d.netlist,
+        &ift::IftOptions {
+            sources: vec![src],
+            persistent: vec![],
+            blocked: vec![],
+        },
+    );
+    let en = inst
+        .source_enable(src)
+        .expect("source register has an enable input");
+    let reach = ift::taint_reachable(&d.netlist, &[src], &[]);
+    // Deterministic per-case input script.
+    let inputs = d.netlist.inputs();
+    let mut script_rng = prng::Rng::new(0x1f7_0000 ^ d.netlist.len() as u64);
+    let script: Vec<Vec<(SignalId, u64)>> = (0..opts.ift_cycles)
+        .map(|_| {
+            inputs
+                .iter()
+                .map(|&i| (i, script_rng.next_u64() & mask(d.netlist.width(i))))
+                .collect()
+        })
+        .collect();
+    let val_a = 0u64;
+    let val_b = mask(src_w);
+    let run = |poke: u64| -> Vec<Vec<u64>> {
+        let mut s = Simulator::new(&d.netlist);
+        s.poke_reg(src, poke);
+        script
+            .iter()
+            .map(|frame| {
+                for &(i, v) in frame {
+                    s.set_input(i, v);
+                }
+                let row: Vec<u64> = d.netlist.iter().map(|(id, _)| s.value(id)).collect();
+                s.step();
+                row
+            })
+            .collect()
+    };
+    let rows_a = run(val_a);
+    let rows_b = run(val_b);
+    // Taint run: instrumented netlist, source poked like run A, enable
+    // high in cycle 0 only, no flush.
+    let mut ts = Simulator::new(&inst.netlist);
+    ts.poke_reg(src, val_a);
+    ts.set_input(inst.flush_input, 0);
+    let mut taint_rows: Vec<Vec<u64>> = Vec::with_capacity(opts.ift_cycles);
+    for (t, frame) in script.iter().enumerate() {
+        ts.set_input(en, u64::from(t == 0));
+        for &(i, v) in frame {
+            ts.set_input(i, v);
+        }
+        taint_rows.push(
+            d.netlist
+                .iter()
+                .map(|(id, _)| ts.value(inst.taint_of(id)))
+                .collect(),
+        );
+        ts.step();
+    }
+    for t in 0..opts.ift_cycles {
+        for (ix, (id, _)) in d.netlist.iter().enumerate() {
+            let differs = rows_a[t][ix] != rows_b[t][ix];
+            let tainted = taint_rows[t][ix] != 0;
+            if differs && !tainted {
+                return CaseResult::Mismatch {
+                    expected: "tainted (values diverge)".into(),
+                    actual: "untainted".into(),
+                    detail: format!(
+                        "cycle {t}: {} is {:#x} vs {:#x} across the two runs but carries no taint",
+                        d.netlist.display_name(id),
+                        rows_a[t][ix],
+                        rows_b[t][ix]
+                    ),
+                };
+            }
+            if tainted && !reach.contains(&id) {
+                return CaseResult::Mismatch {
+                    expected: "untainted (outside static closure)".into(),
+                    actual: "tainted".into(),
+                    detail: format!(
+                        "cycle {t}: {} is outside taint_reachable yet tainted",
+                        d.netlist.display_name(id)
+                    ),
+                };
+            }
+        }
+    }
+    CaseResult::Agree("ift-sound".into())
+}

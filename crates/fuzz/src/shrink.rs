@@ -1,0 +1,105 @@
+//! Delta-debugging of failing genomes.
+//!
+//! A greedy ddmin over the op list: repeatedly try deleting chunks of ops
+//! (largest chunks first, halving down to single ops) and keep any
+//! deletion under which the mismatch persists. Because [`crate::gen::build`]
+//! is total and operand references are modulo-indexed, *every* candidate
+//! sublist is a valid design — the predicate, not the builder, decides
+//! what survives. The attempt budget bounds worst-case work; the result
+//! is deterministic for a deterministic predicate.
+
+use crate::gen::Genome;
+
+/// Shrinks `genome` while `still_fails` keeps returning `true` for the
+/// candidate, spending at most `max_attempts` predicate calls. Returns
+/// the smallest failing genome found and the number of attempts spent.
+pub fn shrink<F>(genome: &Genome, mut still_fails: F, max_attempts: usize) -> (Genome, usize)
+where
+    F: FnMut(&Genome) -> bool,
+{
+    let mut best = genome.clone();
+    let mut attempts = 0usize;
+    let mut chunk = (best.ops.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0usize;
+        while start < best.ops.len() {
+            if attempts >= max_attempts {
+                return (best, attempts);
+            }
+            let end = (start + chunk).min(best.ops.len());
+            let mut candidate = best.clone();
+            candidate.ops.drain(start..end);
+            attempts += 1;
+            if still_fails(&candidate) {
+                best = candidate;
+                progressed = true;
+                // Same `start` now addresses the next chunk.
+            } else {
+                start = end;
+            }
+        }
+        if !progressed {
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    // Final polish: zero out the constants if the mismatch survives that.
+    if attempts < max_attempts && best.cover_cmp != 0 {
+        let mut candidate = best.clone();
+        candidate.cover_cmp = 0;
+        attempts += 1;
+        if still_fails(&candidate) {
+            best = candidate;
+        }
+    }
+    (best, attempts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{sample_genome, GenConfig, GenOp};
+    use prng::Rng;
+
+    #[test]
+    fn shrinks_to_the_single_blamed_op() {
+        let mut rng = Rng::new(42);
+        let g = sample_genome(&mut rng, &GenConfig::default());
+        assert!(g.ops.len() > 4);
+        // Predicate: "fails" iff the genome still contains a register op.
+        // The minimum is exactly one op.
+        let fails = |c: &Genome| c.ops.iter().any(|op| matches!(op, GenOp::Reg { .. }));
+        let (small, attempts) = shrink(&g, fails, 10_000);
+        assert_eq!(small.ops.len(), 1, "shrunk to a single op");
+        assert!(matches!(small.ops[0], GenOp::Reg { .. }));
+        assert!(attempts > 0);
+    }
+
+    #[test]
+    fn respects_the_attempt_budget() {
+        let mut rng = Rng::new(43);
+        let g = sample_genome(&mut rng, &GenConfig::default());
+        let mut calls = 0usize;
+        let (_, attempts) = shrink(
+            &g,
+            |_| {
+                calls += 1;
+                true
+            },
+            7,
+        );
+        assert!(attempts <= 7, "attempt budget honored, spent {attempts}");
+        assert_eq!(calls, attempts, "one predicate call per attempt");
+    }
+
+    #[test]
+    fn never_fails_means_no_change() {
+        let mut rng = Rng::new(44);
+        let g = sample_genome(&mut rng, &GenConfig::default());
+        let (same, _) = shrink(&g, |_| false, 1_000);
+        assert_eq!(same, g);
+    }
+}

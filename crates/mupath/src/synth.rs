@@ -751,3 +751,86 @@ pub fn enumerate_revisit_counts(
     }
     counts.into_iter().collect()
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+
+    fn sample() -> SlotSynthesis {
+        let mut shapes = BTreeMap::new();
+        let mut p1 = ConcretePath::new();
+        p1.visit(PlId(0), 1);
+        p1.visit(PlId(3), 4);
+        p1.visit(PlId(3), 7);
+        shapes.insert(vec![(true, false, false), (false, true, true)], p1);
+        let mut p2 = ConcretePath::new();
+        p2.visit(PlId(2), 0);
+        shapes.insert(vec![(false, false, true)], p2);
+        let mut stats = CheckStats {
+            properties: 9,
+            reachable: 4,
+            unreachable: 3,
+            coi_bits_before: 512,
+            coi_bits_after: 120,
+            discharged_static: 2,
+            ..Default::default()
+        };
+        stats.count_undetermined(UndeterminedReason::BudgetExhausted);
+        stats.count_undetermined(UndeterminedReason::FaultInjected);
+        SlotSynthesis {
+            shapes,
+            complete: true,
+            stats,
+            meta: None,
+        }
+    }
+
+    /// The journal codec is a golden fixed point: encode ∘ decode ∘
+    /// encode is byte-identical, so a resumed run re-journals records
+    /// without churning the journal file.
+    #[test]
+    fn slot_synthesis_round_trip_is_byte_identical() {
+        let original = sample();
+        let once = original.encode();
+        let decoded = SlotSynthesis::decode(&once).expect("own encoding decodes");
+        assert_eq!(decoded.encode(), once, "encode∘decode∘encode drifted");
+        assert_eq!(decoded.complete, original.complete);
+        assert_eq!(decoded.shapes.len(), original.shapes.len());
+        for (sig, path) in &original.shapes {
+            let d = &decoded.shapes[sig];
+            assert_eq!(d.pl_set(), path.pl_set());
+            for pl in path.pl_set() {
+                assert_eq!(d.cycles(pl), path.cycles(pl));
+            }
+        }
+        assert_eq!(decoded.stats.properties, 9);
+        assert_eq!(decoded.stats.undetermined, 2);
+        assert!(decoded.meta.is_none(), "meta is derivable, never journaled");
+    }
+
+    /// A torn journal tail — any truncation or appended garbage — must
+    /// read as a cache miss (`None`), never as a wrong verdict.
+    #[test]
+    fn slot_synthesis_corrupt_tail_is_rejected() {
+        let full = sample().encode();
+        for cut in 1..=40.min(full.len() - 1) {
+            let torn = &full[..full.len() - cut];
+            assert!(
+                SlotSynthesis::decode(torn).is_none(),
+                "accepted a record torn {cut} bytes short"
+            );
+        }
+        for garbage in ["x", " {}", "\0\0"] {
+            let mut s = full.clone();
+            s.push_str(garbage);
+            assert!(
+                SlotSynthesis::decode(&s).is_none(),
+                "accepted trailing garbage {garbage:?}"
+            );
+        }
+        // Wrong schema version: explicit miss, not a best-effort parse.
+        let bumped = full.replacen("{\"v\":1,", "{\"v\":2,", 1);
+        assert_ne!(bumped, full);
+        assert!(SlotSynthesis::decode(&bumped).is_none());
+    }
+}

@@ -175,6 +175,7 @@ pub struct Solver {
     cancel: Option<Arc<CancelToken>>,
     pool_watch: Option<Arc<BudgetPool>>,
     last_stop: Option<StopCause>,
+    clause_log: Option<Vec<Vec<Lit>>>,
 }
 
 impl Solver {
@@ -247,6 +248,21 @@ impl Solver {
         self.last_stop
     }
 
+    /// Turns clause logging on or off. While enabled, every clause handed
+    /// to [`Solver::add_clause`] is recorded *verbatim* — before the
+    /// level-0 simplifications — so the log is the exact input formula a
+    /// reference solver can be run against. Off by default (no cost).
+    /// Turning logging off discards the log.
+    pub fn set_clause_log(&mut self, enabled: bool) {
+        self.clause_log = enabled.then(Vec::new);
+    }
+
+    /// The clauses recorded since logging was enabled (empty when
+    /// logging is off). Clauses added *before* enabling are not included.
+    pub fn logged_clauses(&self) -> &[Vec<Lit>] {
+        self.clause_log.as_deref().unwrap_or(&[])
+    }
+
     #[inline]
     fn lit_value(&self, l: Lit) -> i8 {
         let a = self.assigns[l.var().index()];
@@ -271,6 +287,9 @@ impl Solver {
     /// Panics if a literal references an unallocated variable.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
         assert_eq!(self.decision_level(), 0, "add_clause above level 0");
+        if let Some(log) = &mut self.clause_log {
+            log.push(lits.to_vec());
+        }
         if !self.ok {
             return false;
         }

@@ -1,0 +1,127 @@
+//! Robustness paths of the CDCL loop under wall-clock deadlines and the
+//! shared conflict pool — the PR-4 supervision knobs, exercised the way
+//! the fault-tolerant runtime uses them: a *future* deadline that fires
+//! while the solver is deep inside an exponentially hard instance, and a
+//! global cap that must bound overshoot to one poll interval.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sat::{BudgetPool, CancelToken, Lit, SolveResult, Solver, StopCause, Var};
+
+/// The solver polls its stop knobs every this many conflicts (kept in
+/// sync with `STOP_CHECK_INTERVAL` in `solver.rs`; the overshoot
+/// assertions below fail if the interval grows past it).
+const POLL_INTERVAL: u64 = 128;
+
+/// Pigeonhole `pigeons` into `holes`: UNSAT for `pigeons > holes`, with
+/// exponential resolution size — reliably long-running for a CDCL solver
+/// at 11 into 10, which is what makes it a good deadline target.
+fn pigeonhole(s: &mut Solver, pigeons: usize, holes: usize) {
+    let mut p = vec![vec![Var(0); holes]; pigeons];
+    for row in p.iter_mut() {
+        for slot in row.iter_mut() {
+            *slot = s.new_var();
+        }
+    }
+    for row in &p {
+        let lits: Vec<Lit> = row.iter().copied().map(Lit::pos).collect();
+        s.add_clause(&lits);
+    }
+    for j in 0..holes {
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                s.add_clause(&[Lit::neg(row1[j]), Lit::neg(row2[j])]);
+            }
+        }
+    }
+}
+
+/// A monotonic deadline set in the *future* must be honored from inside
+/// the search loop: the token is verifiably unfired when `solve` is
+/// entered, the instance is far too hard to finish in the budget, and
+/// the solver must come back `Unknown`/`Deadline` without burning more
+/// than a small multiple of the budget.
+#[test]
+fn future_deadline_expires_mid_solve() {
+    let mut s = Solver::new();
+    pigeonhole(&mut s, 11, 10);
+    let budget = Duration::from_millis(40);
+    let token = Arc::new(CancelToken::deadline_in(budget));
+    assert!(
+        token.fired().is_none(),
+        "the deadline must still be in the future at solve entry"
+    );
+    s.set_cancel_token(Some(Arc::clone(&token)));
+    let t0 = Instant::now();
+    let r = s.solve();
+    let elapsed = t0.elapsed();
+    assert_eq!(r, SolveResult::Unknown);
+    assert_eq!(s.last_stop(), Some(StopCause::Deadline));
+    assert!(token.fired().is_some(), "the token itself reports expiry");
+    assert!(
+        s.stats().conflicts >= POLL_INTERVAL,
+        "expiry happened mid-search, not at entry ({} conflicts)",
+        s.stats().conflicts
+    );
+    // Generous ceiling: stopping is prompt (poll interval granularity),
+    // not "whenever the instance happens to finish".
+    assert!(
+        elapsed < budget + Duration::from_secs(10),
+        "solver ran {elapsed:?} against a {budget:?} deadline"
+    );
+    // Detaching the token must fully restore the solver: the formula's
+    // status is unchanged and the stop cause clears.
+    s.set_cancel_token(None);
+    s.set_conflict_budget(Some(50_000));
+    let _ = s.solve();
+    assert_ne!(s.last_stop(), Some(StopCause::Deadline));
+}
+
+/// The shared pool's cap is enforced *inside* the CDCL loop: on a hard
+/// instance the solver stops with `PoolCap` having overshot the cap by
+/// at most one poll interval of conflicts.
+#[test]
+fn pool_cap_is_honored_inside_the_cdcl_loop() {
+    let cap = 300u64;
+    let mut s = Solver::new();
+    pigeonhole(&mut s, 9, 8);
+    let pool = Arc::new(BudgetPool::new(Some(cap)));
+    s.set_pool_watch(Some(Arc::clone(&pool)));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    assert_eq!(s.last_stop(), Some(StopCause::PoolCap));
+    let spent = s.stats().conflicts;
+    assert!(
+        spent <= cap + POLL_INTERVAL,
+        "{spent} conflicts spent against a {cap}-conflict pool cap"
+    );
+    // The solver only *watches* the pool; its caller owns the charge.
+    // Once charged, a sibling solver sharing the pool must refuse to do
+    // any meaningful work on its own query.
+    pool.charge(spent, s.stats().propagations);
+    assert!(pool.exhausted());
+    let mut sibling = Solver::new();
+    pigeonhole(&mut sibling, 9, 8);
+    sibling.set_pool_watch(Some(Arc::clone(&pool)));
+    assert_eq!(sibling.solve(), SolveResult::Unknown);
+    assert_eq!(sibling.last_stop(), Some(StopCause::PoolCap));
+    assert!(
+        sibling.stats().conflicts <= POLL_INTERVAL,
+        "an exhausted pool must stop a sibling within one poll interval \
+         ({} conflicts)",
+        sibling.stats().conflicts
+    );
+}
+
+/// An uncapped pool (`cap: None`) observes but never stops: the solver
+/// must run the instance to its real verdict.
+#[test]
+fn uncapped_pool_never_stops_the_solver() {
+    let mut s = Solver::new();
+    pigeonhole(&mut s, 6, 5);
+    let pool = Arc::new(BudgetPool::new(None));
+    s.set_pool_watch(Some(Arc::clone(&pool)));
+    assert!(s.solve().is_unsat());
+    assert_eq!(s.last_stop(), None);
+    assert!(!pool.exhausted());
+}

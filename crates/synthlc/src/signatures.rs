@@ -841,3 +841,82 @@ fn decode_ift_record(s: &str) -> Option<(Vec<Tag>, CheckStats)> {
     }
     Some((tags, mupath::decode_check_stats(j.field("stats")?)?))
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+
+    fn sample() -> (Vec<Tag>, CheckStats) {
+        let tags = vec![
+            Tag {
+                decision_ix: 0,
+                tx: TypedTransmitter {
+                    opcode: Opcode::Div,
+                    operand: Operand::Rs1,
+                    kind: TxKind::Intrinsic,
+                },
+                primary: true,
+            },
+            Tag {
+                decision_ix: 3,
+                tx: TypedTransmitter {
+                    opcode: Opcode::Lw,
+                    operand: Operand::Rs2,
+                    kind: TxKind::DynamicYounger,
+                },
+                primary: false,
+            },
+        ];
+        let stats = CheckStats {
+            properties: 5,
+            reachable: 2,
+            unreachable: 3,
+            coi_bits_before: 64,
+            coi_bits_after: 17,
+            ..Default::default()
+        };
+        (tags, stats)
+    }
+
+    /// The IFT journal codec is a golden fixed point (encode ∘ decode ∘
+    /// encode byte-identical) so a resumed leakage run re-journals
+    /// records without churning the journal file.
+    #[test]
+    fn ift_record_round_trip_is_byte_identical() {
+        let (tags, stats) = sample();
+        let once = encode_ift_record(&tags, &stats);
+        let (dtags, dstats) = decode_ift_record(&once).expect("own encoding decodes");
+        assert_eq!(encode_ift_record(&dtags, &dstats), once);
+        assert_eq!(dtags, tags);
+        assert_eq!(dstats.properties, stats.properties);
+        assert_eq!(dstats.coi_bits_after, stats.coi_bits_after);
+        // The empty record is also a fixed point (units with no tags).
+        let empty = encode_ift_record(&[], &CheckStats::default());
+        let (et, es) = decode_ift_record(&empty).unwrap();
+        assert!(et.is_empty());
+        assert_eq!(encode_ift_record(&et, &es), empty);
+    }
+
+    /// A torn journal tail must read as a cache miss, never as a wrong
+    /// (e.g. tag-dropping) verdict — and out-of-range discriminants are
+    /// rejected rather than coerced.
+    #[test]
+    fn ift_record_corrupt_tail_is_rejected() {
+        let (tags, stats) = sample();
+        let full = encode_ift_record(&tags, &stats);
+        for cut in 1..=40.min(full.len() - 1) {
+            assert!(
+                decode_ift_record(&full[..full.len() - cut]).is_none(),
+                "accepted a record torn {cut} bytes short"
+            );
+        }
+        let mut trailing = full.clone();
+        trailing.push_str("{}");
+        assert!(decode_ift_record(&trailing).is_none());
+        assert!(decode_ift_record(&full.replacen("\"v\":1", "\"v\":7", 1)).is_none());
+        // Operand discriminant 2 does not exist.
+        let bad = full.replacen(",1,2,", ",2,2,", 1);
+        assert_ne!(bad, full);
+        assert!(decode_ift_record(&bad).is_none());
+    }
+}

@@ -50,4 +50,20 @@ cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
   paths tinycore add --resume "$JOURNAL" >/dev/null
 echo "fault-smoke OK (degrade -> journal -> resume clean)"
 
+echo "== fuzz-smoke (differential oracles, pinned seeds) =="
+# Two pinned seeds x 64 designs, each design through all five oracles
+# (sat, bmc, induction, reductions, ift), under a hard 90s wall budget
+# split across the runs. Exit 0 = all oracles agreed; exit 1 = mismatch
+# (the CLI already printed the minimized repro JSON line to stderr —
+# replay it with `synthlc-cli fuzz`); exit 2 = deadline truncated the
+# sweep before 64 designs, which this gate also treats as a failure.
+for SEED in 1 20260806; do
+  if ! cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
+    fuzz --seed "$SEED" --cases 64 --deadline-secs 45 >/dev/null; then
+    echo "fuzz-smoke: seed $SEED failed (mismatch repro JSON above, if any)" >&2
+    exit 1
+  fi
+done
+echo "fuzz-smoke OK (2 seeds x 64 designs, five oracles, zero mismatches)"
+
 echo "CI OK"

@@ -5,6 +5,7 @@
 //! synthlc-cli paths  <design> <instr> [opts]  # RTL2MµPATH for one instruction
 //! synthlc-cli leak   <design> <instr> [opts]  # SynthLC signatures + contracts
 //! synthlc-cli lint   [<design>|all]           # static-analysis lint suite
+//! synthlc-cli fuzz   [opts]                   # differential-oracle fuzzing
 //! synthlc-cli designs                         # list available designs
 //!
 //! designs: minicva6 | minicva6-mul | minicva6-op | hardened | tinycore | minicache
@@ -20,6 +21,12 @@
 //! completed but some jobs degraded to Undetermined (deadline, fault, or
 //! caught panic; any undetermined at all under --fail-on-undetermined);
 //! 1 = hard errors (bad arguments, lint failures, unusable journal).
+//!
+//! `fuzz` options: --seed S --cases N --max-cells N --bound N
+//! --deadline-secs N. The report (JSON, byte-deterministic per seed) goes
+//! to stdout. Exit codes: 0 = all oracles agreed; 1 = cross-engine
+//! mismatch (minimized repros are in the report); 2 = deadline truncated
+//! the run before any mismatch was found.
 //! ```
 //!
 //! Run via `cargo run --release --bin synthlc-cli -- <args>`.
@@ -359,6 +366,71 @@ fn cmd_leak(design: &Design, op: isa::Opcode, o: &Opts) -> Result<ExitCode, Stri
     Ok(exit)
 }
 
+/// Parses and runs the `fuzz` subcommand: seeded differential fuzzing of
+/// the solver / model-checker / simulator / IFT stack (DESIGN.md §9).
+fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = fuzz::FuzzConfig {
+        cases: 64,
+        ..Default::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--seed" => {
+                cfg.seed = val("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_owned())?;
+            }
+            "--cases" => {
+                cfg.cases = val("--cases")?
+                    .parse()
+                    .map_err(|_| "bad --cases".to_owned())?;
+            }
+            "--max-cells" => {
+                cfg.gen.max_cells = val("--max-cells")?
+                    .parse()
+                    .map_err(|_| "bad --max-cells".to_owned())?;
+            }
+            "--bound" => {
+                cfg.bound = val("--bound")?
+                    .parse()
+                    .map_err(|_| "bad --bound".to_owned())?;
+            }
+            "--deadline-secs" => {
+                let secs: u64 = val("--deadline-secs")?
+                    .parse()
+                    .map_err(|_| "bad --deadline-secs".to_owned())?;
+                cfg.deadline = Some(Arc::new(CancelToken::deadline_in(Duration::from_secs(
+                    secs,
+                ))));
+            }
+            other => return Err(format!("unknown fuzz option `{other}`")),
+        }
+    }
+    let report = fuzz::run_fuzz(&cfg);
+    print!("{}", report.render());
+    if report.has_mismatches() {
+        for repro in &report.mismatches {
+            eprintln!("repro: {}", repro.encode());
+        }
+        eprintln!(
+            "error: {} cross-engine mismatch(es) — replay with `synthlc-cli fuzz --seed {}`",
+            report.mismatches.len(),
+            report.seed
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    if !report.completed {
+        return Ok(ExitCode::from(2));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
@@ -400,6 +472,7 @@ fn run() -> Result<ExitCode, String> {
             }
             Ok(ExitCode::SUCCESS)
         }
+        "fuzz" => cmd_fuzz(&args[1..]),
         "pls" | "paths" | "leak" => {
             let dname = args
                 .get(1)
@@ -429,7 +502,8 @@ fn run() -> Result<ExitCode, String> {
             println!(
                 "usage:\n  synthlc-cli designs\n  synthlc-cli lint [<design>|all] [--deny-warnings]\n  \
                  synthlc-cli pls <design> [opts]\n  \
-                 synthlc-cli paths <design> <instr> [opts]\n  synthlc-cli leak <design> <instr> [opts]\n\
+                 synthlc-cli paths <design> <instr> [opts]\n  synthlc-cli leak <design> <instr> [opts]\n  \
+                 synthlc-cli fuzz [--seed S] [--cases N] [--max-cells N] [--bound N] [--deadline-secs N]\n\
                  \ndesigns: minicva6 minicva6-mul minicva6-op hardened tinycore minicache\n\
                  opts: --slots 0,1  --bound N  --context any|nocf|solo  --budget N  --jobs N\n      \
                  --deadline-secs N (degrade, don't hang, past the wall clock)\n      \

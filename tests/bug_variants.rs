@@ -7,6 +7,8 @@
 use sim::Simulator;
 use uarch::{build_core, CoreConfig};
 
+mod common;
+
 fn run_program(cfg: &CoreConfig, asm: &str, cycles: usize) -> (u64, u64, u64) {
     let design = build_core(cfg);
     let program = isa::assemble(asm).unwrap();
@@ -76,4 +78,25 @@ fn bug_changes_golden_model_conformance() {
         "buggy core diverges from the golden model"
     );
     assert_eq!(golden.regs[1], 4, "golden target executes once");
+}
+
+/// No test in this suite accepts an unvalidated model-checker witness:
+/// JALR's `done` cover must be `Reachable` on both the correct and the
+/// buggy core, and each witness must replay cycle-accurately in `sim`.
+#[test]
+fn jalr_done_witnesses_replay_on_both_cores() {
+    for bug in [false, true] {
+        let design = build_core(&CoreConfig {
+            bug_jalr_no_squash: bug,
+            ..CoreConfig::default()
+        });
+        let frame = common::assert_done_witness_replays(
+            &design,
+            isa::Opcode::Jalr,
+            0,
+            mupath::ContextMode::Solo,
+            16,
+        );
+        assert!(frame > 0, "JALR cannot complete at cycle 0 (bug={bug})");
+    }
 }

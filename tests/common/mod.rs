@@ -1,0 +1,98 @@
+//! Shared helpers for the integration-test suite.
+//!
+//! The central one is [`assert_witness_replays`]: no integration test may
+//! accept a model-checker `Reachable` verdict without re-simulating its
+//! witness cycle-accurately through `sim` — the same engine-independence
+//! discipline the `fuzz` crate's differential oracles apply to random
+//! designs (DESIGN.md §9).
+
+#![allow(dead_code)]
+
+use mc::{Checker, McConfig, Outcome, Trace};
+use mupath::{build_harness, ContextMode, HarnessConfig};
+use netlist::{Netlist, SignalId};
+use sim::Simulator;
+use uarch::Design;
+
+/// Replays a `Reachable` witness through the cycle-accurate simulator:
+/// the symbolic initial state (`free` registers) is imposed from frame 0,
+/// the recorded input script is driven, and **every** signal of **every**
+/// frame must match the witness exactly; the cover must fire. Returns the
+/// first frame the cover fired at.
+///
+/// # Panics
+/// Panics (failing the test) on any divergence or if the cover stays low.
+pub fn assert_witness_replays(
+    nl: &Netlist,
+    free: &[SignalId],
+    trace: &Trace,
+    cover: SignalId,
+) -> usize {
+    let mut s = Simulator::new(nl);
+    for &reg in free {
+        s.poke_reg(reg, trace.value(0, reg));
+    }
+    let script = trace.input_script();
+    assert!(!script.is_empty(), "witness has at least one frame");
+    let mut fired = None;
+    for (t, inputs) in script.iter().enumerate() {
+        for (&sig, &v) in inputs {
+            s.set_input(sig, v);
+        }
+        for (id, _) in nl.iter() {
+            assert_eq!(
+                s.value(id),
+                trace.value(t, id),
+                "cycle {t}: `{}` diverges between simulator and witness",
+                nl.display_name(id)
+            );
+        }
+        if fired.is_none() && s.value(cover) != 0 {
+            fired = Some(t);
+        }
+        s.step();
+    }
+    fired.expect("cover never fired during witness replay")
+}
+
+/// Builds the per-instruction harness, proves the instruction-under-
+/// verification's `done` cover reachable, and replay-validates the
+/// witness. Returns the completion frame.
+///
+/// # Panics
+/// Panics if the cover is not `Reachable` or the witness diverges.
+pub fn assert_done_witness_replays(
+    design: &Design,
+    opcode: isa::Opcode,
+    fetch_slot: usize,
+    context: ContextMode,
+    bound: usize,
+) -> usize {
+    let h = build_harness(
+        design,
+        &HarnessConfig {
+            opcode,
+            fetch_slot,
+            context,
+        },
+    );
+    let free: Vec<SignalId> = design
+        .annotations
+        .arf
+        .iter()
+        .chain(design.annotations.amem.iter())
+        .copied()
+        .collect();
+    let mut chk = Checker::with_free_regs(
+        &h.netlist,
+        McConfig {
+            bound,
+            ..Default::default()
+        },
+        &free,
+    );
+    match chk.check_cover(h.iuv_done, &h.assumes) {
+        Outcome::Reachable(trace) => assert_witness_replays(&h.netlist, &free, &trace, h.iuv_done),
+        other => panic!("{opcode:?}: done-cover expected Reachable, got {other:?}"),
+    }
+}

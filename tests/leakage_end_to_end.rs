@@ -6,6 +6,19 @@ use mupath::{ContextMode, SynthConfig};
 use synthlc::{contracts, synthesize_leakage, LeakConfig, Operand, TxKind};
 use uarch::{build_core, CoreConfig};
 
+mod common;
+
+/// Witness discipline (see `tests/common/mod.rs`): before the suite
+/// trusts any `Div` leakage evidence, the divider's `done` cover must be
+/// `Reachable` and its witness must replay cycle-accurately in `sim`.
+#[test]
+fn div_done_witness_replays_in_sim() {
+    let design = build_core(&CoreConfig::default());
+    let frame =
+        common::assert_done_witness_replays(&design, isa::Opcode::Div, 0, ContextMode::Solo, 18);
+    assert!(frame > 0, "a divide cannot complete at cycle 0");
+}
+
 fn quick_cfg() -> LeakConfig {
     LeakConfig {
         mupath: SynthConfig {

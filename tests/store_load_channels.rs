@@ -7,6 +7,25 @@ use mupath::{synthesize_instr, ContextMode, SynthConfig};
 use synthlc::scsafe::{check_sc_safe, SecretLocation};
 use uarch::{build_core, CoreConfig};
 
+mod common;
+
+/// Witness discipline (see `tests/common/mod.rs`): the load's `done`
+/// cover in the store-context harness must be `Reachable`, and the
+/// witness must replay cycle-accurately through `sim` before the suite
+/// trusts any `Lw` µPATH evidence.
+#[test]
+fn load_done_witness_replays_in_sim() {
+    let design = build_core(&CoreConfig::default());
+    let frame = common::assert_done_witness_replays(
+        &design,
+        isa::Opcode::Lw,
+        1,
+        ContextMode::NoControlFlow,
+        22,
+    );
+    assert!(frame > 0, "a load cannot complete at cycle 0");
+}
+
 /// The store's (secret) address determines whether a following load to a
 /// fixed address stalls: the load's timing leaks the store's address
 /// offset — the `LD_issue` channel (Fig. 5).
