@@ -8,7 +8,16 @@
 //! (proving both scheduling- and reduction-independence in one shot), and
 //! reports the speedup plus the COI bit-blast ratio and the number of SAT
 //! queries discharged statically. A machine-readable report is written to
-//! `BENCH_perf.json` (schema `synthlc-perf-v3`).
+//! `BENCH_perf.json` (schema `synthlc-perf-v4`), including the CDCL
+//! core's learnt-database observability (tier sizes, deletions,
+//! subsumption, LBD profile) for every run.
+//!
+//! The `sat_micro` stage isolates the solver: pigeonhole formulas plus a
+//! pre-unrolled BMC CNF (captured via the clause log, built outside the
+//! timed region) are solved on fresh solvers, so solver-core changes show
+//! up undiluted by synthesis overhead. Its two legs run the identical
+//! single-threaded workload twice; `deterministic_match` then certifies
+//! run-to-run byte-stability of verdicts and search statistics.
 //!
 //! ```text
 //! perf [--jobs N] [--out PATH] [stage-filter]
@@ -48,6 +57,77 @@ struct RunOutcome {
     degraded_jobs: u64,
     /// Jobs replayed from a checkpoint journal; always 0 here, as above.
     resumed_jobs: u64,
+    /// Learnt-database observability of the CDCL core behind the run.
+    solver: SolverObs,
+}
+
+/// Solver learnt-DB observability surfaced per run (schema v4). Gauges
+/// (`learnt_live`, `binary_clauses`) are live end-of-run values summed
+/// over checkers; the rest are lifetime counters.
+#[derive(Clone, Copy, Default)]
+struct SolverObs {
+    learnt_live: u64,
+    binary_clauses: u64,
+    clauses_deleted: u64,
+    subsumed: u64,
+    strengthened: u64,
+    lbd_sum: u64,
+    lbd_count: u64,
+    max_lbd: u32,
+    trail_reuses: u64,
+    reused_levels: u64,
+}
+
+impl SolverObs {
+    fn from_check(stats: &mc::CheckStats) -> Self {
+        Self {
+            learnt_live: stats.sat_learnt_live(),
+            binary_clauses: stats.sat_binary_clauses,
+            clauses_deleted: stats.sat_clauses_deleted,
+            subsumed: stats.sat_subsumed,
+            strengthened: stats.sat_strengthened,
+            lbd_sum: stats.sat_lbd_sum,
+            lbd_count: stats.sat_lbd_count,
+            max_lbd: stats.sat_max_lbd,
+            trail_reuses: stats.sat_trail_reuses,
+            reused_levels: stats.sat_reused_levels,
+        }
+    }
+
+    fn add(&mut self, st: &sat::SolverStats) {
+        self.learnt_live += st.learnt_core + st.learnt_mid + st.learnt_local;
+        self.binary_clauses += st.binary_clauses;
+        self.clauses_deleted += st.clauses_deleted;
+        self.subsumed += st.subsumed;
+        self.strengthened += st.strengthened;
+        self.lbd_sum += st.lbd_sum;
+        self.lbd_count += st.lbd_count;
+        self.max_lbd = self.max_lbd.max(st.max_lbd);
+        self.trail_reuses += st.trail_reuses;
+        self.reused_levels += st.reused_levels;
+    }
+
+    fn avg_lbd(&self) -> f64 {
+        if self.lbd_count == 0 {
+            0.0
+        } else {
+            self.lbd_sum as f64 / self.lbd_count as f64
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("learnt_live".into(), Json::Int(self.learnt_live)),
+            ("binary_clauses".into(), Json::Int(self.binary_clauses)),
+            ("clauses_deleted".into(), Json::Int(self.clauses_deleted)),
+            ("subsumed".into(), Json::Int(self.subsumed)),
+            ("strengthened".into(), Json::Int(self.strengthened)),
+            ("avg_lbd".into(), Json::Num(self.avg_lbd())),
+            ("max_lbd".into(), Json::Int(self.max_lbd as u64)),
+            ("trail_reuses".into(), Json::Int(self.trail_reuses)),
+            ("reused_levels".into(), Json::Int(self.reused_levels)),
+        ])
+    }
 }
 
 struct StageResult {
@@ -151,6 +231,7 @@ fn run_mupath(
         discharged_static: r.stats.discharged_static,
         degraded_jobs: r.degraded_jobs,
         resumed_jobs: r.resumed_jobs,
+        solver: SolverObs::from_check(&r.stats),
     }
 }
 
@@ -169,6 +250,8 @@ fn run_leakage(
     cfg.static_prune = reductions;
     let started = Instant::now();
     let r = synthesize_leakage(design, transponders, &cfg);
+    let mut merged = r.mupath_stats;
+    merged.absorb(&r.ift_stats);
     RunOutcome {
         seconds: started.elapsed().as_secs_f64(),
         fingerprint: leak_fingerprint(&r),
@@ -181,6 +264,144 @@ fn run_leakage(
         discharged_static: r.mupath_stats.discharged_static + r.ift_stats.discharged_static,
         degraded_jobs: r.degraded_jobs,
         resumed_jobs: r.resumed_jobs,
+        solver: SolverObs::from_check(&merged),
+    }
+}
+
+/// One prepared CNF workload of the `sat_micro` stage, built outside the
+/// timed region so the measurement sees only the solver.
+struct SatMicro {
+    name: String,
+    num_vars: usize,
+    clauses: Vec<Vec<sat::Lit>>,
+    /// Activation literals, one incremental `solve_assuming` query each;
+    /// empty means a single plain `solve`.
+    queries: Vec<sat::Lit>,
+}
+
+/// The pigeonhole formula `PHP(pigeons, holes)` — the classic
+/// exponential-resolution UNSAT family, all long clauses plus a dense
+/// binary at-most-one layer (exactly the mix the tiered DB and the
+/// binary fast path are built for).
+fn php_instance(pigeons: usize, holes: usize) -> SatMicro {
+    let v = |p: usize, h: usize| sat::Var((p * holes + h) as u32);
+    let mut clauses: Vec<Vec<sat::Lit>> = Vec::new();
+    for p in 0..pigeons {
+        clauses.push((0..holes).map(|h| sat::Lit::pos(v(p, h))).collect());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                clauses.push(vec![sat::Lit::neg(v(p1, h)), sat::Lit::neg(v(p2, h))]);
+            }
+        }
+    }
+    SatMicro {
+        name: format!("php-{pigeons}-{holes}"),
+        num_vars: pigeons * holes,
+        clauses,
+        queries: Vec::new(),
+    }
+}
+
+/// A pre-unrolled BMC CNF captured via the solver's clause log: the
+/// design is unrolled to `bound` frames, and every 1-bit signal (up to
+/// `max_queries`) gets a Checker-style activation literal implying "the
+/// signal fires at some frame". The timed run replays the clause stream
+/// into a fresh solver and issues one incremental query per activation —
+/// the same workload shape as leakage synthesis, minus the synthesis.
+fn unrolled_instance(design: &uarch::Design, bound: usize, max_queries: usize) -> SatMicro {
+    let mut u = mc::Unrolling::new(&design.netlist, mc::InitMode::Reset);
+    u.gate().solver().set_clause_log(true);
+    u.extend_to(bound);
+    let true_lit = u.gate().true_lit();
+    let mut queries = Vec::new();
+    let sigs: Vec<_> = design
+        .netlist
+        .iter()
+        .filter(|(_, n)| n.width == 1)
+        .map(|(id, _)| id)
+        .take(max_queries)
+        .collect();
+    for sig in sigs {
+        let act = u.gate().fresh();
+        let mut clause = vec![!act];
+        for t in 0..bound {
+            clause.push(u.lit(t, sig));
+        }
+        u.gate().add_clause(&clause);
+        queries.push(act);
+    }
+    // The gate builder's constant-true unit clause predates the log.
+    let mut clauses: Vec<Vec<sat::Lit>> = vec![vec![true_lit]];
+    clauses.extend(u.gate().solver_ref().logged_clauses().iter().cloned());
+    SatMicro {
+        name: format!("unrolled-{}-b{bound}", design.name),
+        num_vars: u.gate().num_vars(),
+        clauses,
+        queries,
+    }
+}
+
+/// Runs every prepared instance on a fresh solver and folds verdicts and
+/// search statistics into the fingerprint — any run-to-run wobble in the
+/// solver core breaks `deterministic_match`.
+fn run_sat_micro(instances: &[SatMicro]) -> RunOutcome {
+    let started = Instant::now();
+    let mut fp = String::new();
+    let mut properties = 0u64;
+    let mut conflicts = 0u64;
+    let mut propagations = 0u64;
+    let mut obs = SolverObs::default();
+    for inst in instances {
+        let mut s = sat::Solver::new();
+        for _ in 0..inst.num_vars {
+            s.new_var();
+        }
+        for c in &inst.clauses {
+            s.add_clause(c);
+        }
+        if inst.queries.is_empty() {
+            let r = s.solve();
+            properties += 1;
+            writeln!(fp, "{} {}", inst.name, r.answer()).unwrap();
+        } else {
+            for (i, &act) in inst.queries.iter().enumerate() {
+                let r = s.solve_assuming(&[act]);
+                properties += 1;
+                writeln!(fp, "{} q{i} {}", inst.name, r.answer()).unwrap();
+            }
+        }
+        let st = s.stats();
+        writeln!(
+            fp,
+            "{} conflicts={} propagations={} decisions={} restarts={} lbd={}/{}",
+            inst.name,
+            st.conflicts,
+            st.propagations,
+            st.decisions,
+            st.restarts,
+            st.lbd_sum,
+            st.lbd_count
+        )
+        .unwrap();
+        conflicts += st.conflicts;
+        propagations += st.propagations;
+        obs.add(&st);
+    }
+    RunOutcome {
+        seconds: started.elapsed().as_secs_f64(),
+        fingerprint: fp,
+        properties,
+        undetermined: 0,
+        conflicts,
+        propagations,
+        coi_bits_before: 0,
+        coi_bits_after: 0,
+        discharged_static: 0,
+        degraded_jobs: 0,
+        resumed_jobs: 0,
+        solver: obs,
     }
 }
 
@@ -196,6 +417,7 @@ fn run_outcome_json(r: &RunOutcome) -> Json {
         ("sat_calls_avoided".into(), Json::Int(r.discharged_static)),
         ("degraded_jobs".into(), Json::Int(r.degraded_jobs)),
         ("resumed_jobs".into(), Json::Int(r.resumed_jobs)),
+        ("solver".into(), r.solver.to_json()),
     ])
 }
 
@@ -203,7 +425,7 @@ fn report_json(jobs: usize, scope: Scope, stages: &[StageResult]) -> Json {
     let total_seq: f64 = stages.iter().map(|s| s.seq.seconds).sum();
     let total_par: f64 = stages.iter().map(|s| s.par.seconds).sum();
     Json::Obj(vec![
-        ("schema".into(), Json::str("synthlc-perf-v3")),
+        ("schema".into(), Json::str("synthlc-perf-v4")),
         ("jobs".into(), Json::Int(jobs as u64)),
         (
             "scope".into(),
@@ -343,6 +565,18 @@ fn main() {
         );
         stages.push(s);
     };
+    // Solver-only microbench: both legs run the identical prepared CNFs
+    // single-threaded, so the match certifies run-to-run determinism of
+    // the CDCL core itself.
+    let sat_micro: Vec<SatMicro> = match scope {
+        Scope::Quick => vec![php_instance(9, 8), unrolled_instance(&core, 16, 48)],
+        Scope::Full => vec![
+            php_instance(9, 8),
+            php_instance(10, 9),
+            unrolled_instance(&core, 24, 96),
+        ],
+    };
+    stage("sat_micro", &|_, _| run_sat_micro(&sat_micro));
     stage("mupath_core", &|threads, _| {
         run_mupath(&core, &core_ops, &core_cfg, threads)
     });

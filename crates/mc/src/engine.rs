@@ -159,6 +159,34 @@ pub struct CheckStats {
     pub undet_panicked: u64,
     /// Undetermined outcomes caused by an injected fault.
     pub undet_fault: u64,
+    /// Live learnt clauses in the solver's core tier (LBD ≤ 2) at the
+    /// last query — a gauge, not a counter; `absorb` sums gauges across
+    /// workers so a merged record reads as fleet-wide live totals.
+    pub sat_learnt_core: u64,
+    /// Live learnt clauses in the mid tier at the last query (gauge).
+    pub sat_learnt_mid: u64,
+    /// Live learnt clauses in the local tier at the last query (gauge).
+    pub sat_learnt_local: u64,
+    /// Live binary clauses (original + learnt) at the last query (gauge).
+    pub sat_binary_clauses: u64,
+    /// Learnt clauses deleted by DB reduction or inprocessing (counter).
+    pub sat_clauses_deleted: u64,
+    /// Learnt clauses removed as subsumed during inprocessing (counter).
+    pub sat_subsumed: u64,
+    /// Literals removed by self-subsuming resolution (counter).
+    pub sat_strengthened: u64,
+    /// Adaptive restarts postponed by trail-size blocking (counter).
+    pub sat_blocked_restarts: u64,
+    /// Queries that reused retained assumption-trail levels (counter).
+    pub sat_trail_reuses: u64,
+    /// Total retained assumption levels reused across queries (counter).
+    pub sat_reused_levels: u64,
+    /// Sum of learnt-clause LBD at learn time (counter).
+    pub sat_lbd_sum: u64,
+    /// Learnt clauses contributing to `sat_lbd_sum` (counter).
+    pub sat_lbd_count: u64,
+    /// Largest LBD seen at learn time.
+    pub sat_max_lbd: u32,
 }
 
 impl CheckStats {
@@ -180,6 +208,20 @@ impl CheckStats {
         }
     }
 
+    /// Mean LBD of learnt clauses at learn time (0 when none learnt).
+    pub fn sat_avg_lbd(&self) -> f64 {
+        if self.sat_lbd_count == 0 {
+            0.0
+        } else {
+            self.sat_lbd_sum as f64 / self.sat_lbd_count as f64
+        }
+    }
+
+    /// Live learnt clauses across all tiers at the last query (gauge).
+    pub fn sat_learnt_live(&self) -> u64 {
+        self.sat_learnt_core + self.sat_learnt_mid + self.sat_learnt_local
+    }
+
     /// Merges another stats record into this one.
     pub fn absorb(&mut self, other: &CheckStats) {
         self.properties += other.properties;
@@ -195,6 +237,19 @@ impl CheckStats {
         self.undet_deadline += other.undet_deadline;
         self.undet_panicked += other.undet_panicked;
         self.undet_fault += other.undet_fault;
+        self.sat_learnt_core += other.sat_learnt_core;
+        self.sat_learnt_mid += other.sat_learnt_mid;
+        self.sat_learnt_local += other.sat_learnt_local;
+        self.sat_binary_clauses += other.sat_binary_clauses;
+        self.sat_clauses_deleted += other.sat_clauses_deleted;
+        self.sat_subsumed += other.sat_subsumed;
+        self.sat_strengthened += other.sat_strengthened;
+        self.sat_blocked_restarts += other.sat_blocked_restarts;
+        self.sat_trail_reuses += other.sat_trail_reuses;
+        self.sat_reused_levels += other.sat_reused_levels;
+        self.sat_lbd_sum += other.sat_lbd_sum;
+        self.sat_lbd_count += other.sat_lbd_count;
+        self.sat_max_lbd = self.sat_max_lbd.max(other.sat_max_lbd);
     }
 
     /// Records one undetermined outcome of the given reason (counter
@@ -488,14 +543,31 @@ impl<'a> Checker<'a> {
     }
 
     /// Charges the main solver's statistics delta since the last charge
-    /// into the shared pool.
+    /// into the shared pool (when one is attached) and folds the same
+    /// delta into the learnt-DB observability counters.
     fn charge_pool(&mut self) {
-        let Some(pool) = &self.pool else { return };
         let now = self.unroll.gate().solver().stats();
-        pool.charge(
-            now.conflicts - self.charged.conflicts,
-            now.propagations - self.charged.propagations,
-        );
+        if let Some(pool) = &self.pool {
+            pool.charge(
+                now.conflicts - self.charged.conflicts,
+                now.propagations - self.charged.propagations,
+            );
+        }
+        // Counters accumulate deltas; gauges are overwritten with the
+        // latest live values so `stats()` reads as "the solver now".
+        self.stats.sat_clauses_deleted += now.clauses_deleted - self.charged.clauses_deleted;
+        self.stats.sat_subsumed += now.subsumed - self.charged.subsumed;
+        self.stats.sat_strengthened += now.strengthened - self.charged.strengthened;
+        self.stats.sat_blocked_restarts += now.blocked_restarts - self.charged.blocked_restarts;
+        self.stats.sat_trail_reuses += now.trail_reuses - self.charged.trail_reuses;
+        self.stats.sat_reused_levels += now.reused_levels - self.charged.reused_levels;
+        self.stats.sat_lbd_sum += now.lbd_sum - self.charged.lbd_sum;
+        self.stats.sat_lbd_count += now.lbd_count - self.charged.lbd_count;
+        self.stats.sat_max_lbd = self.stats.sat_max_lbd.max(now.max_lbd);
+        self.stats.sat_learnt_core = now.learnt_core;
+        self.stats.sat_learnt_mid = now.learnt_mid;
+        self.stats.sat_learnt_local = now.learnt_local;
+        self.stats.sat_binary_clauses = now.binary_clauses;
         self.charged = now;
     }
 
@@ -561,10 +633,21 @@ impl<'a> Checker<'a> {
             ind.gate().solver().set_pool_watch(Some(Arc::clone(pool)));
         }
         let proved = ind.gate().solver().solve_assuming(&assumptions).is_unsat();
+        let st = ind.gate().solver().stats();
         if let Some(pool) = &self.pool {
-            let st = ind.gate().solver().stats();
             pool.charge(st.conflicts, st.propagations);
         }
+        // The induction solver is throwaway: fold its counters in, but
+        // leave the live-database gauges to the main solver.
+        self.stats.sat_clauses_deleted += st.clauses_deleted;
+        self.stats.sat_subsumed += st.subsumed;
+        self.stats.sat_strengthened += st.strengthened;
+        self.stats.sat_blocked_restarts += st.blocked_restarts;
+        self.stats.sat_trail_reuses += st.trail_reuses;
+        self.stats.sat_reused_levels += st.reused_levels;
+        self.stats.sat_lbd_sum += st.lbd_sum;
+        self.stats.sat_lbd_count += st.lbd_count;
+        self.stats.sat_max_lbd = self.stats.sat_max_lbd.max(st.max_lbd);
         proved
     }
 }
@@ -696,6 +779,37 @@ mod tests {
         );
         let out = chk.check_cover(nl.find("at7").unwrap(), &[]);
         assert!(out.is_unreachable(), "k-induction should prove this");
+    }
+
+    #[test]
+    fn solver_observability_flows_into_check_stats() {
+        let nl = counter_with_flag();
+        let mut chk = Checker::new(
+            &nl,
+            McConfig {
+                bound: 8,
+                ..Default::default()
+            },
+        );
+        chk.check_cover(nl.find("at5").unwrap(), &[]);
+        chk.check_cover(nl.find("never").unwrap(), &[]);
+        let st = chk.stats();
+        // Gauges must agree with the live solver database.
+        let (_, solver) = chk.solver_stats();
+        assert_eq!(st.sat_learnt_core, solver.learnt_core);
+        assert_eq!(st.sat_learnt_mid, solver.learnt_mid);
+        assert_eq!(st.sat_learnt_local, solver.learnt_local);
+        assert_eq!(st.sat_binary_clauses, solver.binary_clauses);
+        assert_eq!(st.sat_lbd_count, solver.lbd_count);
+        assert_eq!(st.sat_lbd_sum, solver.lbd_sum);
+        assert!(st.sat_avg_lbd() >= 0.0);
+        // absorb() sums counters and gauges, and maxes max_lbd.
+        let mut merged = CheckStats::default();
+        merged.absorb(&st);
+        merged.absorb(&st);
+        assert_eq!(merged.sat_lbd_count, 2 * st.sat_lbd_count);
+        assert_eq!(merged.sat_learnt_live(), 2 * st.sat_learnt_live());
+        assert_eq!(merged.sat_max_lbd, st.sat_max_lbd);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Solver heuristic knobs.
+//!
+//! Every knob combination must produce the same Sat/Unsat verdict on the
+//! same formula — the differential fuzzer sweeps the full cross product
+//! against the reference DPLL solver to enforce exactly that, so these
+//! types double as the sweep's enumeration domain.
+
+/// Restart policy of the CDCL search loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RestartMode {
+    /// Fixed Luby-sequence restart intervals (the classic MiniSat scheme).
+    Luby,
+    /// Adaptive restarts from fast/slow exponential moving averages of
+    /// learnt-clause LBD, with trail-size blocking (the Glucose scheme).
+    #[default]
+    Glucose,
+}
+
+/// How aggressively the learnt-clause database is collected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReduceStrategy {
+    /// Reduce on a conflict schedule (every few thousand conflicts) and
+    /// drop half of the local tier each time.
+    #[default]
+    Aggressive,
+    /// Reduce only when the database outgrows a fraction of the original
+    /// formula, dropping a third of the local tier.
+    Lazy,
+}
+
+/// Heuristic configuration of a [`crate::Solver`].
+///
+/// Changing the configuration never changes verdicts, only search order
+/// and speed; it takes effect on the next solve call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Restart policy.
+    pub restart: RestartMode,
+    /// Whether root-level inprocessing (satisfied-clause removal,
+    /// false-literal stripping, learnt-clause subsumption) runs between
+    /// queries.
+    pub inprocessing: bool,
+    /// Learnt-database collection schedule.
+    pub reduce: ReduceStrategy,
+    /// Whether the assumption prefix of each query is retained on the
+    /// trail between `solve_assuming` calls, so a follow-up query sharing
+    /// that prefix skips re-propagating it.
+    pub retain_trail: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SolverConfig {
+    /// The default configuration: Glucose restarts, inprocessing on,
+    /// aggressive reduction, trail retention on.
+    pub fn new() -> Self {
+        Self {
+            restart: RestartMode::Glucose,
+            inprocessing: true,
+            reduce: ReduceStrategy::Aggressive,
+            retain_trail: true,
+        }
+    }
+
+    /// Every knob combination, in a fixed order — the differential
+    /// fuzzer's sweep domain.
+    pub fn all_combinations() -> Vec<SolverConfig> {
+        let mut out = Vec::with_capacity(16);
+        for restart in [RestartMode::Luby, RestartMode::Glucose] {
+            for inprocessing in [false, true] {
+                for reduce in [ReduceStrategy::Aggressive, ReduceStrategy::Lazy] {
+                    for retain_trail in [false, true] {
+                        out.push(SolverConfig {
+                            restart,
+                            inprocessing,
+                            reduce,
+                            retain_trail,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Short diagnostic label, e.g. `glucose+inproc+aggressive+retain`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}{}+{}{}",
+            match self.restart {
+                RestartMode::Luby => "luby",
+                RestartMode::Glucose => "glucose",
+            },
+            if self.inprocessing { "+inproc" } else { "" },
+            match self.reduce {
+                ReduceStrategy::Aggressive => "aggressive",
+                ReduceStrategy::Lazy => "lazy",
+            },
+            if self.retain_trail { "+retain" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_glucose_inprocessing_aggressive_retaining() {
+        let c = SolverConfig::new();
+        assert_eq!(c.restart, RestartMode::Glucose);
+        assert!(c.inprocessing);
+        assert_eq!(c.reduce, ReduceStrategy::Aggressive);
+        assert!(c.retain_trail);
+    }
+
+    #[test]
+    fn sweep_covers_all_sixteen_combinations() {
+        let all = SolverConfig::all_combinations();
+        assert_eq!(all.len(), 16);
+        let labels: std::collections::BTreeSet<String> =
+            all.iter().map(SolverConfig::label).collect();
+        assert_eq!(labels.len(), 16, "labels must be distinct");
+    }
+}

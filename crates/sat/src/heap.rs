@@ -83,43 +83,53 @@ impl ActivityHeap {
         }
     }
 
+    // Both sift directions hole-shift instead of swapping: the moving
+    // variable is held in a register and written once at its final slot,
+    // halving the heap/pos stores on the backtrack-heavy reinsert path.
+    // Comparison order is identical to a swap-based sift, so pop order
+    // (and thus search determinism) is unchanged.
+
     fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        let v = self.heap[i];
+        let a = activity[v.index()];
         while i > 0 {
             let parent = (i - 1) / 2;
-            if activity[self.heap[i].index()] <= activity[self.heap[parent].index()] {
+            let pv = self.heap[parent];
+            if a <= activity[pv.index()] {
                 break;
             }
-            self.swap(i, parent);
+            self.heap[i] = pv;
+            self.pos[pv.index()] = i;
             i = parent;
         }
+        self.heap[i] = v;
+        self.pos[v.index()] = i;
     }
 
     fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        let v = self.heap[i];
+        let a = activity[v.index()];
         loop {
             let (l, r) = (2 * i + 1, 2 * i + 2);
             let mut largest = i;
-            if l < self.heap.len()
-                && activity[self.heap[l].index()] > activity[self.heap[largest].index()]
-            {
+            let mut largest_a = a;
+            if l < self.heap.len() && activity[self.heap[l].index()] > largest_a {
                 largest = l;
+                largest_a = activity[self.heap[l].index()];
             }
-            if r < self.heap.len()
-                && activity[self.heap[r].index()] > activity[self.heap[largest].index()]
-            {
+            if r < self.heap.len() && activity[self.heap[r].index()] > largest_a {
                 largest = r;
             }
             if largest == i {
                 break;
             }
-            self.swap(i, largest);
+            let cv = self.heap[largest];
+            self.heap[i] = cv;
+            self.pos[cv.index()] = i;
             i = largest;
         }
-    }
-
-    fn swap(&mut self, a: usize, b: usize) {
-        self.heap.swap(a, b);
-        self.pos[self.heap[a].index()] = a;
-        self.pos[self.heap[b].index()] = b;
+        self.heap[i] = v;
+        self.pos[v.index()] = i;
     }
 }
 

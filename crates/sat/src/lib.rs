@@ -1,11 +1,13 @@
 //! A CDCL SAT solver, standing in for the commercial property verifier
 //! (JasperGold) in the paper's toolflow.
 //!
-//! Features: two-literal watching, first-UIP clause learning, VSIDS with
-//! phase saving, Luby restarts, activity-based learnt-clause reduction,
-//! incremental solving under assumptions (one unrolled circuit, thousands of
-//! per-property queries), and conflict budgets that surface as the paper's
-//! *undetermined* property outcomes.
+//! Features: two-literal watching with a dedicated binary-clause fast
+//! path, first-UIP clause learning, VSIDS with phase saving, adaptive
+//! (Glucose) or Luby restarts, an LBD-tiered learnt-clause database with
+//! in-place deletion, root-level inprocessing between queries,
+//! incremental solving under assumptions (one unrolled circuit, thousands
+//! of per-property queries), and conflict budgets that surface as the
+//! paper's *undetermined* property outcomes.
 //!
 //! # Examples
 //!
@@ -24,6 +26,7 @@
 
 mod budget;
 mod cancel;
+mod config;
 pub mod dimacs;
 mod heap;
 mod solver;
@@ -31,5 +34,6 @@ mod types;
 
 pub use budget::BudgetPool;
 pub use cancel::{CancelReason, CancelToken};
+pub use config::{ReduceStrategy, RestartMode, SolverConfig};
 pub use solver::{Solver, SolverStats, StopCause};
 pub use types::{Lit, SolveResult, Var};

@@ -112,6 +112,21 @@ impl SolveResult {
     pub fn is_unsat(self) -> bool {
         self == SolveResult::Unsat
     }
+
+    /// `true` when the outcome is [`SolveResult::Unknown`].
+    pub fn is_unknown(self) -> bool {
+        self == SolveResult::Unknown
+    }
+
+    /// The SAT-competition answer line for this outcome
+    /// (`SATISFIABLE` / `UNSATISFIABLE` / `UNKNOWN`).
+    pub fn answer(self) -> &'static str {
+        match self {
+            SolveResult::Sat => "SATISFIABLE",
+            SolveResult::Unsat => "UNSATISFIABLE",
+            SolveResult::Unknown => "UNKNOWN",
+        }
+    }
 }
 
 #[cfg(test)]

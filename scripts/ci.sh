@@ -66,4 +66,32 @@ for SEED in 1 20260806; do
 done
 echo "fuzz-smoke OK (2 seeds x 64 designs, five oracles, zero mismatches)"
 
+echo "== sat-regression (DIMACS corpus + solver knob sweep) =="
+# Every corpus file encodes its brute-force-verified status in its name;
+# the CLI must reproduce it through the SAT-competition exit codes
+# (10 = SAT, 20 = UNSAT). Then one pinned fuzz seed re-solves each
+# case's CNF under every heuristic knob combination (restart policy x
+# inprocessing x reduction schedule) and demands verdict invariance.
+for CNF in crates/sat/tests/corpus/*.cnf; do
+  case "$CNF" in
+    *-sat.cnf)   WANT=10 ;;
+    *-unsat.cnf) WANT=20 ;;
+    *) echo "sat-regression: $CNF has no -sat/-unsat suffix" >&2; exit 1 ;;
+  esac
+  set +e
+  cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- sat "$CNF" >/dev/null
+  GOT=$?
+  set -e
+  if [ "$GOT" != "$WANT" ]; then
+    echo "sat-regression: $CNF exited $GOT, expected $WANT" >&2
+    exit 1
+  fi
+done
+if ! cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
+  fuzz --seed 1 --cases 48 --knob-sweep --deadline-secs 60 >/dev/null; then
+  echo "sat-regression: knob-sweep fuzz run failed (repro above, if any)" >&2
+  exit 1
+fi
+echo "sat-regression OK (corpus exit codes + knob-sweep verdict invariance)"
+
 echo "CI OK"

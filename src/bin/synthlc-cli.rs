@@ -6,6 +6,7 @@
 //! synthlc-cli leak   <design> <instr> [opts]  # SynthLC signatures + contracts
 //! synthlc-cli lint   [<design>|all]           # static-analysis lint suite
 //! synthlc-cli fuzz   [opts]                   # differential-oracle fuzzing
+//! synthlc-cli sat    <file.cnf> [--stats]     # solve one DIMACS formula
 //! synthlc-cli designs                         # list available designs
 //!
 //! designs: minicva6 | minicva6-mul | minicva6-op | hardened | tinycore | minicache
@@ -23,10 +24,15 @@
 //! 1 = hard errors (bad arguments, lint failures, unusable journal).
 //!
 //! `fuzz` options: --seed S --cases N --max-cells N --bound N
-//! --deadline-secs N. The report (JSON, byte-deterministic per seed) goes
-//! to stdout. Exit codes: 0 = all oracles agreed; 1 = cross-engine
-//! mismatch (minimized repros are in the report); 2 = deadline truncated
-//! the run before any mismatch was found.
+//! --deadline-secs N --knob-sweep (sweep every solver heuristic
+//! configuration inside the SAT oracle). The report (JSON,
+//! byte-deterministic per seed) goes to stdout. Exit codes: 0 = all
+//! oracles agreed; 1 = cross-engine mismatch (minimized repros are in the
+//! report); 2 = deadline truncated the run before any mismatch was found.
+//!
+//! `sat` follows the SAT-competition convention: prints `s SATISFIABLE` /
+//! `s UNSATISFIABLE` plus `v` model lines, exits 10 / 20 (0 when a
+//! `--budget` ran out first). `--stats` dumps solver counters to stderr.
 //! ```
 //!
 //! Run via `cargo run --release --bin synthlc-cli -- <args>`.
@@ -220,6 +226,28 @@ fn degradation_exit(
     }
 }
 
+/// One-line learnt-database summary of the solver work behind a run
+/// (tier gauges are live values from the last query; counters are
+/// lifetime totals across all checkers the run absorbed).
+fn solver_summary(stats: &CheckStats) -> String {
+    format!(
+        "solver: learnts {}/{}/{} (core/mid/local), {} binaries, \
+         {} deleted, {} subsumed, {} strengthened, avg LBD {:.1} (max {}), \
+         {} trail reuses ({} levels)",
+        stats.sat_learnt_core,
+        stats.sat_learnt_mid,
+        stats.sat_learnt_local,
+        stats.sat_binary_clauses,
+        stats.sat_clauses_deleted,
+        stats.sat_subsumed,
+        stats.sat_strengthened,
+        stats.sat_avg_lbd(),
+        stats.sat_max_lbd,
+        stats.sat_trail_reuses,
+        stats.sat_reused_levels
+    )
+}
+
 /// Lints one design; returns an error message when findings exceed the
 /// acceptable severity (`Error` always; `Warning` too under
 /// `deny_warnings`). Verbose mode prints the full report even when clean.
@@ -305,6 +333,7 @@ fn cmd_paths(design: &Design, op: isa::Opcode, o: &Opts) -> Result<ExitCode, Str
         r.stats.avg_seconds(),
         r.stats.undetermined_pct()
     );
+    println!("{}", solver_summary(&isa_synth.stats));
     Ok(degradation_exit(
         o,
         &isa_synth.stats,
@@ -352,6 +381,7 @@ fn cmd_leak(design: &Design, op: isa::Opcode, o: &Opts) -> Result<ExitCode, Stri
     let report = synthesize_leakage(design, &[op], &cfg);
     let mut stats = report.mupath_stats;
     stats.absorb(&report.ift_stats);
+    println!("{}", solver_summary(&stats));
     let exit = degradation_exit(o, &stats, report.degraded_jobs, report.resumed_jobs);
     if report.signatures.is_empty() {
         println!("{op}: no leakage signatures (not a transponder, or no tagged decisions)");
@@ -409,6 +439,7 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
                     secs,
                 ))));
             }
+            "--knob-sweep" => cfg.knob_sweep = true,
             other => return Err(format!("unknown fuzz option `{other}`")),
         }
     }
@@ -429,6 +460,86 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::from(2));
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Parses and runs the `sat` subcommand: solves one DIMACS CNF with the
+/// CDCL core, printing the competition-style answer and model. Exit
+/// codes follow the SAT-competition convention (10 = SAT, 20 = UNSAT,
+/// 0 = undetermined, 1 = bad file / bad arguments).
+fn cmd_sat(args: &[String]) -> Result<ExitCode, String> {
+    let mut path: Option<String> = None;
+    let mut show_stats = false;
+    let mut budget: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stats" => show_stats = true,
+            "--budget" => {
+                budget = Some(
+                    it.next()
+                        .ok_or("--budget needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --budget".to_owned())?,
+                );
+            }
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_owned()),
+            other => return Err(format!("unknown sat option `{other}`")),
+        }
+    }
+    let path = path.ok_or("`sat` needs a DIMACS file path")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let cnf = sat::dimacs::parse_dimacs(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut solver = cnf.to_solver();
+    solver.set_conflict_budget(budget);
+    let result = solver.solve();
+    println!("s {}", result.answer());
+    if result.is_sat() {
+        // DIMACS model lines: 1-based signed literals, 0-terminated.
+        let mut line = String::from("v");
+        for i in 0..cnf.num_vars {
+            let v = sat::Var(i as u32);
+            let positive = solver.value(v).unwrap_or(false);
+            let tok = format!(" {}{}", if positive { "" } else { "-" }, i + 1);
+            if line.len() + tok.len() > 78 {
+                println!("{line}");
+                line = String::from("v");
+            }
+            line.push_str(&tok);
+        }
+        println!("{line} 0");
+    }
+    if show_stats {
+        let st = solver.stats();
+        eprintln!(
+            "c vars {} clauses {} conflicts {} propagations {} decisions {} restarts {}",
+            cnf.num_vars,
+            cnf.clauses.len(),
+            st.conflicts,
+            st.propagations,
+            st.decisions,
+            st.restarts
+        );
+        eprintln!(
+            "c learnts {} (core {} mid {} local {}) binaries {} deleted {} \
+             subsumed {} strengthened {} blocked-restarts {} avg-lbd {:.2} max-lbd {}",
+            st.learnts,
+            st.learnt_core,
+            st.learnt_mid,
+            st.learnt_local,
+            st.binary_clauses,
+            st.clauses_deleted,
+            st.subsumed,
+            st.strengthened,
+            st.blocked_restarts,
+            st.avg_lbd(),
+            st.max_lbd
+        );
+    }
+    Ok(match result {
+        sat::SolveResult::Sat => ExitCode::from(10),
+        sat::SolveResult::Unsat => ExitCode::from(20),
+        sat::SolveResult::Unknown => ExitCode::SUCCESS,
+    })
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -473,6 +584,7 @@ fn run() -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "fuzz" => cmd_fuzz(&args[1..]),
+        "sat" => cmd_sat(&args[1..]),
         "pls" | "paths" | "leak" => {
             let dname = args
                 .get(1)
@@ -503,7 +615,8 @@ fn run() -> Result<ExitCode, String> {
                 "usage:\n  synthlc-cli designs\n  synthlc-cli lint [<design>|all] [--deny-warnings]\n  \
                  synthlc-cli pls <design> [opts]\n  \
                  synthlc-cli paths <design> <instr> [opts]\n  synthlc-cli leak <design> <instr> [opts]\n  \
-                 synthlc-cli fuzz [--seed S] [--cases N] [--max-cells N] [--bound N] [--deadline-secs N]\n\
+                 synthlc-cli fuzz [--seed S] [--cases N] [--max-cells N] [--bound N] [--deadline-secs N] [--knob-sweep]\n  \
+                 synthlc-cli sat <file.cnf> [--stats] [--budget N]  (exit 10 SAT / 20 UNSAT / 0 unknown)\n\
                  \ndesigns: minicva6 minicva6-mul minicva6-op hardened tinycore minicache\n\
                  opts: --slots 0,1  --bound N  --context any|nocf|solo  --budget N  --jobs N\n      \
                  --deadline-secs N (degrade, don't hang, past the wall clock)\n      \
