@@ -1,12 +1,13 @@
-//! The five differential oracles.
+//! The six differential oracles.
 //!
 //! Each oracle runs one generated design through two *independent*
 //! implementations of the same question and reports whether the verdicts
 //! agree. The engines share no code on the compared axis: the CDCL solver
 //! is checked against a from-scratch DPLL, the model checker against the
 //! interpreter-style simulator, symbolic induction against explicit-state
-//! fixpoint enumeration, reductions against the unreduced baseline, and
-//! the IFT taint plane against two-run low-equivalence simulation.
+//! fixpoint enumeration, reductions against the unreduced baseline, the
+//! IFT taint plane against two-run low-equivalence simulation, and the
+//! textual frontend (emit → parse → lower) against the in-memory IR.
 
 use crate::dpll::{self, DpllResult};
 use crate::gen::BuiltDesign;
@@ -30,16 +31,21 @@ pub enum OracleKind {
     Reductions,
     /// (e) IFT taint covers vs. two-run low-equivalence simulation.
     Ift,
+    /// (f) Textual frontend round trip: emit → check → lower must be
+    /// diagnostic-free, reproduce the IR structurally, and re-emit
+    /// byte-identical text.
+    Text,
 }
 
 impl OracleKind {
-    /// All five oracles, in report order.
-    pub const ALL: [OracleKind; 5] = [
+    /// All six oracles, in report order.
+    pub const ALL: [OracleKind; 6] = [
         OracleKind::Sat,
         OracleKind::Bmc,
         OracleKind::Induction,
         OracleKind::Reductions,
         OracleKind::Ift,
+        OracleKind::Text,
     ];
 
     /// Stable lowercase name used in reports and repro files.
@@ -50,6 +56,7 @@ impl OracleKind {
             OracleKind::Induction => "induction",
             OracleKind::Reductions => "reductions",
             OracleKind::Ift => "ift",
+            OracleKind::Text => "text",
         }
     }
 
@@ -128,7 +135,61 @@ pub fn run_oracle(kind: OracleKind, d: &BuiltDesign, opts: &OracleOpts) -> CaseR
         OracleKind::Induction => oracle_induction(d, opts),
         OracleKind::Reductions => oracle_reductions(d, opts),
         OracleKind::Ift => oracle_ift(d, opts),
+        OracleKind::Text => oracle_text(d),
     }
+}
+
+/// Oracle (f): the textual frontend against the in-memory IR. The
+/// generated netlist is emitted as canonical text, re-compiled through
+/// the full pipeline (lex → parse → resolve → typeck → lower → lint),
+/// and the result must (1) carry zero diagnostics, (2) be structurally
+/// identical to the original, and (3) re-emit byte-identically.
+fn oracle_text(d: &BuiltDesign) -> CaseResult {
+    let text = netlist::text::emit(&d.netlist);
+    let result = netlist::text::check(&text, "<fuzz>");
+    if !result.report.is_clean() {
+        return CaseResult::Mismatch {
+            expected: "0 diagnostics on emitted text".into(),
+            actual: result.report.summary(),
+            detail: result.report.render(),
+        };
+    }
+    let Some(module) = result.module else {
+        return CaseResult::Mismatch {
+            expected: "lowered module".into(),
+            actual: "no module".into(),
+            detail: "clean report but lowering produced nothing".into(),
+        };
+    };
+    if let Err(e) = d.netlist.same_structure(&module.netlist) {
+        return CaseResult::Mismatch {
+            expected: "structurally identical netlist".into(),
+            actual: "structural difference".into(),
+            detail: e,
+        };
+    }
+    let text2 = netlist::text::emit(&module.netlist);
+    if text != text2 {
+        let byte = text
+            .bytes()
+            .zip(text2.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| text.len().min(text2.len()));
+        return CaseResult::Mismatch {
+            expected: format!("byte-identical re-emission ({} bytes)", text.len()),
+            actual: format!("{} bytes, first difference at byte {byte}", text2.len()),
+            detail: format!(
+                "...{}... vs ...{}...",
+                &text[byte.saturating_sub(20)..(byte + 20).min(text.len())],
+                &text2[byte.saturating_sub(20)..(byte + 20).min(text2.len())]
+            ),
+        };
+    }
+    CaseResult::Agree(format!(
+        "text roundtrip nodes={} bytes={}",
+        d.netlist.len(),
+        text.len()
+    ))
 }
 
 /// Replays a `Reachable` trace cycle-accurately through the simulator:

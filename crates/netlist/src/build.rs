@@ -149,22 +149,7 @@ impl Builder {
     /// Fails if `reg` is not a register, is already connected, or `next` has
     /// a different width.
     pub fn set_next(&mut self, reg: Wire, next: Wire) -> Result<(), NetlistError> {
-        if reg.width != next.width {
-            return Err(NetlistError::WidthMismatch {
-                context: format!("set_next of {}", self.nl.display_name(reg.id)),
-            });
-        }
-        let name = self.nl.display_name(reg.id);
-        match &mut self.nl.nodes[reg.id.index()].op {
-            Op::Reg { next: slot, .. } => {
-                if slot.is_some() {
-                    return Err(NetlistError::RegAlreadyConnected(name));
-                }
-                *slot = Some(next.id);
-                Ok(())
-            }
-            _ => Err(NetlistError::NotAReg(name)),
-        }
+        self.nl.set_reg_next(reg.id, next.id)
     }
 
     /// Validates and returns the finished netlist.

@@ -445,6 +445,31 @@ impl Netlist {
         Ok(id)
     }
 
+    /// Wires register `reg`'s next-state input to `next`. Shared by the
+    /// [`crate::Builder`] DSL and the textual frontend's lowering pass.
+    pub(crate) fn set_reg_next(
+        &mut self,
+        reg: SignalId,
+        next: SignalId,
+    ) -> Result<(), NetlistError> {
+        if self.width(reg) != self.width(next) {
+            return Err(NetlistError::WidthMismatch {
+                context: format!("set_next of {}", self.display_name(reg)),
+            });
+        }
+        let name = self.display_name(reg);
+        match &mut self.nodes[reg.index()].op {
+            Op::Reg { next: slot, .. } => {
+                if slot.is_some() {
+                    return Err(NetlistError::RegAlreadyConnected(name));
+                }
+                *slot = Some(next);
+                Ok(())
+            }
+            _ => Err(NetlistError::NotAReg(name)),
+        }
+    }
+
     /// Total register state bits (a rough design-size metric used by the
     /// benchmark harness, mirroring the elaboration statistics in §VI).
     pub fn state_bits(&self) -> usize {
@@ -452,6 +477,34 @@ impl Netlist {
             .filter(|(_, n)| n.op.is_reg())
             .map(|(_, n)| n.width as usize)
             .sum()
+    }
+
+    /// Structural equality check: same node count and identical
+    /// `(name, width, op)` per node id. Used by the text round-trip oracle
+    /// to prove emit→parse→lower is the identity on the IR.
+    ///
+    /// # Errors
+    /// Returns a description of the first difference found.
+    pub fn same_structure(&self, other: &Netlist) -> Result<(), String> {
+        if self.len() != other.len() {
+            return Err(format!(
+                "node counts differ: {} vs {}",
+                self.len(),
+                other.len()
+            ));
+        }
+        for (id, a) in self.iter() {
+            let b = other.node(id);
+            if a.name != b.name || a.width != b.width || a.op != b.op {
+                return Err(format!(
+                    "node {} differs: {:?} vs {:?}",
+                    self.display_name(id),
+                    a,
+                    b
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Validates the netlist: every referenced signal exists, widths obey the

@@ -33,10 +33,12 @@
 pub mod analysis;
 pub mod annotate;
 mod build;
+pub mod diag;
 mod ir;
 pub mod lint;
 pub mod text;
 
 pub use analysis::CycleError;
 pub use build::{Builder, MemArray, Wire};
+pub use diag::{Diagnostic, Report, Severity, SourceFile, Span};
 pub use ir::{mask, BinOp, Netlist, NetlistError, Node, Op, SignalId, UnOp};

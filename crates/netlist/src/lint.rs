@@ -20,52 +20,12 @@ use crate::analysis;
 use crate::annotate::Annotations;
 use crate::ir::{mask, BinOp, Netlist, Op, SignalId};
 use std::collections::{BTreeSet, HashSet, VecDeque};
-use std::fmt;
 
-/// Diagnostic severity. `Error` diagnostics make synthesis refuse to run;
-/// `Warning`s are advisory unless promoted via deny knobs.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
-pub enum Severity {
-    /// Advisory; promotable to `Error` via [`Linter::deny`].
-    Warning,
-    /// Definite structural problem; downstream tools would panic or produce
-    /// vacuous verdicts.
-    Error,
-}
-
-impl fmt::Display for Severity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Severity::Warning => f.write_str("warning"),
-            Severity::Error => f.write_str("error"),
-        }
-    }
-}
-
-/// One lint finding.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct Diagnostic {
-    /// Severity after any deny promotion.
-    pub severity: Severity,
-    /// Stable machine-readable code (`L001`...).
-    pub code: &'static str,
-    /// Name of the pass that produced the finding.
-    pub pass: &'static str,
-    /// The offending signal, when the finding is signal-specific.
-    pub signal: Option<SignalId>,
-    /// Human-readable description (signal names already resolved).
-    pub message: String,
-}
-
-impl Diagnostic {
-    /// Renders the diagnostic as a single report line.
-    pub fn render(&self) -> String {
-        format!(
-            "{}[{}] {}: {}",
-            self.severity, self.code, self.pass, self.message
-        )
-    }
-}
+// The lint suite shares one diagnostic type with the textual frontend
+// (`crate::diag`): lint codes are `L001`+, frontend codes `E001`+/`W001`+.
+// Findings produced here are spanless; `text::check` attaches source spans
+// to them when the netlist came from a file.
+pub use crate::diag::{Diagnostic, Report as LintReport, Severity};
 
 /// Everything a pass may inspect: the netlist, optional annotations, the
 /// root signals that count as "observed" for dead-logic purposes, and named
@@ -105,59 +65,6 @@ pub trait LintPass {
     fn description(&self) -> &'static str;
     /// Runs the pass, appending findings to `out`.
     fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
-}
-
-/// The result of a lint run.
-#[derive(Clone, Debug, Default)]
-pub struct LintReport {
-    /// All findings, in pass-registration order.
-    pub diagnostics: Vec<Diagnostic>,
-}
-
-impl LintReport {
-    /// Error-severity findings.
-    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
-        self.diagnostics
-            .iter()
-            .filter(|d| d.severity == Severity::Error)
-    }
-
-    /// Warning-severity findings.
-    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
-        self.diagnostics
-            .iter()
-            .filter(|d| d.severity == Severity::Warning)
-    }
-
-    /// Whether the run produced no findings at all.
-    pub fn is_clean(&self) -> bool {
-        self.diagnostics.is_empty()
-    }
-
-    /// Whether any finding is an error.
-    pub fn has_errors(&self) -> bool {
-        self.errors().next().is_some()
-    }
-
-    /// Renders the full report plus a summary line.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        for d in &self.diagnostics {
-            out.push_str(&d.render());
-            out.push('\n');
-        }
-        out.push_str(&self.summary());
-        out
-    }
-
-    /// The one-line summary (`N errors, M warnings`).
-    pub fn summary(&self) -> String {
-        format!(
-            "{} errors, {} warnings",
-            self.errors().count(),
-            self.warnings().count()
-        )
-    }
 }
 
 /// Pass registry with enable/deny knobs.
@@ -272,6 +179,7 @@ impl LintPass for CombLoopPass {
                 pass: self.name(),
                 signal: cycle.path.first().copied(),
                 message: format!("combinational cycle: {}", cycle.render(cx.netlist)),
+                ..Default::default()
             });
         }
     }
@@ -304,6 +212,7 @@ impl LintPass for UndrivenPass {
                     pass: self.name(),
                     signal: Some(id),
                     message: format!("register `{}` has no next connection", nl.display_name(id)),
+                    ..Default::default()
                 }),
                 Op::Input if !read.contains(&id) && !cx.roots.contains(&id) => {
                     out.push(Diagnostic {
@@ -312,6 +221,7 @@ impl LintPass for UndrivenPass {
                         pass: self.name(),
                         signal: Some(id),
                         message: format!("input `{}` is never read", nl.display_name(id)),
+                        ..Default::default()
                     });
                 }
                 _ => {}
@@ -340,6 +250,7 @@ impl LintPass for WidthAuditPass {
                 pass: self.name(),
                 signal: Some(id),
                 message: msg,
+                ..Default::default()
             });
         };
         let w_of = |s: SignalId| -> Option<u8> { (s.index() < nl.len()).then(|| nl.width(s)) };
@@ -515,6 +426,7 @@ impl LintPass for RegResetPass {
                             nl.display_name(id),
                             node.width
                         ),
+                        ..Default::default()
                     });
                 }
             }
@@ -571,6 +483,7 @@ impl LintPass for DeadLogicPass {
                     pass: self.name(),
                     signal: Some(id),
                     message: format!("`{name}` drives no root or annotation cone"),
+                    ..Default::default()
                 }),
                 None => anonymous += 1,
             }
@@ -584,6 +497,7 @@ impl LintPass for DeadLogicPass {
                 message: format!(
                     "{anonymous} anonymous signal(s) drive no root or annotation cone"
                 ),
+                ..Default::default()
             });
         }
     }
@@ -671,6 +585,7 @@ impl LintPass for UfsmReachPass {
                                 nl.display_name(ufsm.vars[vi]),
                                 set.iter().collect::<Vec<_>>()
                             ),
+                            ..Default::default()
                         });
                     }
                 }
@@ -701,6 +616,7 @@ impl LintPass for AnnotationConstPass {
                 pass: self.name(),
                 signal: None,
                 message: format!("inconsistent annotations: {e}"),
+                ..Default::default()
             });
             return;
         }
@@ -724,6 +640,7 @@ impl LintPass for AnnotationConstPass {
                          every property over it is vacuous",
                         nl.display_name(sig)
                     ),
+                    ..Default::default()
                 }),
                 Some(_) => out.push(Diagnostic {
                     severity: Severity::Warning,
@@ -734,6 +651,7 @@ impl LintPass for AnnotationConstPass {
                         "strobe {label} (`{}`) is structurally constant 1",
                         nl.display_name(sig)
                     ),
+                    ..Default::default()
                 }),
                 None => {}
             }

@@ -1,0 +1,620 @@
+//! Width and type inference/checking for the netlist language.
+//!
+//! Runs after [`super::resolve`]; operands that failed resolution are
+//! simply absent from the width environment and their checks are skipped,
+//! so one undefined name does not fan out into spurious width errors.
+//!
+//! Codes: `E006` bad width, `E007` operand/result width disagreement,
+//! `E008` slice out of bounds, `E009` constant or reset value too wide,
+//! `E010` memory-port problems, `E011` next-connection problems, `E012`
+//! annotation shape problems, `E013` harness shape problems.
+
+use std::collections::{HashMap, HashSet};
+
+use super::ast::{Item, Module, Name, Spanned, WireOp};
+use super::resolve::MAX_MEM_LEN;
+use crate::diag::{Diagnostic, Report, Span};
+use crate::ir::{mask, UnOp};
+
+/// Width limits of the IR.
+const MAX_WIDTH: u64 = 64;
+
+/// Signature of a declared memory array.
+#[derive(Clone, Copy, Debug)]
+pub struct MemSig {
+    /// Word count.
+    pub len: u64,
+    /// Word width.
+    pub width: u8,
+    /// Declaration span (for secondary labels).
+    pub span: Span,
+}
+
+/// Per-module width environment, also consumed by lowering.
+#[derive(Default)]
+pub struct TypeEnv {
+    /// Signal name → width. Memory words are included.
+    pub widths: HashMap<String, u8>,
+    /// Memory array name → signature.
+    pub mems: HashMap<String, MemSig>,
+}
+
+impl TypeEnv {
+    fn width_of(&self, n: &Name) -> Option<u8> {
+        self.widths.get(&n.node).copied()
+    }
+}
+
+fn check_width(w: &Spanned<u64>, report: &mut Report) -> Option<u8> {
+    if w.node == 0 || w.node > MAX_WIDTH {
+        report.push(
+            Diagnostic::error(
+                "E006",
+                "typeck",
+                format!("width w{} is outside the supported range", w.node),
+            )
+            .with_primary(w.span, "widths must be between w1 and w64"),
+        );
+        None
+    } else {
+        Some(w.node as u8)
+    }
+}
+
+fn check_value_fits(value: &Spanned<u64>, width: u8, what: &str, report: &mut Report) {
+    if value.node & !mask(width) != 0 {
+        report.push(
+            Diagnostic::error(
+                "E009",
+                "typeck",
+                format!("{what} {} does not fit in w{width}", value.node),
+            )
+            .with_primary(
+                value.span,
+                format!("largest w{width} value is {}", mask(width)),
+            ),
+        );
+    }
+}
+
+fn addr_covers(len: u64, addr_width: u8) -> bool {
+    addr_width as u32 >= 64 || len <= 1u64 << addr_width
+}
+
+/// Runs width/type checking, returning the environment for lowering.
+pub fn run(m: &Module, report: &mut Report) -> TypeEnv {
+    let mut env = TypeEnv::default();
+    // Registers awaiting a `next` connection, and where each got one.
+    let mut next_seen: HashMap<String, Span> = HashMap::new();
+    let mut regs: Vec<(String, Span)> = Vec::new();
+    let mut mem_written: HashSet<String> = HashSet::new();
+
+    for item in &m.items {
+        match item {
+            Item::Input { name, width } => {
+                if let Some(w) = check_width(width, report) {
+                    env.widths.insert(name.node.clone(), w);
+                }
+            }
+            Item::Reg { name, width, init } => {
+                if let Some(w) = check_width(width, report) {
+                    check_value_fits(init, w, "reset value", report);
+                    env.widths.insert(name.node.clone(), w);
+                }
+                regs.push((name.node.clone(), name.span));
+            }
+            Item::Const { name, width, value } => {
+                if let Some(w) = check_width(width, report) {
+                    check_value_fits(value, w, "constant", report);
+                    env.widths.insert(name.node.clone(), w);
+                }
+            }
+            Item::Wire { name, width, op } => {
+                let declared = width.as_ref().and_then(|w| check_width(w, report));
+                let inferred = infer_wire(op, &env, report);
+                if let (Some(d), Some(i)) = (declared, inferred) {
+                    if d != i {
+                        report.push(
+                            Diagnostic::error(
+                                "E007",
+                                "typeck",
+                                format!(
+                                    "`{}` is declared w{d} but its operator yields w{i}",
+                                    name.node
+                                ),
+                            )
+                            .with_primary(
+                                width.as_ref().expect("declared width").span,
+                                "declared width disagrees with the operator",
+                            ),
+                        );
+                    }
+                }
+                if let Some(w) = declared.or(inferred) {
+                    env.widths.insert(name.node.clone(), w);
+                }
+            }
+            Item::Mem {
+                name,
+                len,
+                width,
+                init,
+            } => {
+                if len.node == 0 || !len.node.is_power_of_two() || len.node > MAX_MEM_LEN {
+                    report.push(
+                        Diagnostic::error(
+                            "E010",
+                            "typeck",
+                            format!(
+                                "memory length {} is not a power of two in 1..={MAX_MEM_LEN}",
+                                len.node
+                            ),
+                        )
+                        .with_primary(len.span, "unsupported memory length"),
+                    );
+                    continue;
+                }
+                let Some(w) = check_width(width, report) else {
+                    continue;
+                };
+                if let Some(init) = init {
+                    check_value_fits(init, w, "reset value", report);
+                }
+                env.mems.insert(
+                    name.node.clone(),
+                    MemSig {
+                        len: len.node,
+                        width: w,
+                        span: name.span,
+                    },
+                );
+                for i in 0..len.node {
+                    let word = format!("{}[{i}]", name.node);
+                    env.widths.insert(word.clone(), w);
+                    regs.push((word, name.span));
+                }
+            }
+            Item::Write {
+                mem,
+                en,
+                addr,
+                data,
+            } => {
+                let Some(sig) = env.mems.get(&mem.node).copied() else {
+                    continue; // resolve already complained
+                };
+                if !mem_written.insert(mem.node.clone()) {
+                    report.push(
+                        Diagnostic::error(
+                            "E010",
+                            "typeck",
+                            format!("memory `{}` has more than one write port", mem.node),
+                        )
+                        .with_primary(mem.span, "second `write` statement")
+                        .with_note("a memory array supports a single write port"),
+                    );
+                    continue;
+                }
+                if let Some(ew) = env.width_of(en) {
+                    if ew != 1 {
+                        report.push(
+                            Diagnostic::error(
+                                "E010",
+                                "typeck",
+                                format!("write enable `{}` must be 1 bit wide, not w{ew}", en.node),
+                            )
+                            .with_primary(en.span, "write enables are single-bit"),
+                        );
+                    }
+                }
+                if let Some(aw) = env.width_of(addr) {
+                    if !addr_covers(sig.len, aw) {
+                        report.push(
+                            Diagnostic::error(
+                                "E010",
+                                "typeck",
+                                format!(
+                                    "address `{}` (w{aw}) cannot address all {} words of `{}`",
+                                    addr.node, sig.len, mem.node
+                                ),
+                            )
+                            .with_primary(addr.span, "address too narrow")
+                            .with_secondary(sig.span, "memory declared here"),
+                        );
+                    }
+                }
+                if let Some(dw) = env.width_of(data) {
+                    if dw != sig.width {
+                        report.push(
+                            Diagnostic::error(
+                                "E010",
+                                "typeck",
+                                format!(
+                                    "write data `{}` is w{dw} but `{}` stores w{} words",
+                                    data.node, mem.node, sig.width
+                                ),
+                            )
+                            .with_primary(data.span, "width mismatch")
+                            .with_secondary(sig.span, "memory declared here"),
+                        );
+                    }
+                }
+                // One write port drives the next of every word.
+                for i in 0..sig.len {
+                    next_seen.insert(format!("{}[{i}]", mem.node), mem.span);
+                }
+            }
+            Item::Next { reg, src } => {
+                if let Some(prev) = next_seen.get(&reg.node) {
+                    report.push(
+                        Diagnostic::error(
+                            "E011",
+                            "typeck",
+                            format!(
+                                "register `{}` is connected by more than one `next`",
+                                reg.node
+                            ),
+                        )
+                        .with_primary(reg.span, "second connection")
+                        .with_secondary(*prev, "first connected here"),
+                    );
+                    continue;
+                }
+                next_seen.insert(reg.node.clone(), reg.span);
+                if let (Some(rw), Some(sw)) = (env.width_of(reg), env.width_of(src)) {
+                    if rw != sw {
+                        report.push(
+                            Diagnostic::error(
+                                "E011",
+                                "typeck",
+                                format!(
+                                    "`next` source `{}` is w{sw} but register `{}` is w{rw}",
+                                    src.node, reg.node
+                                ),
+                            )
+                            .with_primary(src.span, "width mismatch"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Every register must end up connected.
+    for (reg, span) in &regs {
+        if !next_seen.contains_key(reg) {
+            report.push(
+                Diagnostic::error(
+                    "E011",
+                    "typeck",
+                    format!("register `{reg}` has no `next` connection"),
+                )
+                .with_primary(*span, "declared here")
+                .with_note("every register needs `next <reg> <- <src>` (or a `write` port for memory words)"),
+            );
+        }
+    }
+
+    check_annotations(m, &env, report);
+    check_harness(m, &env, report);
+    env
+}
+
+fn infer_wire(op: &WireOp, env: &TypeEnv, report: &mut Report) -> Option<u8> {
+    match op {
+        WireOp::Unary { op, a, .. } => {
+            let aw = env.width_of(a)?;
+            Some(match op {
+                UnOp::RedOr | UnOp::RedAnd | UnOp::RedXor => 1,
+                UnOp::Not | UnOp::Neg => aw,
+            })
+        }
+        WireOp::Binary { op, op_span, a, b } => {
+            use crate::ir::BinOp::*;
+            let (aw, bw) = (env.width_of(a)?, env.width_of(b)?);
+            match op {
+                Eq | Ne | Ult | Ule => {
+                    if aw != bw {
+                        mismatch(report, *op_span, a, aw, b, bw);
+                        return None;
+                    }
+                    Some(1)
+                }
+                Shl | Shr => Some(aw),
+                And | Or | Xor | Add | Sub | Mul => {
+                    if aw != bw {
+                        mismatch(report, *op_span, a, aw, b, bw);
+                        return None;
+                    }
+                    Some(aw)
+                }
+            }
+        }
+        WireOp::Mux { sel, a, b } => {
+            if let Some(sw) = env.width_of(sel) {
+                if sw != 1 {
+                    report.push(
+                        Diagnostic::error(
+                            "E007",
+                            "typeck",
+                            format!("mux select `{}` must be 1 bit wide, not w{sw}", sel.node),
+                        )
+                        .with_primary(sel.span, "selects are single-bit"),
+                    );
+                }
+            }
+            let (aw, bw) = (env.width_of(a)?, env.width_of(b)?);
+            if aw != bw {
+                report.push(
+                    Diagnostic::error(
+                        "E007",
+                        "typeck",
+                        format!(
+                            "mux arms disagree: `{}` is w{aw}, `{}` is w{bw}",
+                            a.node, b.node
+                        ),
+                    )
+                    .with_primary(a.span, format!("this arm is w{aw}"))
+                    .with_secondary(b.span, format!("this arm is w{bw}")),
+                );
+                return None;
+            }
+            Some(aw)
+        }
+        WireOp::Slice { src, hi, lo } => {
+            let sw = env.width_of(src)?;
+            if hi.node < lo.node || hi.node >= sw as u64 {
+                report.push(
+                    Diagnostic::error(
+                        "E008",
+                        "typeck",
+                        format!(
+                            "slice [{}:{}] is out of bounds for `{}` (w{sw})",
+                            hi.node, lo.node, src.node
+                        ),
+                    )
+                    .with_primary(
+                        hi.span.join(lo.span),
+                        format!("valid bit indices are 0..={}", sw - 1),
+                    ),
+                );
+                return None;
+            }
+            Some((hi.node - lo.node + 1) as u8)
+        }
+        WireOp::Concat { hi, lo } => {
+            let (hw, lw) = (env.width_of(hi)?, env.width_of(lo)?);
+            let total = hw as u64 + lw as u64;
+            if total > MAX_WIDTH {
+                report.push(
+                    Diagnostic::error(
+                        "E006",
+                        "typeck",
+                        format!("concat of w{hw} and w{lw} exceeds w64"),
+                    )
+                    .with_primary(hi.span.join(lo.span), "result is too wide"),
+                );
+                return None;
+            }
+            Some(total as u8)
+        }
+        WireOp::Read { mem, addr } => {
+            let sig = env.mems.get(&mem.node).copied()?;
+            if let Some(aw) = env.width_of(addr) {
+                if !addr_covers(sig.len, aw) {
+                    report.push(
+                        Diagnostic::error(
+                            "E010",
+                            "typeck",
+                            format!(
+                                "address `{}` (w{aw}) cannot address all {} words of `{}`",
+                                addr.node, sig.len, mem.node
+                            ),
+                        )
+                        .with_primary(addr.span, "address too narrow")
+                        .with_secondary(sig.span, "memory declared here"),
+                    );
+                }
+            }
+            Some(sig.width)
+        }
+    }
+}
+
+fn mismatch(report: &mut Report, op_span: Span, a: &Name, aw: u8, b: &Name, bw: u8) {
+    report.push(
+        Diagnostic::error(
+            "E007",
+            "typeck",
+            format!(
+                "operand widths disagree: `{}` is w{aw}, `{}` is w{bw}",
+                a.node, b.node
+            ),
+        )
+        .with_primary(op_span, "this operator needs equal widths")
+        .with_secondary(a.span, format!("w{aw}"))
+        .with_secondary(b.span, format!("w{bw}")),
+    );
+}
+
+fn require_1bit(env: &TypeEnv, n: &Name, what: &str, code: &'static str, report: &mut Report) {
+    if let Some(w) = env.width_of(n) {
+        if w != 1 {
+            report.push(
+                Diagnostic::error(
+                    code,
+                    "typeck",
+                    format!("{what} `{}` must be 1 bit wide, not w{w}", n.node),
+                )
+                .with_primary(n.span, "expected a single-bit signal"),
+            );
+        }
+    }
+}
+
+fn missing(span: Span, block: &str, field: &str, code: &'static str) -> Diagnostic {
+    Diagnostic::error(
+        code,
+        "typeck",
+        format!("`{block}` block is missing the required `{field}` field"),
+    )
+    .with_primary(span, format!("add `{field} ...` inside this block"))
+}
+
+fn check_annotations(m: &Module, env: &TypeEnv, report: &mut Report) {
+    let Some(ann) = &m.annotations else {
+        return;
+    };
+    for (field, slot) in [
+        ("ifr", &ann.ifr),
+        ("fetch_valid", &ann.fetch_valid),
+        ("fetch_pc", &ann.fetch_pc),
+        ("commit", &ann.commit),
+        ("commit_pc", &ann.commit_pc),
+    ] {
+        if slot.is_none() {
+            report.push(missing(ann.span, "annotations", field, "E012"));
+        }
+    }
+    for n in [&ann.fetch_valid, &ann.commit].into_iter().flatten() {
+        require_1bit(env, n, "annotation hook", "E012", report);
+    }
+    for u in &ann.ufsms {
+        if u.pcr.is_none() {
+            report.push(
+                Diagnostic::error(
+                    "E012",
+                    "typeck",
+                    format!("ufsm `{}` is missing its `pcr` field", u.name.node),
+                )
+                .with_primary(
+                    u.name.span,
+                    "every ufsm names its performing-confirmation register",
+                ),
+            );
+        }
+        if u.vars.is_empty() {
+            report.push(
+                Diagnostic::error(
+                    "E012",
+                    "typeck",
+                    format!("ufsm `{}` declares no `vars`", u.name.node),
+                )
+                .with_primary(u.name.span, "state tuples need at least one variable"),
+            );
+            continue;
+        }
+        let var_widths: Vec<Option<u8>> = u.vars.iter().map(|v| env.width_of(v)).collect();
+        let arity = u.vars.len();
+        let tuples = u.idle.iter().chain(u.states.iter().map(|(_, t)| t));
+        for t in tuples {
+            if t.node.len() != arity {
+                report.push(
+                    Diagnostic::error(
+                        "E012",
+                        "typeck",
+                        format!(
+                            "state tuple has {} values but ufsm `{}` has {arity} vars",
+                            t.node.len(),
+                            u.name.node
+                        ),
+                    )
+                    .with_primary(t.span, format!("expected {arity} values")),
+                );
+                continue;
+            }
+            for (i, (&v, w)) in t.node.iter().zip(&var_widths).enumerate() {
+                if let Some(w) = w {
+                    if v & !mask(*w) != 0 {
+                        report.push(
+                            Diagnostic::error(
+                                "E009",
+                                "typeck",
+                                format!(
+                                    "state value {v} does not fit var `{}` (w{w})",
+                                    u.vars[i].node
+                                ),
+                            )
+                            .with_primary(t.span, format!("component {} is too wide", i + 1)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_harness(m: &Module, env: &TypeEnv, report: &mut Report) {
+    let Some(h) = &m.harness else {
+        return;
+    };
+    if m.annotations.is_none() {
+        report.push(
+            Diagnostic::error(
+                "E013",
+                "typeck",
+                "a `harness` block requires an `annotations` block",
+            )
+            .with_primary(h.span, "synthesis needs the §V-A metadata too"),
+        );
+    }
+    for (field, missing_it) in [
+        ("fetch_instr_input", h.fetch_instr_input.is_none()),
+        ("fetch_valid_input", h.fetch_valid_input.is_none()),
+        ("fetch_fire", h.fetch_fire.is_none()),
+        ("issue_fire", h.issue_fire.is_none()),
+        ("issue_pc", h.issue_pc.is_none()),
+        ("issue_valid", h.issue_valid.is_none()),
+        ("pc", h.pc.is_none()),
+        ("type_field", h.type_field.is_none()),
+        ("max_latency", h.max_latency.is_none()),
+    ] {
+        if missing_it {
+            report.push(missing(h.span, "harness", field, "E013"));
+        }
+    }
+    if h.isa.is_empty() {
+        report.push(missing(h.span, "harness", "isa", "E013"));
+    }
+    for n in [
+        &h.fetch_valid_input,
+        &h.fetch_fire,
+        &h.issue_fire,
+        &h.issue_valid,
+    ]
+    .into_iter()
+    .flatten()
+    {
+        require_1bit(env, n, "harness hook", "E013", report);
+    }
+    if let Some((hi, lo)) = &h.type_field {
+        if hi.node < lo.node || hi.node >= MAX_WIDTH {
+            report.push(
+                Diagnostic::error(
+                    "E013",
+                    "typeck",
+                    format!(
+                        "type_field [{}:{}] is not a valid bit range",
+                        hi.node, lo.node
+                    ),
+                )
+                .with_primary(
+                    hi.span.join(lo.span),
+                    "expected `type_field <hi> <lo>` with hi >= lo",
+                ),
+            );
+        }
+    }
+    if let Some(ml) = &h.max_latency {
+        if ml.node == 0 || ml.node > 64 {
+            report.push(
+                Diagnostic::error(
+                    "E013",
+                    "typeck",
+                    format!("max_latency {} is outside 1..=64", ml.node),
+                )
+                .with_primary(ml.span, "unreasonable issue-latency bound"),
+            );
+        }
+    }
+}

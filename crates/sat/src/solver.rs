@@ -1507,7 +1507,8 @@ impl Solver {
             let max = (self.decision_level() as usize)
                 .min(self.retained.len())
                 .min(assumptions.len());
-            while (keep as usize) < max && self.retained[keep as usize] == assumptions[keep as usize]
+            while (keep as usize) < max
+                && self.retained[keep as usize] == assumptions[keep as usize]
             {
                 keep += 1;
             }
@@ -1687,7 +1688,8 @@ impl Solver {
         };
         self.backtrack(keep);
         self.retained.clear();
-        self.retained.extend_from_slice(&assumptions[..keep as usize]);
+        self.retained
+            .extend_from_slice(&assumptions[..keep as usize]);
         result
     }
 
@@ -1869,7 +1871,9 @@ mod tests {
         // A clause over retained-false literals only: also a root reset.
         assert!(s.solve_assuming(&[Lit::neg(v[0]), Lit::pos(v[1])]).is_sat());
         s.add_clause(&[Lit::pos(v[0])]);
-        assert!(s.solve_assuming(&[Lit::neg(v[0]), Lit::pos(v[1])]).is_unsat());
+        assert!(s
+            .solve_assuming(&[Lit::neg(v[0]), Lit::pos(v[1])])
+            .is_unsat());
     }
 
     #[test]

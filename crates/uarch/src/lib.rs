@@ -16,6 +16,7 @@
 pub mod cache;
 mod config;
 mod core;
+pub mod frontend;
 mod tiny;
 
 pub use crate::core::build_core;

@@ -50,13 +50,43 @@ cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
   paths tinycore add --resume "$JOURNAL" >/dev/null
 echo "fault-smoke OK (degrade -> journal -> resume clean)"
 
+echo "== frontend (textual netlist: goldens, diagnostics, text oracle) =="
+# The frontend gate has four legs:
+#   1. every shipped examples/*.nl passes `check --deny-warnings` (the
+#      designs we tell users to imitate must be diagnostic-clean);
+#   2. `check --emit` reproduces each golden byte-for-byte (the canonical
+#      emitter is a fixpoint on its own output);
+#   3. the golden-file and diagnostic-snapshot test suites pass (emission
+#      drift and message drift both show up as readable diffs);
+#   4. a 200-design fuzz sweep of the text oracle alone: emit -> check ->
+#      lower must stay diagnostic-free and structurally faithful on
+#      random netlists, not just the shipped six.
+for NL in examples/*.nl; do
+  cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
+    check "$NL" --deny-warnings >/dev/null
+  if ! cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
+    check "$NL" --emit | diff -q - "$NL" >/dev/null; then
+    echo "frontend: $NL is not an emission fixpoint" >&2
+    exit 1
+  fi
+done
+cargo test -q "${OFFLINE[@]}" --test frontend_roundtrip
+cargo test -q "${OFFLINE[@]}" -p netlist --test diag_snapshots
+if ! cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
+  fuzz --seed 7 --cases 200 --oracles text --deadline-secs 45 >/dev/null; then
+  echo "frontend: text-oracle fuzz sweep failed (repro above, if any)" >&2
+  exit 1
+fi
+echo "frontend OK (goldens clean + fixpoint, snapshots, 200-seed text oracle)"
+
 echo "== fuzz-smoke (differential oracles, pinned seeds) =="
-# Two pinned seeds x 64 designs, each design through all five oracles
-# (sat, bmc, induction, reductions, ift), under a hard 90s wall budget
-# split across the runs. Exit 0 = all oracles agreed; exit 1 = mismatch
-# (the CLI already printed the minimized repro JSON line to stderr —
-# replay it with `synthlc-cli fuzz`); exit 2 = deadline truncated the
-# sweep before 64 designs, which this gate also treats as a failure.
+# Two pinned seeds x 64 designs, each design through all six oracles
+# (sat, bmc, induction, reductions, ift, text), under a hard 90s wall
+# budget split across the runs. Exit 0 = all oracles agreed; exit 1 =
+# mismatch (the CLI already printed the minimized repro JSON line to
+# stderr — replay it with `synthlc-cli fuzz`); exit 2 = deadline
+# truncated the sweep before 64 designs, which this gate also treats as
+# a failure.
 for SEED in 1 20260806; do
   if ! cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
     fuzz --seed "$SEED" --cases 64 --deadline-secs 45 >/dev/null; then
@@ -64,7 +94,7 @@ for SEED in 1 20260806; do
     exit 1
   fi
 done
-echo "fuzz-smoke OK (2 seeds x 64 designs, five oracles, zero mismatches)"
+echo "fuzz-smoke OK (2 seeds x 64 designs, six oracles, zero mismatches)"
 
 echo "== sat-regression (DIMACS corpus + solver knob sweep) =="
 # Every corpus file encodes its brute-force-verified status in its name;

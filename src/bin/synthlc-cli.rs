@@ -4,12 +4,16 @@
 //! synthlc-cli pls    <design>                 # §V-B1 DUV PL reachability
 //! synthlc-cli paths  <design> <instr> [opts]  # RTL2MµPATH for one instruction
 //! synthlc-cli leak   <design> <instr> [opts]  # SynthLC signatures + contracts
+//! synthlc-cli check  <file.nl> [opts]         # frontend static analysis
 //! synthlc-cli lint   [<design>|all]           # static-analysis lint suite
 //! synthlc-cli fuzz   [opts]                   # differential-oracle fuzzing
 //! synthlc-cli sat    <file.cnf> [--stats]     # solve one DIMACS formula
 //! synthlc-cli designs                         # list available designs
 //!
 //! designs: minicva6 | minicva6-mul | minicva6-op | hardened | tinycore | minicache
+//! A `<design>` argument may also be a path to a `.nl` netlist file
+//! ("bring your own design"): the file runs through the full frontend
+//! (parse, resolve, typecheck, lint) before synthesis.
 //! options: --slots 0,1   --bound N   --context any|nocf|solo   --budget N   --jobs N
 //!          --deadline-secs N   --journal PATH   --resume PATH   --fault-rate F
 //!          --fail-on-undetermined   --lint   --deny-warnings
@@ -23,9 +27,18 @@
 //! caught panic; any undetermined at all under --fail-on-undetermined);
 //! 1 = hard errors (bad arguments, lint failures, unusable journal).
 //!
+//! `check` runs the textual-netlist frontend on one `.nl` file:
+//! lex/parse (E001–E002), name resolution (E003–E005), width/type
+//! checking (E006–E013), lowering, and the L001–L009 lint suite.
+//! --diag-json prints one JSON object per diagnostic; --emit prints the
+//! canonical re-emission of a clean module. `check` and `lint` share one
+//! exit contract: 0 = clean, 2 = warnings rejected by --deny-warnings,
+//! 1 = errors.
+//!
 //! `fuzz` options: --seed S --cases N --max-cells N --bound N
 //! --deadline-secs N --knob-sweep (sweep every solver heuristic
-//! configuration inside the SAT oracle). The report (JSON,
+//! configuration inside the SAT oracle) --oracles a,b,c (restrict to a
+//! subset of: sat, bmc, induction, reductions, ift, text). The report (JSON,
 //! byte-deterministic per seed) goes to stdout. Exit codes: 0 = all
 //! oracles agreed; 1 = cross-engine mismatch (minimized repros are in the
 //! report); 2 = deadline truncated the run before any mismatch was found.
@@ -57,6 +70,50 @@ fn design_by_name(name: &str) -> Option<Design> {
         "minicache" => uarch::cache::build_cache(),
         _ => return None,
     })
+}
+
+/// Resolves a `<design>` argument: a built-in name, or a path to a `.nl`
+/// netlist file ("bring your own design"). File-based designs go through
+/// the full frontend (parse, resolve, typecheck, lower, lint); hard errors
+/// abort here with the rendered report on stderr, while the surviving
+/// report rides along so the caller can apply `--deny-warnings`/`--lint`.
+fn load_design(spec: &str) -> Result<(Design, Option<netlist::text::CompileResult>), String> {
+    if !spec.ends_with(".nl") && !std::path::Path::new(spec).is_file() {
+        return design_by_name(spec)
+            .map(|d| (d, None))
+            .ok_or_else(|| format!("unknown design `{spec}` (not a built-in, not a file)"));
+    }
+    let src = std::fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+    let (design, result) = uarch::frontend::parse_design(&src, spec);
+    match design {
+        Some(d) => Ok((d, Some(result))),
+        None => {
+            eprint!("{}", result.report.render_in(&result.source));
+            Err(format!("{spec}: {}", result.report.summary()))
+        }
+    }
+}
+
+/// Applies the pre-synthesis gate to a design loaded from a `.nl` file,
+/// whose frontend report was already computed by [`load_design`].
+fn gate_file_report(
+    result: &netlist::text::CompileResult,
+    design_name: &str,
+    deny_warnings: bool,
+    verbose: bool,
+) -> Result<(), String> {
+    let failing = deny_warnings && !result.report.is_clean();
+    if failing || verbose {
+        eprint!("{}", result.report.render_in(&result.source));
+    }
+    if failing {
+        Err(format!(
+            "check failed for {design_name}: {}",
+            result.report.summary()
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 fn opcode_by_name(design: &Design, name: &str) -> Option<isa::Opcode> {
@@ -269,13 +326,77 @@ fn lint_one(design: &Design, deny_warnings: bool, verbose: bool) -> Result<(), S
     }
 }
 
-fn cmd_lint(names: &[&str], deny_warnings: bool) -> Result<(), String> {
+fn cmd_lint(names: &[&str], deny_warnings: bool) -> Result<ExitCode, String> {
+    let mut worst = 0u8;
     for name in names {
         let design = design_by_name(name).ok_or_else(|| format!("unknown design `{name}`"))?;
         println!("== {name} ==");
-        lint_one(&design, deny_warnings, true)?;
+        let report = uarch::lint_design(&design);
+        print!("{}", report.render());
+        println!();
+        worst = worst.max(report.exit_code(deny_warnings));
     }
-    Ok(())
+    Ok(ExitCode::from(worst))
+}
+
+/// Runs the textual frontend on one `.nl` file (the `check` subcommand):
+/// full pipeline plus lints, diagnostics rendered with source snippets
+/// (or as JSON lines under `--diag-json`), the canonical re-emission on
+/// stdout under `--emit`. Exit: 0 clean, 2 warnings under
+/// `--deny-warnings`, 1 errors.
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let mut path: Option<String> = None;
+    let mut deny_warnings = false;
+    let mut json = false;
+    let mut emit = false;
+    for a in args {
+        match a.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--diag-json" => json = true,
+            "--emit" => emit = true,
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_owned()),
+            other => return Err(format!("unknown check option `{other}`")),
+        }
+    }
+    let path = path.ok_or("`check` needs a .nl file path")?;
+    let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let mut result = netlist::text::check(&src, &path);
+    // Modules that declare a harness must also convert into a full
+    // `Design` (resolving ISA mnemonics against the `isa` crate).
+    if let Some(module) = &result.module {
+        if !result.report.has_errors() && module.harness.is_some() {
+            let mut extra = netlist::diag::Report::default();
+            uarch::frontend::design_from_module(module, &mut extra);
+            result.report.extend(extra);
+        }
+    }
+    if json {
+        print!("{}", result.report.to_json_lines(Some(&result.source)));
+    } else if !result.report.is_clean() {
+        eprint!("{}", result.report.render_in(&result.source));
+    }
+    let code = result.report.exit_code(deny_warnings);
+    if code != 1 {
+        if let (true, Some(module)) = (emit, &result.module) {
+            print!(
+                "{}",
+                netlist::text::emit_module(&netlist::text::ModuleText {
+                    name: &module.name,
+                    netlist: &module.netlist,
+                    annotations: module.annotations.as_ref(),
+                    harness: module.harness.as_ref(),
+                })
+            );
+        } else if let (false, 0, Some(module)) = (json, code, &result.module) {
+            println!(
+                "{path}: ok ({} nodes, {} flop bits, {})",
+                module.netlist.len(),
+                module.netlist.state_bits(),
+                result.report.summary()
+            );
+        }
+    }
+    Ok(ExitCode::from(code))
 }
 
 fn cmd_pls(design: &Design, o: &Opts) {
@@ -440,6 +561,18 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
                 ))));
             }
             "--knob-sweep" => cfg.knob_sweep = true,
+            "--oracles" => {
+                cfg.oracles = val("--oracles")?
+                    .split(',')
+                    .map(|s| {
+                        fuzz::OracleKind::from_label(s.trim()).ok_or_else(|| {
+                            let known: Vec<&str> =
+                                fuzz::OracleKind::ALL.iter().map(|k| k.label()).collect();
+                            format!("unknown oracle `{s}` (known: {})", known.join(" "))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
             other => return Err(format!("unknown fuzz option `{other}`")),
         }
     }
@@ -577,23 +710,28 @@ fn run() -> Result<ExitCode, String> {
                 "minicache",
             ];
             if dname == "all" {
-                cmd_lint(&all, deny)?;
+                cmd_lint(&all, deny)
             } else {
-                cmd_lint(&[dname], deny)?;
+                cmd_lint(&[dname], deny)
             }
-            Ok(ExitCode::SUCCESS)
         }
+        "check" => cmd_check(&args[1..]),
         "fuzz" => cmd_fuzz(&args[1..]),
         "sat" => cmd_sat(&args[1..]),
         "pls" | "paths" | "leak" => {
             let dname = args
                 .get(1)
                 .ok_or_else(|| format!("`{cmd}` needs a design name"))?;
-            let design =
-                design_by_name(dname).ok_or_else(|| format!("unknown design `{dname}`"))?;
+            let (design, file_result) = load_design(dname)?;
+            let gate = |o: &Opts| -> Result<(), String> {
+                match &file_result {
+                    Some(result) => gate_file_report(result, &design.name, o.deny_warnings, o.lint),
+                    None => lint_one(&design, o.deny_warnings, o.lint),
+                }
+            };
             if cmd == "pls" {
                 let o = parse_opts(&args[2..], &design)?;
-                lint_one(&design, o.deny_warnings, o.lint)?;
+                gate(&o)?;
                 cmd_pls(&design, &o);
                 return Ok(ExitCode::SUCCESS);
             }
@@ -603,7 +741,7 @@ fn run() -> Result<ExitCode, String> {
             let op = opcode_by_name(&design, iname)
                 .ok_or_else(|| format!("`{iname}` is not implemented by {dname}"))?;
             let o = parse_opts(&args[3..], &design)?;
-            lint_one(&design, o.deny_warnings, o.lint)?;
+            gate(&o)?;
             if cmd == "paths" {
                 cmd_paths(&design, op, &o)
             } else {
@@ -613,18 +751,21 @@ fn run() -> Result<ExitCode, String> {
         _ => {
             println!(
                 "usage:\n  synthlc-cli designs\n  synthlc-cli lint [<design>|all] [--deny-warnings]\n  \
+                 synthlc-cli check <file.nl> [--deny-warnings] [--diag-json] [--emit]\n  \
                  synthlc-cli pls <design> [opts]\n  \
                  synthlc-cli paths <design> <instr> [opts]\n  synthlc-cli leak <design> <instr> [opts]\n  \
-                 synthlc-cli fuzz [--seed S] [--cases N] [--max-cells N] [--bound N] [--deadline-secs N] [--knob-sweep]\n  \
+                 synthlc-cli fuzz [--seed S] [--cases N] [--max-cells N] [--bound N] [--deadline-secs N] [--knob-sweep] [--oracles a,b]\n  \
                  synthlc-cli sat <file.cnf> [--stats] [--budget N]  (exit 10 SAT / 20 UNSAT / 0 unknown)\n\
                  \ndesigns: minicva6 minicva6-mul minicva6-op hardened tinycore minicache\n\
+                 (a <design> may also be a path to a .nl netlist file)\n\
                  opts: --slots 0,1  --bound N  --context any|nocf|solo  --budget N  --jobs N\n      \
                  --deadline-secs N (degrade, don't hang, past the wall clock)\n      \
                  --journal PATH (checkpoint verdicts)  --resume PATH (replay a journal)\n      \
                  --fault-rate F (inject faults, seed SYNTHLC_FAULT_SEED)\n      \
                  --fail-on-undetermined (exit 2 on any undetermined outcome)\n      \
                  --lint (print lint report)  --deny-warnings (lint warnings are fatal)\n\
-                 \nexit codes: 0 all decided; 2 degraded/undetermined; 1 hard error"
+                 \nexit codes: 0 all decided; 2 degraded/undetermined; 1 hard error\n\
+                 lint/check: 0 clean; 2 warnings under --deny-warnings; 1 errors"
             );
             Ok(ExitCode::SUCCESS)
         }
