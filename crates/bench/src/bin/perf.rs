@@ -8,9 +8,15 @@
 //! (proving both scheduling- and reduction-independence in one shot), and
 //! reports the speedup plus the COI bit-blast ratio and the number of SAT
 //! queries discharged statically. A machine-readable report is written to
-//! `BENCH_perf.json` (schema `synthlc-perf-v4`), including the CDCL
+//! `BENCH_perf.json` (schema `synthlc-perf-v5`), including the CDCL
 //! core's learnt-database observability (tier sizes, deletions,
-//! subsumption, LBD profile) for every run.
+//! subsumption, LBD profile) and the incremental-solving reuse economy
+//! (pooled contexts reused, unrolling frames extended in place vs.
+//! rebuilt, learnt clauses carried across query batches) for every run.
+//! After the report is written, every stage's parallel speedup is
+//! asserted to stay at or above 1.0x (modulo timer noise): the pooled
+//! engine's ticket sequencing must never make the parallel path slower
+//! than `--jobs 1`, even on a single-core box.
 //!
 //! The `sat_micro` stage isolates the solver: pigeonhole formulas plus a
 //! pre-unrolled BMC CNF (captured via the clause log, built outside the
@@ -61,9 +67,12 @@ struct RunOutcome {
     solver: SolverObs,
 }
 
-/// Solver learnt-DB observability surfaced per run (schema v4). Gauges
+/// Solver learnt-DB observability surfaced per run (schema v5). Gauges
 /// (`learnt_live`, `binary_clauses`) are live end-of-run values summed
-/// over checkers; the rest are lifetime counters.
+/// over checkers; the rest are lifetime counters. The reuse block counts
+/// the incremental-solving economy: pooled contexts checked out again
+/// instead of rebuilt, unrolling frames grown in place vs. built from
+/// scratch, and learnt clauses alive at batch handoff.
 #[derive(Clone, Copy, Default)]
 struct SolverObs {
     learnt_live: u64,
@@ -76,6 +85,10 @@ struct SolverObs {
     max_lbd: u32,
     trail_reuses: u64,
     reused_levels: u64,
+    contexts_reused: u64,
+    frames_extended: u64,
+    frames_rebuilt: u64,
+    learnts_carried: u64,
 }
 
 impl SolverObs {
@@ -91,6 +104,10 @@ impl SolverObs {
             max_lbd: stats.sat_max_lbd,
             trail_reuses: stats.sat_trail_reuses,
             reused_levels: stats.sat_reused_levels,
+            contexts_reused: stats.ctx_reused,
+            frames_extended: stats.frames_extended,
+            frames_rebuilt: stats.frames_rebuilt,
+            learnts_carried: stats.learnts_carried,
         }
     }
 
@@ -126,6 +143,10 @@ impl SolverObs {
             ("max_lbd".into(), Json::Int(self.max_lbd as u64)),
             ("trail_reuses".into(), Json::Int(self.trail_reuses)),
             ("reused_levels".into(), Json::Int(self.reused_levels)),
+            ("contexts_reused".into(), Json::Int(self.contexts_reused)),
+            ("frames_extended".into(), Json::Int(self.frames_extended)),
+            ("frames_rebuilt".into(), Json::Int(self.frames_rebuilt)),
+            ("learnts_carried".into(), Json::Int(self.learnts_carried)),
         ])
     }
 }
@@ -425,7 +446,7 @@ fn report_json(jobs: usize, scope: Scope, stages: &[StageResult]) -> Json {
     let total_seq: f64 = stages.iter().map(|s| s.seq.seconds).sum();
     let total_par: f64 = stages.iter().map(|s| s.par.seconds).sum();
     Json::Obj(vec![
-        ("schema".into(), Json::str("synthlc-perf-v4")),
+        ("schema".into(), Json::str("synthlc-perf-v5")),
         ("jobs".into(), Json::Int(jobs as u64)),
         (
             "scope".into(),
@@ -614,5 +635,20 @@ fn main() {
         mismatches.is_empty(),
         "reduced parallel results diverged from the unreduced --jobs 1 \
          baseline in: {mismatches:?}"
+    );
+    // With pooled per-(netlist, bound) contexts the parallel engine does
+    // strictly less work than the sequential reduction-off baseline, so a
+    // stage dipping below 1.0x means the pool regressed into rebuilding
+    // (or ticket sequencing serialized more than job order requires).
+    // The 3% grace absorbs timer noise on stages whose two legs run the
+    // identical workload (sat_micro).
+    let slowdowns: Vec<String> = stages
+        .iter()
+        .filter(|s| s.speedup() < 0.97)
+        .map(|s| format!("{} ({:.2}x)", s.name, s.speedup()))
+        .collect();
+    assert!(
+        slowdowns.is_empty(),
+        "parallel speedup regressed below 1.0x in: {slowdowns:?}"
     );
 }

@@ -1,4 +1,4 @@
-//! The six differential oracles.
+//! The seven differential oracles.
 //!
 //! Each oracle runs one generated design through two *independent*
 //! implementations of the same question and reports whether the verdicts
@@ -6,13 +6,18 @@
 //! is checked against a from-scratch DPLL, the model checker against the
 //! interpreter-style simulator, symbolic induction against explicit-state
 //! fixpoint enumeration, reductions against the unreduced baseline, the
-//! IFT taint plane against two-run low-equivalence simulation, and the
-//! textual frontend (emit → parse → lower) against the in-memory IR.
+//! IFT taint plane against two-run low-equivalence simulation, the
+//! textual frontend (emit → parse → lower) against the in-memory IR, and
+//! the persistent-solver pool (assumption-based incremental queries over
+//! an extendable unrolling) against fresh one-shot solvers.
 
 use crate::dpll::{self, DpllResult};
 use crate::gen::BuiltDesign;
 use crate::SeededBug;
-use mc::{Checker, CoiSlice, InitMode, McConfig, Outcome, Trace, UndeterminedReason, Unrolling};
+use mc::{
+    Checker, CoiSlice, InitMode, McConfig, Outcome, PoolKey, SolverPool, Trace,
+    UndeterminedReason, Unrolling,
+};
 use netlist::{mask, Netlist, SignalId};
 use sim::Simulator;
 use std::collections::BTreeSet;
@@ -35,17 +40,22 @@ pub enum OracleKind {
     /// diagnostic-free, reproduce the IR structurally, and re-emit
     /// byte-identical text.
     Text,
+    /// (g) A property fleet solved through one persistent pooled solver
+    /// (assumption-based queries, bound grown in place via
+    /// `ensure_bound`) vs. fresh per-query solvers.
+    Incremental,
 }
 
 impl OracleKind {
-    /// All six oracles, in report order.
-    pub const ALL: [OracleKind; 6] = [
+    /// All seven oracles, in report order.
+    pub const ALL: [OracleKind; 7] = [
         OracleKind::Sat,
         OracleKind::Bmc,
         OracleKind::Induction,
         OracleKind::Reductions,
         OracleKind::Ift,
         OracleKind::Text,
+        OracleKind::Incremental,
     ];
 
     /// Stable lowercase name used in reports and repro files.
@@ -57,6 +67,7 @@ impl OracleKind {
             OracleKind::Reductions => "reductions",
             OracleKind::Ift => "ift",
             OracleKind::Text => "text",
+            OracleKind::Incremental => "incremental",
         }
     }
 
@@ -136,6 +147,7 @@ pub fn run_oracle(kind: OracleKind, d: &BuiltDesign, opts: &OracleOpts) -> CaseR
         OracleKind::Reductions => oracle_reductions(d, opts),
         OracleKind::Ift => oracle_ift(d, opts),
         OracleKind::Text => oracle_text(d),
+        OracleKind::Incremental => oracle_incremental(d, opts),
     }
 }
 
@@ -658,4 +670,101 @@ fn oracle_ift(d: &BuiltDesign, opts: &OracleOpts) -> CaseResult {
         }
     }
     CaseResult::Agree("ift-sound".into())
+}
+
+/// (g) Incremental pool vs. fresh solvers: a fleet of cover queries (the
+/// design's cover plus up to seven other 1-bit signals) is answered twice
+/// — once through one persistent pooled context that first solves the
+/// whole fleet at a shallow bound and is then grown in place to the full
+/// bound (exercising `begin_batch`, `ensure_bound`, the cover-activation
+/// cache flush, and learnt-clause carry-over), and once through a fresh
+/// one-shot checker per query at the full bound. The canonical verdict of
+/// every fleet member must match, every `Reachable` leg must hand back a
+/// replayable witness, and the pooled context must actually have been
+/// reused rather than silently rebuilt.
+fn oracle_incremental(d: &BuiltDesign, opts: &OracleOpts) -> CaseResult {
+    let mut fleet: Vec<SignalId> = vec![d.cover];
+    for (id, _) in d.netlist.iter() {
+        if fleet.len() >= 8 {
+            break;
+        }
+        if id != d.cover && d.netlist.width(id) == 1 {
+            fleet.push(id);
+        }
+    }
+    let cfg = |bound| McConfig {
+        bound,
+        bound_is_complete: true,
+        try_induction: false,
+        ..Default::default()
+    };
+    // Reference leg: a fresh solver per query at the full bound.
+    let fresh: Vec<String> = fleet
+        .iter()
+        .map(|&c| {
+            let mut chk = Checker::new(&d.netlist, cfg(opts.bound));
+            incremental_verdict(d, c, &chk.check_cover(c, &[]))
+        })
+        .collect();
+    // Pooled leg: one persistent context answers the whole fleet at the
+    // shallow bound, then again at the full bound after an in-place
+    // extension. Tickets are handed out in query order.
+    let pool = SolverPool::new();
+    let key = PoolKey::reset(0x1ec5_0000 ^ d.netlist.len() as u64);
+    let shallow = (opts.bound / 2).max(1);
+    let build = || Checker::new(&d.netlist, cfg(0));
+    let mut ticket = 0usize;
+    for &c in &fleet {
+        let mut ctx = pool.checkout(key, ticket, shallow, build);
+        ticket += 1;
+        let _ = ctx.check_cover(c, &[]);
+    }
+    let mut reused = true;
+    let pooled: Vec<String> = fleet
+        .iter()
+        .map(|&c| {
+            let mut ctx = pool.checkout(key, ticket, opts.bound, build);
+            ticket += 1;
+            reused &= ctx.stats().ctx_reused > 0;
+            incremental_verdict(d, c, &ctx.check_cover(c, &[]))
+        })
+        .collect();
+    for ((&c, fresh_v), pooled_v) in fleet.iter().zip(&fresh).zip(&pooled) {
+        if fresh_v != pooled_v {
+            return CaseResult::Mismatch {
+                expected: format!("fresh:{fresh_v}"),
+                actual: format!("pooled:{pooled_v}"),
+                detail: format!(
+                    "cover {} at bound {}: the pooled context disagrees with a fresh solver",
+                    d.netlist.display_name(c),
+                    opts.bound
+                ),
+            };
+        }
+    }
+    if !reused {
+        return CaseResult::Mismatch {
+            expected: "pooled context reused across the fleet".into(),
+            actual: "context was rebuilt".into(),
+            detail: "a full-bound checkout reported ctx_reused == 0".into(),
+        };
+    }
+    let reachable = pooled.iter().filter(|v| v.as_str() == "reachable").count();
+    CaseResult::Agree(format!(
+        "fleet={} reachable={reachable}",
+        fleet.len()
+    ))
+}
+
+/// Canonical fleet-member verdict: `Reachable` must replay (the firing
+/// frame is folded out so a shallow-then-deep context with a different
+/// but valid witness still compares equal).
+fn incremental_verdict(d: &BuiltDesign, cover: SignalId, outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Reachable(trace) => match replay_witness(&d.netlist, trace, cover, None) {
+            Ok(_) => "reachable".to_string(),
+            Err(why) => format!("reachable(bad-witness: {why})"),
+        },
+        _ => outcome_label(outcome),
+    }
 }

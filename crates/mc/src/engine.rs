@@ -8,7 +8,7 @@ use crate::trace::Trace;
 use crate::unroll::{InitMode, Unrolling};
 use netlist::{Netlist, SignalId};
 use sat::{BudgetPool, CancelToken, Lit, SolveResult, StopCause};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -151,6 +151,18 @@ pub struct CheckStats {
     /// pruning; these are *also* counted in `properties`/`unreachable` so
     /// outcome counts match a run without pruning.
     pub discharged_static: u64,
+    /// Query batches served by a persistent pooled context that was already
+    /// warm (solver + unrolling carried over from an earlier batch).
+    pub ctx_reused: u64,
+    /// Unrolling frames grown *in place* on a persistent context
+    /// (`Checker::ensure_bound`) instead of being rebuilt from scratch.
+    pub frames_extended: u64,
+    /// Unrolling frames built from scratch by throwaway (non-pooled)
+    /// checkers at construction time.
+    pub frames_rebuilt: u64,
+    /// Live learnt clauses inherited from earlier batches when a pooled
+    /// context was checked out again (summed over all reuses).
+    pub learnts_carried: u64,
     /// Undetermined outcomes caused by budget/bound exhaustion.
     pub undet_budget: u64,
     /// Undetermined outcomes caused by a deadline or cancellation.
@@ -233,6 +245,10 @@ impl CheckStats {
         self.coi_bits_before += other.coi_bits_before;
         self.coi_bits_after += other.coi_bits_after;
         self.discharged_static += other.discharged_static;
+        self.ctx_reused += other.ctx_reused;
+        self.frames_extended += other.frames_extended;
+        self.frames_rebuilt += other.frames_rebuilt;
+        self.learnts_carried += other.learnts_carried;
         self.undet_budget += other.undet_budget;
         self.undet_deadline += other.undet_deadline;
         self.undet_panicked += other.undet_panicked;
@@ -294,9 +310,11 @@ pub struct Checker<'a> {
     cfg: McConfig,
     unroll: Unrolling<'a>,
     /// Activation literal implying "assume signal holds at all frames".
-    assume_cache: HashMap<SignalId, Lit>,
+    /// Ordered map: `ensure_bound` iterates it to extend activation clauses,
+    /// and the clause-addition order must not depend on hash randomness.
+    assume_cache: BTreeMap<SignalId, Lit>,
     /// Activation literal implying "cover signal holds at some frame".
-    cover_cache: HashMap<SignalId, Lit>,
+    cover_cache: BTreeMap<SignalId, Lit>,
     stats: CheckStats,
     /// Globally shared conflict/propagation account (see [`BudgetPool`]).
     pool: Option<Arc<BudgetPool>>,
@@ -305,8 +323,23 @@ pub struct Checker<'a> {
     /// Cooperative cancellation, shared with the solve loop.
     cancel: Option<Arc<CancelToken>>,
     /// When set, every subsequent query degrades to this reason without
-    /// solving (the fault-injection harness's forced-Unknown mode).
+    /// solving (the fault-injection harness's forced-Unknown mode). Cleared
+    /// by [`Checker::begin_batch`] so a fault injected into one pooled batch
+    /// cannot cascade into the next.
     fault: Option<UndeterminedReason>,
+    /// Batches started via [`Checker::begin_batch`] (0 for checkers that
+    /// never pass through a pool).
+    batches: u64,
+    /// Construction-time (coi_bits_before, coi_bits_after), re-seeded into
+    /// the per-batch stats by [`Checker::begin_batch`].
+    coi_seed: (u64, u64),
+    /// Persistent k-induction twin of this checker's context
+    /// ([`InitMode::Free`], same elaboration and slice), built lazily on the
+    /// first induction attempt and reused across queries so its learnt
+    /// clauses and budget charges accumulate like the main solver's.
+    ind: Option<Unrolling<'a>>,
+    /// Induction-solver stats snapshot at the last pool charge.
+    ind_charged: sat::SolverStats,
 }
 
 impl<'a> Checker<'a> {
@@ -366,18 +399,88 @@ impl<'a> Checker<'a> {
                 stats.coi_bits_after = total;
             }
         }
+        // Frames built here are a from-scratch bit-blast; pooled contexts
+        // are constructed at bound 0 and grown via `ensure_bound`, which
+        // counts into `frames_extended` instead.
+        stats.frames_rebuilt = cfg.bound as u64;
+        let coi_seed = (stats.coi_bits_before, stats.coi_bits_after);
         Self {
             nl,
             cfg,
             unroll,
-            assume_cache: HashMap::new(),
-            cover_cache: HashMap::new(),
+            assume_cache: BTreeMap::new(),
+            cover_cache: BTreeMap::new(),
             stats,
             pool: None,
             charged: sat::SolverStats::default(),
             cancel: None,
             fault: None,
+            batches: 0,
+            coi_seed,
+            ind: None,
+            ind_charged: sat::SolverStats::default(),
         }
+    }
+
+    /// Starts a fresh accounting batch on a persistent (pooled) checker:
+    /// zeroes the per-batch [`CheckStats`], re-seeds the cone-of-influence
+    /// gauge and the live solver-database gauges, clears any injected fault,
+    /// and — from the second batch on — records the context reuse and the
+    /// learnt clauses carried over from earlier batches. The pool-charge
+    /// snapshot is *kept*, so `BudgetPool` delta accounting spans batches
+    /// correctly.
+    pub fn begin_batch(&mut self) {
+        self.batches += 1;
+        if self.batches > 1 {
+            // The next batch is an unrelated property fleet: keep the
+            // permanent core tier (and binaries), shed the mid/local
+            // clauses whose watch-list tax outlives their usefulness.
+            self.unroll.gate().solver().trim_learnts_for_batch();
+        }
+        let live = self.unroll.gate().solver().stats();
+        let mut stats = CheckStats {
+            coi_bits_before: self.coi_seed.0,
+            coi_bits_after: self.coi_seed.1,
+            ..Default::default()
+        };
+        if self.batches > 1 {
+            stats.ctx_reused = 1;
+            stats.learnts_carried = live.learnt_core + live.learnt_mid + live.learnt_local;
+        }
+        stats.sat_learnt_core = live.learnt_core;
+        stats.sat_learnt_mid = live.learnt_mid;
+        stats.sat_learnt_local = live.learnt_local;
+        stats.sat_binary_clauses = live.binary_clauses;
+        self.stats = stats;
+        self.fault = None;
+    }
+
+    /// Grows the unrolling *in place* to at least `bound` frames (a no-op
+    /// when already deep enough). Variable numbering of existing frames is
+    /// untouched; cached assume activations are extended over the new
+    /// frames (sound: `act → sig@t` for every frame is exactly the assume's
+    /// meaning at the deeper bound), while cached cover activations are
+    /// retired — a cover over frames `0..old` under-approximates the cover
+    /// at the deeper bound, so the next query mints a fresh activation. The
+    /// orphaned activation literal is never assumed again and its clause is
+    /// trivially satisfiable, so solver state stays sound.
+    pub fn ensure_bound(&mut self, bound: usize) {
+        if bound <= self.cfg.bound {
+            return;
+        }
+        let old = self.cfg.bound;
+        self.unroll.extend_to(bound);
+        let cached: Vec<(SignalId, Lit)> =
+            self.assume_cache.iter().map(|(&s, &l)| (s, l)).collect();
+        for (sig, act) in cached {
+            for t in old..bound {
+                let at = self.unroll.lit(t, sig);
+                self.unroll.gate().add_clause(&[!act, at]);
+            }
+        }
+        self.cover_cache.clear();
+        self.stats.frames_extended += (bound - old) as u64;
+        self.cfg.bound = bound;
     }
 
     /// Attaches a shared budget pool: every query charges its
@@ -598,6 +701,20 @@ impl<'a> Checker<'a> {
         self.unroll.gate().add_clause(lits);
     }
 
+    /// Adds a blocking clause that is only active while `guard` — an assume
+    /// signal passed to every query of the caller's fleet — is assumed: the
+    /// stored clause is `!activation(guard) ∨ lits...`. Queries that do not
+    /// assume the guard can satisfy the clause through the unassumed
+    /// activation literal, so enumeration loops over different guards can
+    /// safely share one persistent solver.
+    pub fn add_blocking_clause_scoped(&mut self, guard: SignalId, lits: &[Lit]) {
+        let act = self.assume_activation(guard);
+        let mut clause = Vec::with_capacity(lits.len() + 1);
+        clause.push(!act);
+        clause.extend_from_slice(lits);
+        self.unroll.gate().add_clause(&clause);
+    }
+
     /// k-induction step: from any state satisfying the assumes in which the
     /// cover did not fire for `k` consecutive cycles, the cover cannot fire
     /// at cycle `k`. Combined with the (already UNSAT) base case this proves
@@ -607,8 +724,27 @@ impl<'a> Checker<'a> {
         if k == 0 || k > self.cfg.bound {
             return false;
         }
-        let mut ind = Unrolling::with_elab(self.nl, InitMode::Free, self.unroll.elab());
-        ind.set_coi(self.unroll.coi());
+        // The induction context is persistent: the `InitMode::Free` twin of
+        // this checker's pool key, sharing its elaboration and slice. Every
+        // induction query is pure assumptions (no per-query clauses), so
+        // learnt clauses — consequences of the transition relation alone —
+        // stay sound across queries, and the solver's conflicts and
+        // propagations are charged to the `BudgetPool` as deltas mid-phase
+        // rather than vanishing with a throwaway solver.
+        if self.ind.is_none() {
+            let mut ind = Unrolling::with_elab(self.nl, InitMode::Free, self.unroll.elab());
+            ind.set_coi(self.unroll.coi());
+            if let Some(token) = &self.cancel {
+                ind.gate()
+                    .solver()
+                    .set_cancel_token(Some(Arc::clone(token)));
+            }
+            if let Some(pool) = self.pool.as_ref().filter(|p| p.cap().is_some()) {
+                ind.gate().solver().set_pool_watch(Some(Arc::clone(pool)));
+            }
+            self.ind = Some(ind);
+        }
+        let ind = self.ind.as_mut().expect("just ensured");
         ind.extend_to(k + 1);
         let mut assumptions = Vec::new();
         for t in 0..=k {
@@ -624,30 +760,27 @@ impl<'a> Checker<'a> {
         ind.gate()
             .solver()
             .set_conflict_budget(self.cfg.conflict_budget);
-        if let Some(token) = &self.cancel {
-            ind.gate()
-                .solver()
-                .set_cancel_token(Some(Arc::clone(token)));
-        }
-        if let Some(pool) = self.pool.as_ref().filter(|p| p.cap().is_some()) {
-            ind.gate().solver().set_pool_watch(Some(Arc::clone(pool)));
-        }
         let proved = ind.gate().solver().solve_assuming(&assumptions).is_unsat();
         let st = ind.gate().solver().stats();
+        let prev = self.ind_charged;
         if let Some(pool) = &self.pool {
-            pool.charge(st.conflicts, st.propagations);
+            pool.charge(
+                st.conflicts - prev.conflicts,
+                st.propagations - prev.propagations,
+            );
         }
-        // The induction solver is throwaway: fold its counters in, but
-        // leave the live-database gauges to the main solver.
-        self.stats.sat_clauses_deleted += st.clauses_deleted;
-        self.stats.sat_subsumed += st.subsumed;
-        self.stats.sat_strengthened += st.strengthened;
-        self.stats.sat_blocked_restarts += st.blocked_restarts;
-        self.stats.sat_trail_reuses += st.trail_reuses;
-        self.stats.sat_reused_levels += st.reused_levels;
-        self.stats.sat_lbd_sum += st.lbd_sum;
-        self.stats.sat_lbd_count += st.lbd_count;
+        // Fold the induction solver's counter deltas in, but leave the
+        // live-database gauges to the main solver.
+        self.stats.sat_clauses_deleted += st.clauses_deleted - prev.clauses_deleted;
+        self.stats.sat_subsumed += st.subsumed - prev.subsumed;
+        self.stats.sat_strengthened += st.strengthened - prev.strengthened;
+        self.stats.sat_blocked_restarts += st.blocked_restarts - prev.blocked_restarts;
+        self.stats.sat_trail_reuses += st.trail_reuses - prev.trail_reuses;
+        self.stats.sat_reused_levels += st.reused_levels - prev.reused_levels;
+        self.stats.sat_lbd_sum += st.lbd_sum - prev.lbd_sum;
+        self.stats.sat_lbd_count += st.lbd_count - prev.lbd_count;
         self.stats.sat_max_lbd = self.stats.sat_max_lbd.max(st.max_lbd);
+        self.ind_charged = st;
         proved
     }
 }

@@ -37,6 +37,7 @@ pub mod coi;
 mod elab;
 mod engine;
 pub mod par;
+mod pool;
 pub mod supervise;
 mod trace;
 mod unroll;
@@ -46,6 +47,7 @@ pub use coi::CoiSlice;
 pub use elab::Elab;
 pub use engine::{CheckStats, Checker, McConfig, Outcome, UndeterminedReason};
 pub use par::{default_threads, resolve_threads, run_jobs};
+pub use pool::{Checkout, PoolKey, SolverPool};
 pub use sat::{CancelReason, CancelToken};
 pub use supervise::{run_jobs_supervised, FaultKind, FaultPlan, JobFailure, JobStore};
 pub use trace::Trace;

@@ -1,0 +1,273 @@
+//! A pool of persistent property-checking contexts, shared across the
+//! query fleet of a synthesis run (DESIGN.md §12).
+//!
+//! Each pool slot — keyed by (design/harness fingerprint, [`InitMode`]) —
+//! owns one [`Checker`], i.e. one SAT solver plus one unrolling whose
+//! transition-relation CNF is loaded once and grown in place
+//! ([`Checker::ensure_bound`]) when a deeper bound is requested. Queries
+//! check the context out, run a batch of assumption-based properties, and
+//! return it; learnt clauses survive across batches, so the whole fleet
+//! amortizes one bit-blast and one clause database per key.
+//!
+//! # Determinism
+//!
+//! Checkout is *ticket-sequenced*: every job that will use a key is
+//! assigned a dense ticket (its rank among the key's jobs in job-id
+//! order), and `checkout` blocks until the key's next-ticket counter
+//! reaches it. The solver therefore sees exactly the same query sequence
+//! for every worker count, which keeps the `--jobs 1` byte-identity bar
+//! (tests/parallel_determinism.rs) intact: solver-state evolution — and
+//! with it every witness model and every conflict count — is a pure
+//! function of the job list.
+//!
+//! This is deadlock-free under `mc::run_jobs`' scheduling: workers claim
+//! jobs in increasing job-id order, tickets within a key are assigned in
+//! the same order, and each job uses exactly one key — so the blocked job
+//! with the globally smallest id would have to wait on a same-key job with
+//! a smaller id, which is already claimed and, by minimality, not blocked.
+//!
+//! # Panic safety
+//!
+//! The [`Checkout`] guard is created *before* the (possibly panicking)
+//! build/extend work and always advances the ticket on drop; if it drops
+//! during an unwind, the checker is discarded rather than returned, so a
+//! poisoned solver never leaks back into the pool and waiting jobs simply
+//! rebuild the context.
+
+use crate::engine::Checker;
+use crate::unroll::InitMode;
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Identity of one pooled context: a stable fingerprint of the netlist (or
+/// harness) the context is built over, plus its frame-0 register
+/// discipline. The unrolling bound is deliberately *not* part of the key —
+/// a request for a deeper bound extends the stored context in place
+/// ([`Checker::ensure_bound`]) instead of forking a second solver.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PoolKey {
+    /// Stable content fingerprint of the netlist/harness.
+    pub fingerprint: u64,
+    /// Frame-0 register discipline of the unrolling.
+    pub init: InitMode,
+}
+
+impl PoolKey {
+    /// A key with [`InitMode::Reset`] (the BMC default).
+    pub fn reset(fingerprint: u64) -> Self {
+        Self {
+            fingerprint,
+            init: InitMode::Reset,
+        }
+    }
+}
+
+struct SlotState<'a> {
+    checker: Option<Checker<'a>>,
+    next_ticket: usize,
+}
+
+struct PoolSlot<'a> {
+    state: Mutex<SlotState<'a>>,
+    cv: Condvar,
+}
+
+/// A pool of persistent [`Checker`] contexts, one per [`PoolKey`]. See the
+/// module docs for the checkout discipline.
+#[derive(Default)]
+pub struct SolverPool<'a> {
+    slots: Mutex<HashMap<PoolKey, Arc<PoolSlot<'a>>>>,
+}
+
+impl<'a> SolverPool<'a> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Checks the key's context out for one query batch. Blocks until the
+    /// key's ticket counter reaches `ticket` (see the module docs), then
+    /// takes the stored checker — or builds a fresh one via `build` on the
+    /// first checkout (and after a panic discarded the previous one) —
+    /// starts a new accounting batch, and grows the unrolling to at least
+    /// `bound` frames. `bound` is a floor, not an exact request: a context
+    /// already deeper than `bound` is reused as-is.
+    ///
+    /// `build` should construct the checker at bound 0 and attach any
+    /// budget pool / cancel token; the frame growth happens here so it is
+    /// counted as an in-place extension.
+    pub fn checkout<F>(&self, key: PoolKey, ticket: usize, bound: usize, build: F) -> Checkout<'a>
+    where
+        F: FnOnce() -> Checker<'a>,
+    {
+        let slot = {
+            let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(slots.entry(key).or_insert_with(|| {
+                Arc::new(PoolSlot {
+                    state: Mutex::new(SlotState {
+                        checker: None,
+                        next_ticket: 0,
+                    }),
+                    cv: Condvar::new(),
+                })
+            }))
+        };
+        let taken = {
+            let mut st = slot.state.lock().unwrap_or_else(|e| e.into_inner());
+            while st.next_ticket != ticket {
+                st = slot.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            st.checker.take()
+        };
+        // The guard must exist before any fallible work below: its drop
+        // advances the ticket even if `build` or the bound extension
+        // panics, so same-key jobs behind us never deadlock.
+        let mut out = Checkout {
+            slot,
+            checker: None,
+        };
+        let mut checker = match taken {
+            Some(c) => c,
+            None => build(),
+        };
+        checker.begin_batch();
+        checker.ensure_bound(bound);
+        out.checker = Some(checker);
+        out
+    }
+}
+
+/// An exclusive lease on one pooled [`Checker`]; derefs to the checker.
+/// Dropping it returns the context to the pool and releases the next
+/// ticket — unless the drop happens during a panic unwind, in which case
+/// the checker is discarded (its solver may hold a half-finished query).
+pub struct Checkout<'a> {
+    slot: Arc<PoolSlot<'a>>,
+    checker: Option<Checker<'a>>,
+}
+
+impl<'a> Deref for Checkout<'a> {
+    type Target = Checker<'a>;
+
+    fn deref(&self) -> &Checker<'a> {
+        self.checker.as_ref().expect("checkout holds a checker")
+    }
+}
+
+impl<'a> DerefMut for Checkout<'a> {
+    fn deref_mut(&mut self) -> &mut Checker<'a> {
+        self.checker.as_mut().expect("checkout holds a checker")
+    }
+}
+
+impl Drop for Checkout<'_> {
+    fn drop(&mut self) {
+        let mut st = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !std::thread::panicking() {
+            st.checker = self.checker.take();
+        }
+        st.next_ticket += 1;
+        self.slot.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::McConfig;
+    use netlist::{Builder, Netlist};
+
+    fn counter_netlist() -> Netlist {
+        let mut b = Builder::new();
+        let c = b.reg("c", 3, 0);
+        let one = b.constant(1, 3);
+        let n = b.add(c, one);
+        b.set_next(c, n).unwrap();
+        let at5 = b.eq_const(c, 5);
+        b.name(at5, "at5");
+        let never = b.constant(0, 1);
+        b.name(never, "never");
+        b.finish().unwrap()
+    }
+
+    fn build(nl: &Netlist) -> Checker<'_> {
+        Checker::new(
+            nl,
+            McConfig {
+                bound: 0,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn contexts_persist_and_extend_across_checkouts() {
+        let nl = counter_netlist();
+        let pool = SolverPool::new();
+        let key = PoolKey::reset(1);
+        let at5 = nl.find("at5").unwrap();
+        {
+            let mut ctx = pool.checkout(key, 0, 8, || build(&nl));
+            assert!(ctx.check_cover(at5, &[]).is_reachable());
+            let st = ctx.stats();
+            assert_eq!(st.ctx_reused, 0, "first checkout built the context");
+            assert_eq!(st.frames_extended, 8);
+            assert_eq!(st.frames_rebuilt, 0);
+        }
+        {
+            // Same bound: reused as-is, no frame growth.
+            let mut ctx = pool.checkout(key, 1, 8, || build(&nl));
+            assert!(ctx.check_cover(nl.find("never").unwrap(), &[]).is_unreachable());
+            let st = ctx.stats();
+            assert_eq!(st.ctx_reused, 1);
+            assert_eq!(st.frames_extended, 0);
+        }
+        {
+            // Deeper bound: the same solver's unrolling grows in place.
+            let mut ctx = pool.checkout(key, 2, 12, || build(&nl));
+            assert!(ctx.check_cover(at5, &[]).is_reachable());
+            let st = ctx.stats();
+            assert_eq!(st.ctx_reused, 1);
+            assert_eq!(st.frames_extended, 4);
+            assert_eq!(ctx.config().bound, 12);
+        }
+    }
+
+    #[test]
+    fn tickets_sequence_same_key_checkouts() {
+        let nl = counter_netlist();
+        let pool = SolverPool::new();
+        let key = PoolKey::reset(7);
+        let at5 = nl.find("at5").unwrap();
+        let order = Mutex::new(Vec::new());
+        // Four jobs on one key, run by 4 threads claiming in reverse, must
+        // still execute in ticket order.
+        let jobs: Vec<usize> = (0..4).collect();
+        crate::par::run_jobs(jobs, 4, |_, ticket| {
+            let mut ctx = pool.checkout(key, ticket, 6, || build(&nl));
+            assert!(ctx.check_cover(at5, &[]).is_reachable());
+            order.lock().unwrap().push(ticket);
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn panicked_checkout_discards_the_context_but_releases_the_ticket() {
+        let nl = counter_netlist();
+        let pool = SolverPool::new();
+        let key = PoolKey::reset(3);
+        let at5 = nl.find("at5").unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ctx = pool.checkout(key, 0, 6, || build(&nl));
+            panic!("injected");
+        }));
+        assert!(r.is_err());
+        // The next ticket proceeds and rebuilds a fresh context.
+        let mut ctx = pool.checkout(key, 1, 6, || build(&nl));
+        assert_eq!(ctx.stats().ctx_reused, 0, "poisoned context was discarded");
+        assert!(ctx.check_cover(at5, &[]).is_reachable());
+    }
+}

@@ -8,7 +8,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 /// How registers are constrained at frame 0.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum InitMode {
     /// Registers start at their reset values (the paper's "valid reset
     /// state", §V-B).

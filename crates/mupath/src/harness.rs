@@ -68,7 +68,13 @@ pub struct IuvHarness {
     /// Per-PL monitor signals (indexed by [`PlId::index`]).
     pub monitors: Vec<PlMonitors>,
     /// Assume signals that must hold in every cycle of every query.
+    /// Opcode-independent; combine with one entry of [`IuvHarness::op_assumes`]
+    /// to pin the IUV's opcode.
     pub assumes: Vec<SignalId>,
+    /// Per-opcode IUV-encoding assumes: one monitor per opcode the harness
+    /// was built for, so a single netlist (and hence one pooled solver
+    /// context) serves every opcode's query fleet.
+    pub op_assumes: Vec<(Opcode, SignalId)>,
     /// The IUV has been fetched (sticky, registered).
     pub iuv_seen: SignalId,
     /// The IUV has finished: it visited at least one PL and now occupies
@@ -86,11 +92,40 @@ fn class_of(name: &str) -> String {
         .to_owned()
 }
 
-/// Builds the IUV harness for a design.
+/// Builds the IUV harness for a single opcode. The opcode's encoding
+/// assume is included in [`IuvHarness::assumes`], so every query made
+/// through this harness is automatically opcode-constrained.
 ///
 /// # Panics
 /// Panics if the design's annotations are inconsistent with its netlist.
 pub fn build_harness(design: &Design, cfg: &HarnessConfig) -> IuvHarness {
+    let mut h = build_harness_multi(design, &[cfg.opcode], cfg.fetch_slot, cfg.context);
+    h.assumes.insert(0, h.op_assumes[0].1);
+    h
+}
+
+/// Builds one IUV harness serving a whole family of opcodes: the monitor
+/// logic is opcode-independent, and each opcode gets its own encoding
+/// assume in [`IuvHarness::op_assumes`]. Queries select an opcode by
+/// adding its assume to the opcode-independent [`IuvHarness::assumes`];
+/// this is what lets one pooled solver context absorb every opcode's
+/// enumeration at a fetch slot.
+///
+/// # Panics
+/// Panics if `opcodes` is empty or the design's annotations are
+/// inconsistent with its netlist.
+pub fn build_harness_multi(
+    design: &Design,
+    opcodes: &[Opcode],
+    fetch_slot: usize,
+    context: ContextMode,
+) -> IuvHarness {
+    assert!(!opcodes.is_empty(), "harness needs at least one opcode");
+    let cfg = HarnessConfig {
+        opcode: opcodes[0],
+        fetch_slot,
+        context,
+    };
     let ann = &design.annotations;
     ann.validate(&design.netlist)
         .expect("annotated design is consistent");
@@ -122,14 +157,18 @@ pub fn build_harness(design: &Design, cfg: &HarnessConfig) -> IuvHarness {
 
     // --- assumes -----------------------------------------------------------
     let mut assumes: Vec<SignalId> = Vec::new();
-    // The IUV has the requested opcode (operands remain symbolic).
+    // Per-opcode IUV encoding assumes (operands remain symbolic). These go
+    // into `op_assumes`, not `assumes`: a query picks exactly one.
     let tf = design.type_field;
     let opfield = b.slice(in_instr, tf.hi, tf.lo);
-    let op_match = b.eq_const(opfield, design.type_encoding(cfg.opcode));
     let not_fire = b.not(iuv_fire);
-    let opcode_ok = b.or(not_fire, op_match);
-    let opcode_ok = b.name(opcode_ok, "assume_iuv_opcode");
-    assumes.push(opcode_ok.id);
+    let mut op_assumes: Vec<(Opcode, SignalId)> = Vec::new();
+    for &op in opcodes {
+        let op_match = b.eq_const(opfield, design.type_encoding(op));
+        let opcode_ok = b.or(not_fire, op_match);
+        let opcode_ok = b.name(opcode_ok, &format!("assume_iuv_opcode_{op:?}"));
+        op_assumes.push((op, opcode_ok.id));
+    }
     // PC uniqueness: no later fetch may reuse the IUV's PC (PCs are the
     // instruction identifiers, §V-A).
     let refetch = {
@@ -237,10 +276,11 @@ pub fn build_harness(design: &Design, cfg: &HarnessConfig) -> IuvHarness {
         classes,
         monitors,
         assumes,
+        op_assumes,
         iuv_seen: seen_reg.id,
         iuv_done: iuv_done.id,
         iuv_pc: iuv_pc.id,
-        config: *cfg,
+        config: cfg,
     }
 }
 
@@ -251,6 +291,18 @@ impl IuvHarness {
     /// Panics if `pl` is out of range.
     pub fn monitors(&self, pl: PlId) -> &PlMonitors {
         &self.monitors[pl.index()]
+    }
+
+    /// The encoding assume pinning the IUV to `op`.
+    ///
+    /// # Panics
+    /// Panics if the harness was not built for `op`.
+    pub fn op_assume(&self, op: Opcode) -> SignalId {
+        self.op_assumes
+            .iter()
+            .find(|(o, _)| *o == op)
+            .map(|&(_, s)| s)
+            .unwrap_or_else(|| panic!("harness was not built for {op:?}"))
     }
 
     /// PL ids sharing the same class label as `pl` (including itself).

@@ -22,7 +22,9 @@ mod harness;
 mod synth;
 pub mod uspec;
 
-pub use harness::{build_harness, ContextMode, HarnessConfig, IuvHarness, PlMonitors};
+pub use harness::{
+    build_harness, build_harness_multi, ContextMode, HarnessConfig, IuvHarness, PlMonitors,
+};
 pub use synth::{
     class_view, dom_excl_relations, duv_pl_reachability, enumerate_revisit_counts,
     synthesize_instr, DomExclRelations, DuvPlReport, InstrSynthesis, SynthConfig,
@@ -135,6 +137,10 @@ pub fn encode_check_stats(s: &CheckStats) -> jsonio::Json {
         ("udd".into(), Json::Int(s.undet_deadline)),
         ("udp".into(), Json::Int(s.undet_panicked)),
         ("udf".into(), Json::Int(s.undet_fault)),
+        ("cr".into(), Json::Int(s.ctx_reused)),
+        ("fe".into(), Json::Int(s.frames_extended)),
+        ("fr".into(), Json::Int(s.frames_rebuilt)),
+        ("lc".into(), Json::Int(s.learnts_carried)),
     ])
 }
 
@@ -154,6 +160,10 @@ pub fn decode_check_stats(j: &jsonio::Json) -> Option<CheckStats> {
     s.undet_deadline = j.field("udd")?.as_u64()?;
     s.undet_panicked = j.field("udp")?.as_u64()?;
     s.undet_fault = j.field("udf")?.as_u64()?;
+    s.ctx_reused = j.field("cr")?.as_u64()?;
+    s.frames_extended = j.field("fe")?.as_u64()?;
+    s.frames_rebuilt = j.field("fr")?.as_u64()?;
+    s.learnts_carried = j.field("lc")?.as_u64()?;
     Some(s)
 }
 
@@ -204,12 +214,22 @@ pub fn synthesize_isa_parallel(
 
 /// The whole-ISA driver over the parallel property-evaluation engine.
 ///
-/// The job queue holds one job per (instruction, fetch slot); each job owns
-/// its harness, unrolling, and SAT solver — the per-property parallelism
-/// the paper gets from its JasperGold job pool (Appendix §I-B), at a finer
-/// grain than per-instruction so slow instructions (DIV) don't serialize a
-/// whole worker's queue tail. Results merge by job id, per instruction in
-/// slot order, so the output is identical for every worker count.
+/// The job queue holds one job per (instruction, fetch slot), but jobs no
+/// longer own their solver: one multi-opcode harness is built per fetch
+/// slot (the monitor logic is opcode-independent), and a [`mc::SolverPool`]
+/// keyed by (design fingerprint ⊕ slot, [`mc::InitMode::Reset`]) owns one
+/// persistent checker per slot that every opcode's enumeration checks out
+/// in turn. Checkout is ticket-sequenced in job-id order, so the solver
+/// sees an identical query stream for every worker count and results merge
+/// byte-identically (the `tests/parallel_determinism.rs` bar); learnt
+/// clauses and the unrolled transition relation carry across the whole
+/// fleet.
+///
+/// Journal resume is *group-atomic* per slot: a slot's cached verdicts are
+/// only replayed when every opcode of that slot is cached. A partial
+/// replay would leave ticket gaps (cached jobs never check out) and make
+/// the pooled solver's clause state depend on which subset resumed —
+/// trading a little resume coverage for determinism.
 pub fn synthesize_isa_with(
     design: &Design,
     ops: &[Opcode],
@@ -218,50 +238,120 @@ pub fn synthesize_isa_with(
 ) -> IsaSynthesis {
     let threads = opts.effective_threads();
     let robust = &opts.robust;
-    let fp = robust.journal.as_ref().map(|_| design_fingerprint(design));
+    if ops.is_empty() {
+        return IsaSynthesis {
+            instrs: Vec::new(),
+            stats: CheckStats::default(),
+            degraded_jobs: 0,
+            resumed_jobs: 0,
+        };
+    }
+    let fp = design_fingerprint(design);
+    // One shared harness per fetch slot; all opcodes ride on it.
+    let harnesses: Vec<IuvHarness> = cfg
+        .slots
+        .iter()
+        .map(|&slot| build_harness_multi(design, ops, slot, cfg.context))
+        .collect();
+    // PL table / classes / HB-edge candidates are opcode- and
+    // slot-independent; compute them once for the whole run.
+    let meta = match harnesses.first() {
+        Some(h) => synth::slot_meta(design, h),
+        None => {
+            let h = build_harness_multi(design, ops, 0, cfg.context);
+            synth::slot_meta(design, &h)
+        }
+    };
+    let free_regs: Vec<netlist::SignalId> = {
+        let ann = &design.annotations;
+        ann.arf.iter().chain(ann.amem.iter()).copied().collect()
+    };
+    let keys: Vec<mc::PoolKey> = cfg
+        .slots
+        .iter()
+        .map(|&slot| mc::PoolKey::reset(fp ^ (slot as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        .collect();
     // Resolve journal hits on the coordinating thread so `resumed_jobs` is
-    // counted before workers start; cache hits become pre-filled jobs.
+    // counted before workers start. Atomic per slot group: either every
+    // opcode of a slot replays, or the whole slot reruns.
     let mut resumed_jobs = 0u64;
-    let jobs: Vec<(usize, usize, Option<synth::SlotSynthesis>, Option<String>)> = ops
+    let keys_json: Vec<Vec<Option<String>>> = (0..cfg.slots.len())
+        .map(|si| {
+            (0..ops.len())
+                .map(|oi| {
+                    robust
+                        .journal
+                        .as_ref()
+                        .map(|_| slot_job_key(fp, ops[oi], cfg.slots[si], cfg))
+                })
+                .collect()
+        })
+        .collect();
+    let cached_groups: Vec<Option<Vec<synth::SlotSynthesis>>> = (0..cfg.slots.len())
+        .map(|si| {
+            let journal = robust.journal.as_deref()?;
+            let group: Option<Vec<synth::SlotSynthesis>> = (0..ops.len())
+                .map(|oi| {
+                    let k = keys_json[si][oi].as_deref()?;
+                    synth::SlotSynthesis::decode(&journal.get(k)?)
+                })
+                .collect();
+            if group.is_some() {
+                resumed_jobs += ops.len() as u64;
+            }
+            group
+        })
+        .collect();
+    let pool = mc::SolverPool::new();
+    let jobs: Vec<(usize, usize)> = ops
         .iter()
         .enumerate()
         .flat_map(|(oi, _)| (0..cfg.slots.len()).map(move |si| (oi, si)))
-        .map(|(oi, si)| {
-            let key = fp.map(|fp| slot_job_key(fp, ops[oi], cfg.slots[si], cfg));
-            let cached = key
-                .as_deref()
-                .zip(robust.journal.as_deref())
-                .and_then(|(k, j)| j.get(k))
-                .and_then(|rec| synth::SlotSynthesis::decode(&rec));
-            if cached.is_some() {
-                resumed_jobs += 1;
-            }
-            (oi, si, cached, key)
-        })
         .collect();
-    let results = mc::run_jobs_supervised(jobs, threads, |ix, (oi, si, cached, key)| {
-        if let Some(s) = cached {
-            return s;
+    let results = mc::run_jobs_supervised(jobs, threads, |ix, (oi, si)| {
+        if let Some(group) = &cached_groups[si] {
+            return group[oi].clone();
         }
         let fault = robust.faults.fault_for("mupath", ix);
+        // Tickets are dense per slot because cached groups (which never
+        // check out) are all-or-nothing: within a running group the ticket
+        // is simply the opcode index.
+        let mut ctx = pool.checkout(keys[si], oi, cfg.bound, || {
+            let mut c = mc::Checker::with_free_regs(
+                &harnesses[si].netlist,
+                mc::McConfig {
+                    bound: 0,
+                    ..cfg.mc_config()
+                },
+                &free_regs,
+            );
+            if let Some(p) = &opts.budget_pool {
+                c.set_budget_pool(Arc::clone(p));
+            }
+            if let Some(token) = &robust.cancel {
+                c.set_cancel_token(Arc::clone(token));
+            }
+            c
+        });
+        // Injected panics fire after checkout so the guard's drop releases
+        // the next ticket (discarding the checker; the slot's next opcode
+        // deterministically rebuilds it).
         if fault == Some(FaultKind::Panic) {
             panic!("injected fault: panic in mupath job {ix}");
         }
-        let r = synth::synthesize_instr_slot(
-            design,
-            ops[oi],
-            cfg.slots[si],
-            si == 0,
-            cfg,
-            opts.budget_pool.as_ref(),
-            robust.cancel.as_ref(),
-            fault,
-        );
+        match fault {
+            Some(FaultKind::ForceUnknown) => ctx.set_fault(UndeterminedReason::FaultInjected),
+            Some(FaultKind::DeadlineExpired) => ctx.set_fault(UndeterminedReason::Deadline),
+            _ => {}
+        }
+        let r = synth::enumerate_slot(&harnesses[si], ops[oi], &mut ctx, cfg);
+        drop(ctx);
         // Only clean verdicts are journaled: degraded jobs must rerun on
         // resume so an interrupted faulty run can still converge to the
         // uninterrupted result.
         if fault.is_none() && r.stats.degraded() == 0 {
-            if let (Some(j), Some(k)) = (robust.journal.as_deref(), key.as_deref()) {
+            if let (Some(j), Some(k)) = (robust.journal.as_deref(), keys_json[si][oi].as_deref())
+            {
                 j.put(k, &r.encode());
             }
         }
@@ -288,16 +378,7 @@ pub fn synthesize_isa_with(
                 }
             })
             .collect();
-        let r = synth::assemble_instr(op, slots, || {
-            // Slot 0 was resumed or degraded, so its metadata never reached
-            // us; recompute it (no solver queries), shielding against the
-            // same panic the supervised job may have hit.
-            let slot0 = cfg.slots.first().copied().unwrap_or(0);
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                synth::slot_meta(design, op, slot0, cfg)
-            }))
-            .ok()
-        });
+        let r = synth::assemble_instr(op, slots, &meta);
         stats.absorb(&r.stats);
         instrs.push(r);
     }

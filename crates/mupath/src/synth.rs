@@ -22,12 +22,10 @@
 
 use crate::harness::{build_harness, ContextMode, HarnessConfig, IuvHarness};
 use isa::Opcode;
-use mc::{CheckStats, Checker, FaultKind, McConfig, Outcome, UndeterminedReason};
+use mc::{CheckStats, Checker, McConfig, Outcome, UndeterminedReason};
 use netlist::analysis::comb_connected;
 use netlist::{Builder, SignalId};
-use sat::{BudgetPool, CancelToken};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
-use std::sync::Arc;
 use uarch::Design;
 use uhb::{decisions_of_paths, ConcretePath, Decision, MuPath, PlId, PlTable};
 
@@ -71,7 +69,7 @@ impl SynthConfig {
         }
     }
 
-    fn mc_config(&self) -> McConfig {
+    pub(crate) fn mc_config(&self) -> McConfig {
         McConfig {
             bound: self.bound,
             conflict_budget: self.conflict_budget,
@@ -214,28 +212,15 @@ pub(crate) struct SlotMeta {
     candidates: BTreeSet<(PlId, PlId)>,
 }
 
-/// Recomputes [`SlotMeta`] for `opcode` without running any solver query.
-/// Used by the whole-ISA driver when the first slot's job was resumed from
-/// a journal (metadata is derivable, so it is never journaled) or degraded
-/// by a fault.
-pub(crate) fn slot_meta(
-    design: &Design,
-    opcode: Opcode,
-    slot: usize,
-    cfg: &SynthConfig,
-) -> SlotMeta {
-    let harness = build_harness(
-        design,
-        &HarnessConfig {
-            opcode,
-            fetch_slot: slot,
-            context: cfg.context,
-        },
-    );
+/// Computes [`SlotMeta`] from any harness over `design`. The PL table,
+/// class labels, and HB-edge candidates depend only on the design's
+/// annotations — not on the opcode or fetch slot — so the whole-ISA driver
+/// computes this exactly once per run (no solver queries involved).
+pub(crate) fn slot_meta(design: &Design, harness: &IuvHarness) -> SlotMeta {
     SlotMeta {
         pls: harness.pls.clone(),
         classes: harness.classes.clone(),
-        candidates: hb_edge_candidates(design, &harness),
+        candidates: hb_edge_candidates(design, harness),
     }
 }
 
@@ -243,11 +228,11 @@ pub(crate) fn slot_meta(
 /// of parallelism of the whole-ISA driver. Jobs over the same instruction
 /// are merged in slot order by [`assemble_instr`], reproducing the
 /// sequential per-instruction result exactly.
+#[derive(Clone)]
 pub(crate) struct SlotSynthesis {
     shapes: BTreeMap<Signature, ConcretePath>,
     pub(crate) complete: bool,
     pub(crate) stats: CheckStats,
-    meta: Option<SlotMeta>,
 }
 
 impl SlotSynthesis {
@@ -264,7 +249,6 @@ impl SlotSynthesis {
             shapes: BTreeMap::new(),
             complete: false,
             stats,
-            meta: None,
         }
     }
 
@@ -312,9 +296,8 @@ impl SlotSynthesis {
         .render_compact()
     }
 
-    /// Parses a journaled record back into a slot verdict (`meta` stays
-    /// `None`; the driver recomputes it when needed). Returns `None` on any
-    /// shape mismatch, which the driver treats as a cache miss.
+    /// Parses a journaled record back into a slot verdict. Returns `None`
+    /// on any shape mismatch, which the driver treats as a cache miss.
     pub(crate) fn decode(s: &str) -> Option<Self> {
         let j = jsonio::Json::parse(s).ok()?;
         if j.field("v")?.as_u64()? != 1 {
@@ -346,56 +329,29 @@ impl SlotSynthesis {
             shapes,
             complete,
             stats: crate::decode_check_stats(j.field("stats")?)?,
-            meta: None,
         })
     }
 }
 
-/// Enumerates the µPATH shapes of `opcode` fetched in one slot. The job
-/// owns its harness, unrolling, and SAT solver; `pool`, when present, is
-/// the globally shared budget account; `cancel` is the run-wide
-/// cancellation token; `fault` is the fault plan's order for this job
-/// ([`FaultKind::Panic`] is raised by the driver before this runs).
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn synthesize_instr_slot(
-    design: &Design,
+/// Enumerates the µPATH shapes of `opcode` through an already-built
+/// (usually pooled) checker over a multi-opcode harness. The opcode is
+/// selected purely by assumption — `harness.op_assume(opcode)` joins the
+/// opcode-independent assumes — and the per-shape blocking clauses are
+/// *scoped* under that same assume, so one persistent solver context can
+/// serve every opcode of a fetch slot without the blocks of one opcode
+/// leaking into another's enumeration. The returned stats are the
+/// checker's current batch account (zeroed at checkout).
+pub(crate) fn enumerate_slot(
+    harness: &IuvHarness,
     opcode: Opcode,
-    slot: usize,
-    want_meta: bool,
+    checker: &mut Checker<'_>,
     cfg: &SynthConfig,
-    pool: Option<&Arc<BudgetPool>>,
-    cancel: Option<&Arc<CancelToken>>,
-    fault: Option<FaultKind>,
 ) -> SlotSynthesis {
-    let harness = build_harness(
-        design,
-        &HarnessConfig {
-            opcode,
-            fetch_slot: slot,
-            context: cfg.context,
-        },
-    );
-    let meta = want_meta.then(|| SlotMeta {
-        pls: harness.pls.clone(),
-        classes: harness.classes.clone(),
-        candidates: hb_edge_candidates(design, &harness),
-    });
-    let sig_bits = signature_bits(&harness);
-    let mut checker =
-        Checker::with_free_regs(&harness.netlist, cfg.mc_config(), &arch_free_regs(design));
-    if let Some(p) = pool {
-        checker.set_budget_pool(Arc::clone(p));
-    }
-    if let Some(token) = cancel {
-        checker.set_cancel_token(Arc::clone(token));
-    }
-    match fault {
-        Some(FaultKind::ForceUnknown) => checker.set_fault(UndeterminedReason::FaultInjected),
-        Some(FaultKind::DeadlineExpired) => checker.set_cancel_token(Arc::new(
-            CancelToken::deadline_in(std::time::Duration::ZERO),
-        )),
-        _ => {}
-    }
+    let op_assume = harness.op_assume(opcode);
+    let mut assumes = Vec::with_capacity(harness.assumes.len() + 1);
+    assumes.push(op_assume);
+    assumes.extend_from_slice(&harness.assumes);
+    let sig_bits = signature_bits(harness);
     let mut shapes: BTreeMap<Signature, ConcretePath> = BTreeMap::new();
     let mut complete = true;
     let mut found_this_slot = 0usize;
@@ -404,10 +360,10 @@ pub(crate) fn synthesize_instr_slot(
             complete = false;
             break;
         }
-        match checker.check_cover(harness.iuv_done, &harness.assumes) {
+        match checker.check_cover(harness.iuv_done, &assumes) {
             Outcome::Reachable(trace) => {
                 found_this_slot += 1;
-                let path = extract_path(&harness, &trace);
+                let path = extract_path(harness, &trace);
                 let signature: Signature = harness
                     .pls
                     .ids()
@@ -421,7 +377,8 @@ pub(crate) fn synthesize_instr_slot(
                         )
                     })
                     .collect();
-                // Block this signature at the final frame.
+                // Block this signature at the final frame, under this
+                // opcode's activation guard.
                 let clause: Vec<sat::Lit> = sig_bits
                     .iter()
                     .zip(signature.iter().flat_map(|&(a, b2, c)| [a, b2, c]))
@@ -434,7 +391,7 @@ pub(crate) fn synthesize_instr_slot(
                         }
                     })
                     .collect();
-                checker.add_blocking_clause(&clause);
+                checker.add_blocking_clause_scoped(op_assume, &clause);
                 shapes.entry(signature).or_insert(path);
             }
             Outcome::Unreachable => break,
@@ -448,46 +405,29 @@ pub(crate) fn synthesize_instr_slot(
         shapes,
         complete,
         stats: checker.stats(),
-        meta,
     }
 }
 
 /// Merges one instruction's slot jobs (in slot order: earlier slots' shape
 /// witnesses win ties, exactly as the sequential loop inserted them) into
-/// the final [`InstrSynthesis`]. When no slot carried metadata (all
-/// resumed from a journal, or slot 0 degraded), `fallback_meta` is asked
-/// once; if it also fails the result is emptied and marked incomplete
-/// rather than panicking.
+/// the final [`InstrSynthesis`]. `meta` is the run-wide [`SlotMeta`] —
+/// derivable from the design alone, so the driver computes it once and
+/// shares it across every instruction.
 pub(crate) fn assemble_instr(
     opcode: Opcode,
     slots: Vec<SlotSynthesis>,
-    fallback_meta: impl FnOnce() -> Option<SlotMeta>,
+    meta: &SlotMeta,
 ) -> InstrSynthesis {
     let mut shapes: BTreeMap<Signature, ConcretePath> = BTreeMap::new();
     let mut complete = true;
     let mut stats = CheckStats::default();
-    let mut meta: Option<SlotMeta> = None;
     for s in slots {
         complete &= s.complete;
         stats.absorb(&s.stats);
-        if meta.is_none() {
-            meta = s.meta;
-        }
         for (signature, path) in s.shapes {
             shapes.entry(signature).or_insert(path);
         }
     }
-    let Some(meta) = meta.or_else(fallback_meta) else {
-        return InstrSynthesis {
-            opcode,
-            paths: Vec::new(),
-            concrete: Vec::new(),
-            decisions: Vec::new(),
-            class_decisions: Vec::new(),
-            complete: false,
-            stats,
-        };
-    };
     let concrete: Vec<ConcretePath> = shapes.into_values().collect();
     let paths: Vec<MuPath> = concrete
         .iter()
@@ -510,17 +450,15 @@ pub(crate) fn assemble_instr(
     }
 }
 
-/// §V-B2–§V-B4: enumerate all µPATH shapes for one instruction.
+/// §V-B2–§V-B4: enumerate all µPATH shapes for one instruction. A
+/// convenience wrapper over the whole-ISA driver (and hence the pooled
+/// incremental backend) for a single-opcode fleet.
 pub fn synthesize_instr(design: &Design, opcode: Opcode, cfg: &SynthConfig) -> InstrSynthesis {
-    let slots: Vec<SlotSynthesis> = cfg
-        .slots
-        .iter()
-        .enumerate()
-        .map(|(ix, &slot)| {
-            synthesize_instr_slot(design, opcode, slot, ix == 0, cfg, None, None, None)
-        })
-        .collect();
-    assemble_instr(opcode, slots, || None)
+    crate::synthesize_isa(design, &[opcode], cfg)
+        .instrs
+        .into_iter()
+        .next()
+        .expect("one instruction requested")
 }
 
 /// §V-B5 candidate filter: PL pairs whose source µFSM state registers feed
@@ -781,7 +719,6 @@ mod codec_tests {
             shapes,
             complete: true,
             stats,
-            meta: None,
         }
     }
 
@@ -805,7 +742,6 @@ mod codec_tests {
         }
         assert_eq!(decoded.stats.properties, 9);
         assert_eq!(decoded.stats.undetermined, 2);
-        assert!(decoded.meta.is_none(), "meta is derivable, never journaled");
     }
 
     /// A torn journal tail — any truncation or appended garbage — must

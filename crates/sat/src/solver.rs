@@ -1132,6 +1132,36 @@ impl Solver {
         self.learnt_refs.retain(|&c| !self.arena.is_deleted(c));
     }
 
+    /// Batch-boundary learnt-database trim for pooled incremental use:
+    /// deletes every non-core long learnt clause (LBD above the
+    /// permanent tier) regardless of its recent-use bit. A persistent
+    /// context answers many unrelated query batches back to back, and
+    /// mid/local clauses earned on one property mostly tax propagation
+    /// on the next — watch lists grow with every batch while the core
+    /// tier already keeps the strong resolvents. Called between
+    /// batches at decision level 0, never mid-search.
+    pub fn trim_learnts_for_batch(&mut self) {
+        // Cancel any trail retained from the previous query first: a
+        // retained SAT model pins most of the learnt database through
+        // `locked` (every propagated literal holds its reason clause),
+        // and retention is useless across batches anyway — the next
+        // batch assumes a different property.
+        self.backtrack(0);
+        let mut victims: Vec<ClauseRef> = Vec::new();
+        for i in 0..self.learnt_refs.len() {
+            let c = self.learnt_refs[i];
+            if self.arena.lbd(c) <= CORE_LBD || self.locked(c) {
+                continue;
+            }
+            victims.push(c);
+        }
+        for &c in &victims {
+            self.remove_long(c);
+            self.stats.clauses_deleted += 1;
+        }
+        self.learnt_refs.retain(|&c| !self.arena.is_deleted(c));
+    }
+
     /// Root-level inprocessing, run between queries at decision level 0:
     /// removes satisfied clauses, strips falsified literals in place, and
     /// runs budgeted subsumption / self-subsuming resolution over the

@@ -646,41 +646,56 @@ impl LeakHarness {
     /// decision, in order (skipping none; the caller filters empty-dst
     /// decisions beforehand).
     pub fn decision_covers(&self, decisions: &[Decision]) -> (Netlist, Vec<SignalId>) {
+        let (nl, mut covers) = self.decision_covers_multi(std::slice::from_ref(&decisions));
+        (nl, covers.pop().expect("one decision set in, one cover set out"))
+    }
+
+    /// Like [`LeakHarness::decision_covers`], but merges the decision
+    /// covers of *many* transponders into one extended netlist, returning
+    /// one cover-signal vector per input set (in order). Every
+    /// transponder's queries over this harness can then share one bit-blast
+    /// and one pooled solver context instead of one netlist per
+    /// (transponder, pairing) unit.
+    pub fn decision_covers_multi(&self, works: &[&[Decision]]) -> (Netlist, Vec<Vec<SignalId>>) {
         let mut b = Builder::from_netlist(self.netlist.clone());
-        // All destination classes that appear across this source's
-        // decisions, for the exact-set veto.
-        let mut covers = Vec::new();
-        for (ix, d) in decisions.iter().enumerate() {
-            let src_now = b.wire(self.class_now[d.src.index()]);
-            let mut sibling_classes: BTreeSet<PlId> = BTreeSet::new();
-            for d2 in decisions.iter().filter(|d2| d2.src == d.src) {
-                sibling_classes.extend(d2.dst.iter().copied());
+        let mut all_covers = Vec::new();
+        for (wi, decisions) in works.iter().enumerate() {
+            // All destination classes that appear across this source's
+            // decisions, for the exact-set veto.
+            let mut covers = Vec::new();
+            for (ix, d) in decisions.iter().enumerate() {
+                let src_now = b.wire(self.class_now[d.src.index()]);
+                let mut sibling_classes: BTreeSet<PlId> = BTreeSet::new();
+                for d2 in decisions.iter().filter(|d2| d2.src == d.src) {
+                    sibling_classes.extend(d2.dst.iter().copied());
+                }
+                let dst_now: Vec<Wire> = d
+                    .dst
+                    .iter()
+                    .map(|&c| b.wire(self.class_now[c.index()]))
+                    .collect();
+                let other_now: Vec<Wire> = sibling_classes
+                    .iter()
+                    .filter(|c| !d.dst.contains(c))
+                    .map(|&c| b.wire(self.class_now[c.index()]))
+                    .collect();
+                let dst_tainted: Vec<Wire> = d
+                    .dst
+                    .iter()
+                    .map(|&c| b.wire(self.class_tainted[c.index()]))
+                    .collect();
+                let all_dst = b.all(&dst_now);
+                let any_other = b.any(&other_now);
+                let no_other = b.not(any_other);
+                let any_taint = b.any(&dst_tainted);
+                let exact = b.and(all_dst, no_other);
+                let payload = b.and(exact, any_taint);
+                let cover = sva::seq_then(&mut b, src_now, payload, &format!("dtaint_{wi}_{ix}"));
+                covers.push(cover.id);
             }
-            let dst_now: Vec<Wire> = d
-                .dst
-                .iter()
-                .map(|&c| b.wire(self.class_now[c.index()]))
-                .collect();
-            let other_now: Vec<Wire> = sibling_classes
-                .iter()
-                .filter(|c| !d.dst.contains(c))
-                .map(|&c| b.wire(self.class_now[c.index()]))
-                .collect();
-            let dst_tainted: Vec<Wire> = d
-                .dst
-                .iter()
-                .map(|&c| b.wire(self.class_tainted[c.index()]))
-                .collect();
-            let all_dst = b.all(&dst_now);
-            let any_other = b.any(&other_now);
-            let no_other = b.not(any_other);
-            let any_taint = b.any(&dst_tainted);
-            let exact = b.and(all_dst, no_other);
-            let payload = b.and(exact, any_taint);
-            let cover = sva::seq_then(&mut b, src_now, payload, &format!("dtaint_{ix}"));
-            covers.push(cover.id);
+            all_covers.push(covers);
         }
         let nl = b.finish().expect("decision-cover netlist is valid");
-        (nl, covers)
+        (nl, all_covers)
     }
 }

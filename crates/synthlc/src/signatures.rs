@@ -6,7 +6,7 @@ use crate::harness::{build_leak_harness, LeakHarness, LeakHarnessConfig, Operand
 use isa::Opcode;
 use mc::{CheckStats, Checker, Elab, FaultKind, McConfig, UndeterminedReason};
 use mupath::{synthesize_isa_with, EngineOptions, InstrSynthesis, RobustOptions, SynthConfig};
-use sat::{BudgetPool, CancelToken};
+use sat::BudgetPool;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use uarch::Design;
@@ -324,45 +324,23 @@ impl StaticPrune {
 
 /// Runs the IFT queries of one (transponder, slot arrangement, transmitter
 /// typing) job. The harness is shared immutably across every job of its
-/// slot arrangement; the decision-cover netlist and its elaboration are
-/// shared across the jobs of one (transponder, arrangement); the checker
-/// (unrolling + SAT solver) is private to the job.
+/// slot arrangement; the checker — unrolling + SAT solver over the
+/// pairing's merged decision-cover netlist — is checked out of the run's
+/// [`mc::SolverPool`] by the caller and shared (sequenced by ticket) across
+/// *every* unit of the pairing, so learnt clauses carry between
+/// transponders and typings. All per-unit state lives in the assumptions.
 #[allow(clippy::too_many_arguments)]
 fn ift_kind_job(
     p: Opcode,
     decisions: &[Decision],
     kind: TxKind,
     harness: &LeakHarness,
-    netlist: &netlist::Netlist,
     covers: &[netlist::SignalId],
-    elab: &Arc<Elab>,
-    coi: Option<&Arc<mc::CoiSlice>>,
+    checker: &mut Checker<'_>,
     prune: Option<&StaticPrune>,
-    free: &[netlist::SignalId],
     cfg: &LeakConfig,
-    fault: Option<FaultKind>,
 ) -> (Vec<Tag>, CheckStats) {
     let mut tags = Vec::new();
-    let mut checker = Checker::with_coi(
-        netlist,
-        cfg.mc_config(),
-        free,
-        Arc::clone(elab),
-        coi.cloned(),
-    );
-    if let Some(pool) = &cfg.budget_pool {
-        checker.set_budget_pool(Arc::clone(pool));
-    }
-    if let Some(token) = &cfg.robust.cancel {
-        checker.set_cancel_token(Arc::clone(token));
-    }
-    match fault {
-        Some(FaultKind::ForceUnknown) => checker.set_fault(UndeterminedReason::FaultInjected),
-        Some(FaultKind::DeadlineExpired) => checker.set_cancel_token(Arc::new(
-            CancelToken::deadline_in(std::time::Duration::ZERO),
-        )),
-        _ => {}
-    }
     let t_candidates: Vec<Opcode> = if kind == TxKind::Intrinsic {
         vec![p]
     } else {
@@ -512,25 +490,28 @@ pub fn synthesize_leakage(
         },
     );
 
-    // Phase 2b: per (transponder, arrangement) decision-cover netlists,
-    // each elaborated once and shared by that pair's typing jobs.
+    // Phase 2b: one merged decision-cover netlist per arrangement, holding
+    // *every* transponder's covers side by side, elaborated once. All of a
+    // pairing's units — every (transponder, typing) — then share one
+    // pooled solver context over it.
     struct CoverNet {
         netlist: netlist::Netlist,
-        covers: Vec<netlist::SignalId>,
+        /// Cover signals per work index (same order as `work`).
+        covers: Vec<Vec<netlist::SignalId>>,
         elab: Arc<Elab>,
         coi: Option<Arc<mc::CoiSlice>>,
     }
-    let cover_jobs: Vec<(usize, usize)> = (0..work.len())
-        .flat_map(|wi| (0..pairings.len()).map(move |pi| (wi, pi)))
-        .collect();
-    let cover_nets: Vec<CoverNet> = mc::run_jobs(cover_jobs, threads, |_, (wi, pi)| {
-        let (netlist, covers) = harnesses[pi].decision_covers(&work[wi].decisions);
+    let cover_nets: Vec<CoverNet> = mc::run_jobs((0..pairings.len()).collect(), threads, |_, pi| {
+        let works: Vec<&[Decision]> = work.iter().map(|w| w.decisions.as_slice()).collect();
+        let (netlist, covers) = harnesses[pi].decision_covers_multi(&works);
         let elab = Arc::new(Elab::new(&netlist));
-        // The slice must keep every signal a query can reference: the
-        // covers plus the full assume universe of the harness (harness
-        // signal ids are preserved by the cover-netlist extension).
+        // The slice must keep every signal a query can reference: all
+        // transponders' covers plus the full assume universe of the
+        // harness (harness signal ids are preserved by the cover-netlist
+        // extension).
         let coi = cfg.coi.then(|| {
-            let mut targets = covers.clone();
+            let mut targets: Vec<netlist::SignalId> =
+                covers.iter().flatten().copied().collect();
             targets.extend(harnesses[pi].assume_signal_universe());
             Arc::new(mc::CoiSlice::compute(&netlist, &targets))
         });
@@ -543,7 +524,7 @@ pub fn synthesize_leakage(
     });
 
     // Phase 2c: the query jobs — one per (transponder, arrangement,
-    // typing), each with a private checker over the shared cover netlist.
+    // typing), all of an arrangement sharing its pooled checker.
     let units: Vec<(usize, usize, TxKind)> = (0..work.len())
         .flat_map(|wi| {
             pairings
@@ -560,25 +541,34 @@ pub fn synthesize_leakage(
         .copied()
         .collect();
     let prune = cfg.static_prune.then(|| StaticPrune::build(design));
-    // Resolve journal hits on the coordinating thread (counting them),
-    // then run the remaining units supervised: a panicking unit degrades
-    // to an empty-tag `JobPanicked` stand-in instead of aborting the run.
-    let fp = cfg
-        .robust
-        .journal
-        .as_ref()
-        .map(|_| mupath::design_fingerprint(design));
-    type IftJob = (
-        usize,
-        usize,
-        TxKind,
-        Option<(Vec<Tag>, CheckStats)>,
-        Option<String>,
-    );
-    let unit_jobs: Vec<IftJob> = units
+    let fp = mupath::design_fingerprint(design);
+    // One pool key per arrangement: the unit's checkout ticket is its rank
+    // among the arrangement's units in job order, so the pooled solver
+    // sees an identical query stream for every worker count.
+    let keys: Vec<mc::PoolKey> = pairings
+        .iter()
+        .map(|&((sp, st), _)| mc::PoolKey::reset(fnv(format!("{fp:016x}:{sp}:{st}").as_bytes())))
+        .collect();
+    let tickets: Vec<usize> = {
+        let mut next = vec![0usize; pairings.len()];
+        units
+            .iter()
+            .map(|&(_, pi, _)| {
+                let t = next[pi];
+                next[pi] += 1;
+                t
+            })
+            .collect()
+    };
+    // Resolve journal hits on the coordinating thread (counting them).
+    // Replay is *group-atomic* per arrangement: either every unit of a
+    // pairing replays, or the whole pairing reruns — a partial replay
+    // would leave checkout-ticket gaps and make the shared solver's state
+    // depend on which subset resumed.
+    let unit_keys: Vec<Option<String>> = units
         .iter()
         .map(|&(wi, pi, kind)| {
-            let key = fp.map(|fp| {
+            cfg.robust.journal.as_ref().map(|_| {
                 ift_job_key(
                     fp,
                     cfg,
@@ -587,52 +577,88 @@ pub fn synthesize_leakage(
                     pairings[pi].0,
                     kind,
                 )
-            });
-            let cached = key
-                .as_deref()
-                .zip(cfg.robust.journal.as_deref())
-                .and_then(|(k, j)| j.get(k))
-                .and_then(|rec| decode_ift_record(&rec));
-            if cached.is_some() {
-                resumed_jobs += 1;
-            }
-            (wi, pi, kind, cached, key)
+            })
         })
         .collect();
-    let supervised =
-        mc::run_jobs_supervised(unit_jobs, threads, |ix, (wi, pi, kind, cached, key)| {
-            if let Some(c) = cached {
-                return c;
+    let cached_groups: Vec<Option<Vec<(Vec<Tag>, CheckStats)>>> = (0..pairings.len())
+        .map(|pi| {
+            let journal = cfg.robust.journal.as_deref()?;
+            let group: Option<Vec<(Vec<Tag>, CheckStats)>> = units
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(_, upi, _))| upi == pi)
+                .map(|(ui, _)| {
+                    let k = unit_keys[ui].as_deref()?;
+                    decode_ift_record(&journal.get(k)?)
+                })
+                .collect();
+            if let Some(g) = &group {
+                resumed_jobs += g.len() as u64;
             }
-            let fault = cfg.robust.faults.fault_for("ift", ix);
-            if fault == Some(FaultKind::Panic) {
-                panic!("injected fault: panic in ift job {ix}");
-            }
-            let w = &work[wi];
-            let cn = &cover_nets[wi * pairings.len() + pi];
-            let r = ift_kind_job(
-                w.p,
-                &w.decisions,
-                kind,
-                &harnesses[pi],
+            group
+        })
+        .collect();
+    let pool = mc::SolverPool::new();
+    let supervised = mc::run_jobs_supervised(units.clone(), threads, |ix, (wi, pi, kind)| {
+        if let Some(group) = &cached_groups[pi] {
+            // `tickets[ix]` is exactly this unit's rank within its
+            // pairing, i.e. its index into the replayed group.
+            return group[tickets[ix]].clone();
+        }
+        let fault = cfg.robust.faults.fault_for("ift", ix);
+        let cn = &cover_nets[pi];
+        let mut ctx = pool.checkout(keys[pi], tickets[ix], cfg.bound, || {
+            let mut c = Checker::with_coi(
                 &cn.netlist,
-                &cn.covers,
-                &cn.elab,
-                cn.coi.as_ref(),
-                prune.as_ref(),
+                McConfig {
+                    bound: 0,
+                    ..cfg.mc_config()
+                },
                 &free,
-                cfg,
-                fault,
+                Arc::clone(&cn.elab),
+                cn.coi.clone(),
             );
-            // Only clean verdicts are journaled (degraded jobs rerun on
-            // resume), so a resumed run converges to the uninterrupted result.
-            if fault.is_none() && r.1.degraded() == 0 {
-                if let (Some(j), Some(k)) = (cfg.robust.journal.as_deref(), key.as_deref()) {
-                    j.put(k, &encode_ift_record(&r.0, &r.1));
-                }
+            if let Some(p) = &cfg.budget_pool {
+                c.set_budget_pool(Arc::clone(p));
             }
-            r
+            if let Some(token) = &cfg.robust.cancel {
+                c.set_cancel_token(Arc::clone(token));
+            }
+            c
         });
+        // Injected panics fire after checkout so the guard's drop releases
+        // the next ticket (discarding the checker; the pairing's next unit
+        // deterministically rebuilds it).
+        if fault == Some(FaultKind::Panic) {
+            panic!("injected fault: panic in ift job {ix}");
+        }
+        match fault {
+            Some(FaultKind::ForceUnknown) => ctx.set_fault(UndeterminedReason::FaultInjected),
+            Some(FaultKind::DeadlineExpired) => ctx.set_fault(UndeterminedReason::Deadline),
+            _ => {}
+        }
+        let w = &work[wi];
+        let r = ift_kind_job(
+            w.p,
+            &w.decisions,
+            kind,
+            &harnesses[pi],
+            &cn.covers[wi],
+            &mut ctx,
+            prune.as_ref(),
+            cfg,
+        );
+        drop(ctx);
+        // Only clean verdicts are journaled (degraded jobs rerun on
+        // resume), so a resumed run converges to the uninterrupted result.
+        if fault.is_none() && r.1.degraded() == 0 {
+            if let (Some(j), Some(k)) = (cfg.robust.journal.as_deref(), unit_keys[ix].as_deref())
+            {
+                j.put(k, &encode_ift_record(&r.0, &r.1));
+            }
+        }
+        r
+    });
     let results: Vec<(Vec<Tag>, CheckStats)> = supervised
         .into_iter()
         .map(|r| match r {

@@ -80,13 +80,13 @@ fi
 echo "frontend OK (goldens clean + fixpoint, snapshots, 200-seed text oracle)"
 
 echo "== fuzz-smoke (differential oracles, pinned seeds) =="
-# Two pinned seeds x 64 designs, each design through all six oracles
-# (sat, bmc, induction, reductions, ift, text), under a hard 90s wall
-# budget split across the runs. Exit 0 = all oracles agreed; exit 1 =
-# mismatch (the CLI already printed the minimized repro JSON line to
-# stderr — replay it with `synthlc-cli fuzz`); exit 2 = deadline
-# truncated the sweep before 64 designs, which this gate also treats as
-# a failure.
+# Two pinned seeds x 64 designs, each design through all seven oracles
+# (sat, bmc, induction, reductions, ift, text, incremental), under a
+# hard 90s wall budget split across the runs. Exit 0 = all oracles
+# agreed; exit 1 = mismatch (the CLI already printed the minimized repro
+# JSON line to stderr — replay it with `synthlc-cli fuzz`); exit 2 =
+# deadline truncated the sweep before 64 designs, which this gate also
+# treats as a failure.
 for SEED in 1 20260806; do
   if ! cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
     fuzz --seed "$SEED" --cases 64 --deadline-secs 45 >/dev/null; then
@@ -94,7 +94,16 @@ for SEED in 1 20260806; do
     exit 1
   fi
 done
-echo "fuzz-smoke OK (2 seeds x 64 designs, six oracles, zero mismatches)"
+# A dedicated deeper sweep of the incremental oracle alone: 256 designs'
+# property fleets through one persistent pooled solver vs. fresh
+# per-query solvers (pool checkout, in-place bound extension, witness
+# replay on every reachable leg).
+if ! cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
+  fuzz --seed 11 --cases 256 --oracles incremental --deadline-secs 30 >/dev/null; then
+  echo "fuzz-smoke: incremental-oracle sweep failed (repro above, if any)" >&2
+  exit 1
+fi
+echo "fuzz-smoke OK (2 seeds x 64 designs, seven oracles, zero mismatches)"
 
 echo "== sat-regression (DIMACS corpus + solver knob sweep) =="
 # Every corpus file encodes its brute-force-verified status in its name;
@@ -122,6 +131,38 @@ if ! cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
   echo "sat-regression: knob-sweep fuzz run failed (repro above, if any)" >&2
   exit 1
 fi
-echo "sat-regression OK (corpus exit codes + knob-sweep verdict invariance)"
+# Incremental replay: the same corpus loaded into ONE pooled solver
+# (per-file activation literals, solve_assuming per file) must reproduce
+# every one-shot verdict, with learnt clauses carried across files.
+set +e
+INC_OUT=$(cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
+  sat --incremental crates/sat/tests/corpus/*.cnf)
+INC_EXIT=$?
+set -e
+N_FILES=$(ls crates/sat/tests/corpus/*.cnf | wc -l)
+N_LINES=$(printf '%s\n' "$INC_OUT" | wc -l)
+if [ "$N_LINES" != "$N_FILES" ]; then
+  echo "sat-regression: incremental replay printed $N_LINES verdicts for $N_FILES files" >&2
+  exit 1
+fi
+while IFS= read -r LINE; do
+  FILE=${LINE%%: *}
+  case "$FILE" in
+    *-sat.cnf)   WANT="s SATISFIABLE" ;;
+    *-unsat.cnf) WANT="s UNSATISFIABLE" ;;
+    *) echo "sat-regression: unexpected incremental verdict line: $LINE" >&2; exit 1 ;;
+  esac
+  if [ "$LINE" != "$FILE: $WANT" ]; then
+    echo "sat-regression: pooled verdict drifted: got '$LINE', want '$FILE: $WANT'" >&2
+    exit 1
+  fi
+done <<< "$INC_OUT"
+# The exit code follows the last corpus file (xor-contra-unsat -> 20),
+# unchanged from the one-shot convention.
+if [ "$INC_EXIT" != 20 ]; then
+  echo "sat-regression: incremental replay exited $INC_EXIT, expected 20" >&2
+  exit 1
+fi
+echo "sat-regression OK (corpus exit codes, one-solver incremental replay, knob-sweep invariance)"
 
 echo "CI OK"

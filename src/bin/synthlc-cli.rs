@@ -7,7 +7,8 @@
 //! synthlc-cli check  <file.nl> [opts]         # frontend static analysis
 //! synthlc-cli lint   [<design>|all]           # static-analysis lint suite
 //! synthlc-cli fuzz   [opts]                   # differential-oracle fuzzing
-//! synthlc-cli sat    <file.cnf> [--stats]     # solve one DIMACS formula
+//! synthlc-cli sat    <file.cnf>... [--stats]  # solve DIMACS formulas
+//!                    [--incremental]          # ...through one pooled solver
 //! synthlc-cli designs                         # list available designs
 //!
 //! designs: minicva6 | minicva6-mul | minicva6-op | hardened | tinycore | minicache
@@ -285,12 +286,17 @@ fn degradation_exit(
 
 /// One-line learnt-database summary of the solver work behind a run
 /// (tier gauges are live values from the last query; counters are
-/// lifetime totals across all checkers the run absorbed).
+/// lifetime totals across all checkers the run absorbed). The reuse
+/// block reports the incremental-solving economy: pooled contexts
+/// checked out again instead of rebuilt, unrolling frames grown in
+/// place vs. built from scratch, and learnt clauses alive at batch
+/// handoff (see DESIGN.md §12).
 fn solver_summary(stats: &CheckStats) -> String {
     format!(
         "solver: learnts {}/{}/{} (core/mid/local), {} binaries, \
          {} deleted, {} subsumed, {} strengthened, avg LBD {:.1} (max {}), \
-         {} trail reuses ({} levels)",
+         {} trail reuses ({} levels), reuse: {} ctx, {} frames extended \
+         / {} rebuilt, {} learnts carried",
         stats.sat_learnt_core,
         stats.sat_learnt_mid,
         stats.sat_learnt_local,
@@ -301,7 +307,11 @@ fn solver_summary(stats: &CheckStats) -> String {
         stats.sat_avg_lbd(),
         stats.sat_max_lbd,
         stats.sat_trail_reuses,
-        stats.sat_reused_levels
+        stats.sat_reused_levels,
+        stats.ctx_reused,
+        stats.frames_extended,
+        stats.frames_rebuilt,
+        stats.learnts_carried
     )
 }
 
@@ -598,15 +608,22 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
 /// Parses and runs the `sat` subcommand: solves one DIMACS CNF with the
 /// CDCL core, printing the competition-style answer and model. Exit
 /// codes follow the SAT-competition convention (10 = SAT, 20 = UNSAT,
-/// 0 = undetermined, 1 = bad file / bad arguments).
+/// 0 = undetermined, 1 = bad file / bad arguments). With
+/// `--incremental`, several files are loaded into *one* persistent
+/// solver — each file's clauses guarded by a private activation literal
+/// and queried via `solve_assuming` — so learnt clauses accumulate
+/// across the corpus exactly as they do in the pooled checker contexts;
+/// verdicts per file must match the one-shot path.
 fn cmd_sat(args: &[String]) -> Result<ExitCode, String> {
-    let mut path: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
     let mut show_stats = false;
+    let mut incremental = false;
     let mut budget: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--stats" => show_stats = true,
+            "--incremental" => incremental = true,
             "--budget" => {
                 budget = Some(
                     it.next()
@@ -615,11 +632,17 @@ fn cmd_sat(args: &[String]) -> Result<ExitCode, String> {
                         .map_err(|_| "bad --budget".to_owned())?,
                 );
             }
-            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_owned()),
+            other if !other.starts_with("--") => paths.push(other.to_owned()),
             other => return Err(format!("unknown sat option `{other}`")),
         }
     }
-    let path = path.ok_or("`sat` needs a DIMACS file path")?;
+    if incremental {
+        return sat_incremental(&paths, budget, show_stats);
+    }
+    if paths.len() > 1 {
+        return Err("multiple DIMACS files need --incremental".into());
+    }
+    let path = paths.pop().ok_or("`sat` needs a DIMACS file path")?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
     let cnf = sat::dimacs::parse_dimacs(&text).map_err(|e| format!("{path}: {e}"))?;
     let mut solver = cnf.to_solver();
@@ -668,11 +691,74 @@ fn cmd_sat(args: &[String]) -> Result<ExitCode, String> {
             st.max_lbd
         );
     }
-    Ok(match result {
+    Ok(sat_exit_code(result))
+}
+
+fn sat_exit_code(result: sat::SolveResult) -> ExitCode {
+    match result {
         sat::SolveResult::Sat => ExitCode::from(10),
         sat::SolveResult::Unsat => ExitCode::from(20),
         sat::SolveResult::Unknown => ExitCode::SUCCESS,
-    })
+    }
+}
+
+/// `sat --incremental`: the whole corpus through one pooled solver. Each
+/// file's variables are mapped into a shared space and its clauses are
+/// guarded by a fresh activation literal `a_i` (stored as `!a_i ∨ c`),
+/// so `solve_assuming([a_i])` answers file `i` while clauses learned on
+/// earlier files stay live — the CLI face of the checker's
+/// assumption-based incremental discipline (DESIGN.md §12). One verdict
+/// line per file; the exit code follows the SAT-competition convention
+/// for the *last* file, so single-file invocations keep their one-shot
+/// exit codes.
+fn sat_incremental(
+    paths: &[String],
+    budget: Option<u64>,
+    show_stats: bool,
+) -> Result<ExitCode, String> {
+    if paths.is_empty() {
+        return Err("`sat --incremental` needs at least one DIMACS file path".into());
+    }
+    let mut solver = sat::Solver::new();
+    let mut queries: Vec<(String, sat::Lit)> = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let cnf = sat::dimacs::parse_dimacs(&text).map_err(|e| format!("{path}: {e}"))?;
+        let base: Vec<sat::Var> = (0..cnf.num_vars).map(|_| solver.new_var()).collect();
+        let act = solver.new_var();
+        for c in &cnf.clauses {
+            let mut guarded = Vec::with_capacity(c.len() + 1);
+            guarded.push(sat::Lit::neg(act));
+            guarded.extend(
+                c.iter()
+                    .map(|l| sat::Lit::new(base[l.var().0 as usize], l.is_pos())),
+            );
+            solver.add_clause(&guarded);
+        }
+        queries.push((path.clone(), sat::Lit::pos(act)));
+    }
+    let mut last = sat::SolveResult::Unknown;
+    for (path, act) in &queries {
+        solver.set_conflict_budget(budget);
+        last = solver.solve_assuming(&[*act]);
+        println!("{path}: s {}", last.answer());
+    }
+    if show_stats {
+        let st = solver.stats();
+        eprintln!(
+            "c pooled: {} files, {} vars, conflicts {} propagations {} \
+             learnts {} (core {} mid {} local {})",
+            queries.len(),
+            solver.num_vars(),
+            st.conflicts,
+            st.propagations,
+            st.learnts,
+            st.learnt_core,
+            st.learnt_mid,
+            st.learnt_local
+        );
+    }
+    Ok(sat_exit_code(last))
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -755,7 +841,7 @@ fn run() -> Result<ExitCode, String> {
                  synthlc-cli pls <design> [opts]\n  \
                  synthlc-cli paths <design> <instr> [opts]\n  synthlc-cli leak <design> <instr> [opts]\n  \
                  synthlc-cli fuzz [--seed S] [--cases N] [--max-cells N] [--bound N] [--deadline-secs N] [--knob-sweep] [--oracles a,b]\n  \
-                 synthlc-cli sat <file.cnf> [--stats] [--budget N]  (exit 10 SAT / 20 UNSAT / 0 unknown)\n\
+                 synthlc-cli sat <file.cnf>... [--incremental] [--stats] [--budget N]  (exit 10 SAT / 20 UNSAT / 0 unknown)\n\
                  \ndesigns: minicva6 minicva6-mul minicva6-op hardened tinycore minicache\n\
                  (a <design> may also be a path to a .nl netlist file)\n\
                  opts: --slots 0,1  --bound N  --context any|nocf|solo  --budget N  --jobs N\n      \
