@@ -8,7 +8,7 @@
 //! (proving both scheduling- and reduction-independence in one shot), and
 //! reports the speedup plus the COI bit-blast ratio and the number of SAT
 //! queries discharged statically. A machine-readable report is written to
-//! `BENCH_perf.json` (schema `synthlc-perf-v5`), including the CDCL
+//! `BENCH_perf.json` (schema `synthlc-perf-v6`), including the CDCL
 //! core's learnt-database observability (tier sizes, deletions,
 //! subsumption, LBD profile) and the incremental-solving reuse economy
 //! (pooled contexts reused, unrolling frames extended in place vs.
@@ -63,6 +63,9 @@ struct RunOutcome {
     degraded_jobs: u64,
     /// Jobs replayed from a checkpoint journal; always 0 here, as above.
     resumed_jobs: u64,
+    /// Retry attempts spent re-running degraded jobs; always 0 here too
+    /// (retries only fire when robustness knobs are on).
+    retried_jobs: u64,
     /// Learnt-database observability of the CDCL core behind the run.
     solver: SolverObs,
 }
@@ -252,6 +255,7 @@ fn run_mupath(
         discharged_static: r.stats.discharged_static,
         degraded_jobs: r.degraded_jobs,
         resumed_jobs: r.resumed_jobs,
+        retried_jobs: r.retried_jobs,
         solver: SolverObs::from_check(&r.stats),
     }
 }
@@ -285,6 +289,7 @@ fn run_leakage(
         discharged_static: r.mupath_stats.discharged_static + r.ift_stats.discharged_static,
         degraded_jobs: r.degraded_jobs,
         resumed_jobs: r.resumed_jobs,
+        retried_jobs: r.retried_jobs,
         solver: SolverObs::from_check(&merged),
     }
 }
@@ -422,6 +427,7 @@ fn run_sat_micro(instances: &[SatMicro]) -> RunOutcome {
         discharged_static: 0,
         degraded_jobs: 0,
         resumed_jobs: 0,
+        retried_jobs: 0,
         solver: obs,
     }
 }
@@ -438,6 +444,7 @@ fn run_outcome_json(r: &RunOutcome) -> Json {
         ("sat_calls_avoided".into(), Json::Int(r.discharged_static)),
         ("degraded_jobs".into(), Json::Int(r.degraded_jobs)),
         ("resumed_jobs".into(), Json::Int(r.resumed_jobs)),
+        ("retried_jobs".into(), Json::Int(r.retried_jobs)),
         ("solver".into(), r.solver.to_json()),
     ])
 }
@@ -446,7 +453,7 @@ fn report_json(jobs: usize, scope: Scope, stages: &[StageResult]) -> Json {
     let total_seq: f64 = stages.iter().map(|s| s.seq.seconds).sum();
     let total_par: f64 = stages.iter().map(|s| s.par.seconds).sum();
     Json::Obj(vec![
-        ("schema".into(), Json::str("synthlc-perf-v5")),
+        ("schema".into(), Json::str("synthlc-perf-v6")),
         ("jobs".into(), Json::Int(jobs as u64)),
         (
             "scope".into(),

@@ -15,8 +15,8 @@ use crate::dpll::{self, DpllResult};
 use crate::gen::BuiltDesign;
 use crate::SeededBug;
 use mc::{
-    Checker, CoiSlice, InitMode, McConfig, Outcome, PoolKey, SolverPool, Trace,
-    UndeterminedReason, Unrolling,
+    Checker, CoiSlice, InitMode, McConfig, Outcome, PoolKey, SolverPool, Trace, UndeterminedReason,
+    Unrolling,
 };
 use netlist::{mask, Netlist, SignalId};
 use sim::Simulator;
@@ -750,10 +750,7 @@ fn oracle_incremental(d: &BuiltDesign, opts: &OracleOpts) -> CaseResult {
         };
     }
     let reachable = pooled.iter().filter(|v| v.as_str() == "reachable").count();
-    CaseResult::Agree(format!(
-        "fleet={} reachable={reachable}",
-        fleet.len()
-    ))
+    CaseResult::Agree(format!("fleet={} reachable={reachable}", fleet.len()))
 }
 
 /// Canonical fleet-member verdict: `Reachable` must replay (the firing

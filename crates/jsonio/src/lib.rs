@@ -25,6 +25,12 @@ impl Json {
         Json::Str(s.into())
     }
 
+    /// Convenience constructor for insertion-ordered objects:
+    /// `Json::obj([("k", Json::Int(1))])`.
+    pub fn obj<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Self {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
     /// Renders with two-space indentation and a trailing newline.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -110,6 +116,15 @@ impl Json {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a float, accepting `Num` and `Int`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Int(n) => Some(*n as f64),
             _ => None,
         }
     }
@@ -421,6 +436,41 @@ fn write_seq<T>(
     out.push(close);
 }
 
+/// Line-framed JSON protocol helpers: one compact value per `\n`-terminated
+/// line, the framing shared by the crash-safe journal and the `serve`
+/// daemon's wire protocol. Reading tolerates interleaved blank lines;
+/// anything else malformed is a hard error (a line protocol has no way to
+/// resynchronise inside a line).
+pub mod jsonl {
+    use super::{Json, ParseError};
+    use std::io::{BufRead, Write};
+
+    /// Writes `value` as one compact line and flushes — on a socket this
+    /// is what makes the event visible to the peer now, not at buffer
+    /// pressure.
+    pub fn write_line(out: &mut impl Write, value: &Json) -> std::io::Result<()> {
+        out.write_all(value.render_compact().as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()
+    }
+
+    /// Reads the next non-blank line and parses it. `Ok(None)` at EOF.
+    pub fn read_line(
+        input: &mut impl BufRead,
+    ) -> std::io::Result<Option<Result<Json, ParseError>>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if input.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            if !line.trim().is_empty() {
+                return Ok(Some(Json::parse(line.trim())));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::Json;
@@ -485,6 +535,35 @@ mod tests {
         ] {
             assert!(Json::parse(torn).is_err(), "accepted torn record {torn:?}");
         }
+    }
+
+    #[test]
+    fn jsonl_round_trips_values_and_skips_blanks() {
+        use super::jsonl;
+        let a = Json::obj([("op", Json::str("check")), ("ix", Json::Int(3))]);
+        let b = Json::Arr(vec![Json::Bool(true), Json::Null]);
+        let mut wire = Vec::new();
+        jsonl::write_line(&mut wire, &a).unwrap();
+        wire.extend_from_slice(b"\n   \n"); // blank keep-alives
+        jsonl::write_line(&mut wire, &b).unwrap();
+        let mut rd = std::io::BufReader::new(wire.as_slice());
+        assert_eq!(jsonl::read_line(&mut rd).unwrap().unwrap().unwrap(), a);
+        assert_eq!(jsonl::read_line(&mut rd).unwrap().unwrap().unwrap(), b);
+        assert!(jsonl::read_line(&mut rd).unwrap().is_none(), "EOF is None");
+        let mut torn = std::io::BufReader::new(&b"{\"k\":"[..]);
+        assert!(
+            jsonl::read_line(&mut torn).unwrap().unwrap().is_err(),
+            "torn line must surface as a parse error, not EOF"
+        );
+    }
+
+    #[test]
+    fn accessor_helpers_coerce_expected_shapes() {
+        assert_eq!(Json::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Json::Num(0.5).as_f64(), Some(0.5));
+        assert_eq!(Json::str("x").as_f64(), None);
+        let o = Json::obj([("a", Json::Int(1))]);
+        assert_eq!(o.field("a").unwrap().as_u64(), Some(1));
     }
 
     #[test]

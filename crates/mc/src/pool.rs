@@ -220,7 +220,9 @@ mod tests {
         {
             // Same bound: reused as-is, no frame growth.
             let mut ctx = pool.checkout(key, 1, 8, || build(&nl));
-            assert!(ctx.check_cover(nl.find("never").unwrap(), &[]).is_unreachable());
+            assert!(ctx
+                .check_cover(nl.find("never").unwrap(), &[])
+                .is_unreachable());
             let st = ctx.stats();
             assert_eq!(st.ctx_reused, 1);
             assert_eq!(st.frames_extended, 0);

@@ -93,6 +93,25 @@ pub enum FaultKind {
     DeadlineExpired,
 }
 
+/// What an injected fault does to one serve-loop step — the daemon-phase
+/// fault points (worker supervision, queue scheduling, journal
+/// persistence) that a synthesis job never sees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeFault {
+    /// The worker panics mid-job (exercises serve-side supervision and
+    /// retry).
+    WorkerPanic,
+    /// The queue stalls before dispatching the job (exercises
+    /// backpressure and shedding under latency, never verdicts).
+    QueueStall,
+    /// The journal append for this job's verdict is torn mid-write
+    /// (exercises restart recovery of the verdict store).
+    TornJournalWrite,
+    /// The job runs under an already-expired watchdog deadline
+    /// (exercises the retry-then-degrade path).
+    DeadlineExpired,
+}
+
 /// A deterministic schedule of injected faults.
 ///
 /// Whether job `ix` of a named phase faults — and how — is a pure
@@ -142,17 +161,18 @@ impl FaultPlan {
     /// independent streams so e.g. µPATH slot jobs and IFT unit jobs
     /// fault independently under one seed.
     pub fn fault_for(&self, phase: &str, ix: usize) -> Option<FaultKind> {
-        if self.rate <= 0.0 {
-            return None;
-        }
-        // FNV-1a over (phase, ix), decorrelated by the seed, feeds a
-        // per-job PRNG stream.
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for &b in phase.as_bytes() {
-            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h = (h ^ ix as u64).wrapping_mul(0x0000_0100_0000_01b3);
-        let mut rng = prng::Rng::new(h ^ self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        self.fault_for_attempt(phase, ix, 0)
+    }
+
+    /// Like [`fault_for`], but for retry attempt `attempt` of the job.
+    /// Attempt 0 is byte-compatible with [`fault_for`] (pinned seeds from
+    /// before retries existed keep their schedules); attempts beyond 0
+    /// roll independently, so a retried job can recover from an injected
+    /// fault instead of deterministically re-hitting it.
+    ///
+    /// [`fault_for`]: FaultPlan::fault_for
+    pub fn fault_for_attempt(&self, phase: &str, ix: usize, attempt: u32) -> Option<FaultKind> {
+        let mut rng = self.job_rng(phase, ix, attempt)?;
         if !rng.chance(self.rate) {
             return None;
         }
@@ -161,6 +181,46 @@ impl FaultPlan {
             1 => FaultKind::ForceUnknown,
             _ => FaultKind::DeadlineExpired,
         })
+    }
+
+    /// The serve-phase fault planned for step `ix` of `phase` at retry
+    /// `attempt`, if any. Serve phases draw from their own kind set
+    /// ([`ServeFault`]: worker panic, queue stall, torn journal write,
+    /// expired watchdog) but use the same pure `(seed, phase, ix,
+    /// attempt)` schedule, so a chaos-mode daemon run replays exactly
+    /// from `SYNTHLC_FAULT_SEED`.
+    pub fn serve_fault_for(&self, phase: &str, ix: usize, attempt: u32) -> Option<ServeFault> {
+        let mut rng = self.job_rng(phase, ix, attempt)?;
+        if !rng.chance(self.rate) {
+            return None;
+        }
+        Some(match rng.range(0, 4) {
+            0 => ServeFault::WorkerPanic,
+            1 => ServeFault::QueueStall,
+            2 => ServeFault::TornJournalWrite,
+            _ => ServeFault::DeadlineExpired,
+        })
+    }
+
+    /// The per-(phase, ix, attempt) PRNG stream behind every schedule:
+    /// FNV-1a over the coordinates, decorrelated by the seed. `None` when
+    /// the plan is inactive. Attempt 0 skips the attempt mix-in so the
+    /// pre-retry streams are preserved byte for byte.
+    fn job_rng(&self, phase: &str, ix: usize, attempt: u32) -> Option<prng::Rng> {
+        if self.rate <= 0.0 {
+            return None;
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in phase.as_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h = (h ^ ix as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        if attempt > 0 {
+            h = (h ^ 0xa5a5_0000u64 ^ attempt as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Some(prng::Rng::new(
+            h ^ self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ))
     }
 }
 
@@ -237,6 +297,69 @@ mod tests {
         let plan = FaultPlan::disabled();
         assert!(!plan.is_active());
         assert!((0..256).all(|ix| plan.fault_for("any", ix).is_none()));
+    }
+
+    #[test]
+    fn attempt_zero_matches_legacy_schedule() {
+        let plan = FaultPlan::new(42, 0.5);
+        for ix in 0..64 {
+            assert_eq!(
+                plan.fault_for("ift", ix),
+                plan.fault_for_attempt("ift", ix, 0),
+                "attempt 0 must be byte-compatible with fault_for at ix {ix}"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_attempts_roll_independently() {
+        let plan = FaultPlan::new(42, 0.5);
+        let a0: Vec<_> = (0..64)
+            .map(|ix| plan.fault_for_attempt("p", ix, 0))
+            .collect();
+        let a1: Vec<_> = (0..64)
+            .map(|ix| plan.fault_for_attempt("p", ix, 1))
+            .collect();
+        let a2: Vec<_> = (0..64)
+            .map(|ix| plan.fault_for_attempt("p", ix, 2))
+            .collect();
+        assert_ne!(a0, a1, "attempt 1 must not replay attempt 0's faults");
+        assert_ne!(a1, a2, "attempt 2 must not replay attempt 1's faults");
+        // A faulted job must be able to recover on retry somewhere in the
+        // sweep — otherwise retries are pure waste under injection.
+        assert!(
+            (0..64).any(|ix| plan.fault_for_attempt("p", ix, 0).is_some()
+                && plan.fault_for_attempt("p", ix, 1).is_none()),
+            "no faulted job recovers on its first retry"
+        );
+    }
+
+    #[test]
+    fn serve_faults_are_deterministic_and_cover_all_kinds() {
+        let plan = FaultPlan::new(7, 1.0);
+        let a: Vec<_> = (0..64)
+            .map(|ix| plan.serve_fault_for("serve-worker", ix, 0))
+            .collect();
+        let b: Vec<_> = (0..64)
+            .map(|ix| plan.serve_fault_for("serve-worker", ix, 0))
+            .collect();
+        assert_eq!(
+            a, b,
+            "same (seed, phase, ix, attempt) must plan the same fault"
+        );
+        let kinds: std::collections::BTreeSet<String> =
+            a.iter().flatten().map(|k| format!("{k:?}")).collect();
+        assert_eq!(
+            kinds.len(),
+            4,
+            "expected all four serve fault kinds: {kinds:?}"
+        );
+        assert!(
+            FaultPlan::disabled()
+                .serve_fault_for("serve-worker", 0, 0)
+                .is_none(),
+            "inactive plans must never fault the serve loop"
+        );
     }
 
     #[test]

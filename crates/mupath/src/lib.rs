@@ -50,12 +50,21 @@ pub struct RobustOptions {
     /// Checkpoint store for completed job verdicts; jobs whose key is
     /// already stored are replayed without running.
     pub journal: Option<Arc<dyn JobStore>>,
+    /// How many times a transiently failed job (panic, injected fault,
+    /// deadline, budget exhaustion) is rerun before its degraded verdict
+    /// stands. Retries run sequentially on the coordinating thread in
+    /// job order, so any worker count retries the same jobs in the same
+    /// order. `0` (the default) keeps the single-shot behaviour.
+    pub retries: u32,
 }
 
 impl RobustOptions {
     /// Whether any robustness machinery is switched on.
     pub fn is_active(&self) -> bool {
-        self.cancel.is_some() || self.faults.is_active() || self.journal.is_some()
+        self.cancel.is_some()
+            || self.faults.is_active()
+            || self.journal.is_some()
+            || self.retries > 0
     }
 }
 
@@ -179,6 +188,10 @@ pub struct IsaSynthesis {
     pub degraded_jobs: u64,
     /// Jobs replayed from the checkpoint journal instead of running.
     pub resumed_jobs: u64,
+    /// Retry attempts spent recovering transiently failed jobs
+    /// ([`RobustOptions::retries`]); counts attempts, not jobs, so two
+    /// reruns of one job add two.
+    pub retried_jobs: u64,
 }
 
 impl IsaSynthesis {
@@ -244,6 +257,7 @@ pub fn synthesize_isa_with(
             stats: CheckStats::default(),
             degraded_jobs: 0,
             resumed_jobs: 0,
+            retried_jobs: 0,
         };
     }
     let fp = design_fingerprint(design);
@@ -308,15 +322,12 @@ pub fn synthesize_isa_with(
         .enumerate()
         .flat_map(|(oi, _)| (0..cfg.slots.len()).map(move |si| (oi, si)))
         .collect();
-    let results = mc::run_jobs_supervised(jobs, threads, |ix, (oi, si)| {
-        if let Some(group) = &cached_groups[si] {
-            return group[oi].clone();
-        }
-        let fault = robust.faults.fault_for("mupath", ix);
-        // Tickets are dense per slot because cached groups (which never
-        // check out) are all-or-nothing: within a running group the ticket
-        // is simply the opcode index.
-        let mut ctx = pool.checkout(keys[si], oi, cfg.bound, || {
+    // The per-job body, shared by the parallel batch (ticket = opcode
+    // index, attempt 0) and by sequential coordinator-thread retries
+    // (continuation tickets, attempt ≥ 1).
+    let run_slot = |ix: usize, oi: usize, si: usize, ticket: usize, attempt: u32| {
+        let fault = robust.faults.fault_for_attempt("mupath", ix, attempt);
+        let mut ctx = pool.checkout(keys[si], ticket, cfg.bound, || {
             let mut c = mc::Checker::with_free_regs(
                 &harnesses[si].netlist,
                 mc::McConfig {
@@ -350,13 +361,63 @@ pub fn synthesize_isa_with(
         // resume so an interrupted faulty run can still converge to the
         // uninterrupted result.
         if fault.is_none() && r.stats.degraded() == 0 {
-            if let (Some(j), Some(k)) = (robust.journal.as_deref(), keys_json[si][oi].as_deref())
-            {
+            if let (Some(j), Some(k)) = (robust.journal.as_deref(), keys_json[si][oi].as_deref()) {
                 j.put(k, &r.encode());
             }
         }
         r
+    };
+    let mut results = mc::run_jobs_supervised(jobs.clone(), threads, |ix, (oi, si)| {
+        if let Some(group) = &cached_groups[si] {
+            return group[oi].clone();
+        }
+        // Tickets are dense per slot because cached groups (which never
+        // check out) are all-or-nothing: within a running group the ticket
+        // is simply the opcode index.
+        run_slot(ix, oi, si, oi, 0)
     });
+    // Transient-failure recovery: rerun failed or degraded jobs
+    // sequentially, in job order, on this thread. Each rerun consumes the
+    // slot's next checkout ticket, so the pooled solver's query stream —
+    // and therefore the merged report — stays a pure function of the job
+    // list and the retry schedule, independent of worker count.
+    let mut retried_jobs = 0u64;
+    if robust.retries > 0 {
+        let mut next_ticket: Vec<usize> = cached_groups
+            .iter()
+            .map(|g| if g.is_some() { 0 } else { ops.len() })
+            .collect();
+        for (ix, &(oi, si)) in jobs.iter().enumerate() {
+            for attempt in 1..=robust.retries {
+                let needs_retry = match &results[ix] {
+                    Ok(s) => s.stats.degraded() > 0,
+                    Err(_) => true,
+                };
+                if !needs_retry {
+                    break;
+                }
+                // A tripped run-wide deadline can't be outrun by retrying.
+                if robust.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                    break;
+                }
+                retried_jobs += 1;
+                let ticket = next_ticket[si];
+                next_ticket[si] += 1;
+                results[ix] = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_slot(ix, oi, si, ticket, attempt)
+                }))
+                .map_err(|payload| mc::JobFailure {
+                    job_id: ix,
+                    payload_msg: payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into()),
+                    backtrace_hint: format!("panicked again on retry attempt {attempt}"),
+                });
+            }
+        }
+    }
     let mut degraded_jobs = 0u64;
     let mut results = results.into_iter();
     let mut instrs = Vec::new();
@@ -387,6 +448,7 @@ pub fn synthesize_isa_with(
         stats,
         degraded_jobs,
         resumed_jobs,
+        retried_jobs,
     }
 }
 

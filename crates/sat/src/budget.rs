@@ -80,6 +80,48 @@ impl BudgetPool {
     }
 }
 
+/// Per-client budget accounting for a long-lived verification service:
+/// one [`BudgetPool`] per client name, created on first use with a shared
+/// per-client conflict cap. A client that exhausts its own cap degrades
+/// only its own queries; other clients' pools are untouched. All methods
+/// take `&self` and are safe to call from concurrent workers.
+#[derive(Debug, Default)]
+pub struct ClientBudgets {
+    cap: Option<u64>,
+    pools: std::sync::Mutex<std::collections::BTreeMap<String, std::sync::Arc<BudgetPool>>>,
+}
+
+impl ClientBudgets {
+    /// A ledger whose per-client pools each carry `cap` (`None` =
+    /// accounting only, never exhausts).
+    pub fn new(cap: Option<u64>) -> Self {
+        Self {
+            cap,
+            pools: std::sync::Mutex::new(std::collections::BTreeMap::new()),
+        }
+    }
+
+    /// The named client's pool, created on first use.
+    pub fn pool_for(&self, client: &str) -> std::sync::Arc<BudgetPool> {
+        let mut pools = self.pools.lock().unwrap_or_else(|e| e.into_inner());
+        std::sync::Arc::clone(
+            pools
+                .entry(client.to_owned())
+                .or_insert_with(|| std::sync::Arc::new(BudgetPool::new(self.cap))),
+        )
+    }
+
+    /// Every client's `(name, conflicts, propagations)` tallies, sorted by
+    /// name — the observability face of the ledger.
+    pub fn totals(&self) -> Vec<(String, u64, u64)> {
+        let pools = self.pools.lock().unwrap_or_else(|e| e.into_inner());
+        pools
+            .iter()
+            .map(|(name, p)| (name.clone(), p.conflicts(), p.propagations()))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +147,24 @@ mod tests {
         p.charge(5, 0);
         assert!(p.exhausted());
         assert_eq!(p.remaining(), Some(0));
+    }
+
+    #[test]
+    fn client_ledger_isolates_accounts() {
+        let ledger = ClientBudgets::new(Some(10));
+        let alice = ledger.pool_for("alice");
+        let bob = ledger.pool_for("bob");
+        alice.charge(10, 100);
+        assert!(alice.exhausted(), "alice hit her own cap");
+        assert!(!bob.exhausted(), "bob's account is independent");
+        assert!(
+            std::sync::Arc::ptr_eq(&alice, &ledger.pool_for("alice")),
+            "repeat lookups must return the same pool"
+        );
+        assert_eq!(
+            ledger.totals(),
+            vec![("alice".into(), 10, 100), ("bob".into(), 0, 0)]
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ mod heap;
 mod solver;
 mod types;
 
-pub use budget::BudgetPool;
+pub use budget::{BudgetPool, ClientBudgets};
 pub use cancel::{CancelReason, CancelToken};
 pub use config::{ReduceStrategy, RestartMode, SolverConfig};
 pub use solver::{Solver, SolverStats, StopCause};

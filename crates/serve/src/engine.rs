@@ -1,0 +1,670 @@
+//! The supervised worker pool behind the daemon (DESIGN.md §13).
+//!
+//! Jobs land in a bounded queue (submissions past capacity are shed with
+//! an explicit `overloaded` event — backpressure, never silent drops) and
+//! are executed by worker threads, each attempt wrapped in
+//! `catch_unwind` and run under a per-job watchdog deadline
+//! ([`sat::CancelToken`], checked cooperatively inside the solver).
+//! Transient failures — a caught panic, an expired watchdog, a degraded
+//! verdict — are retried with seeded exponential backoff up to the
+//! configured retry budget; only then does the job degrade to an
+//! `Undetermined`-shaped verdict. The faults-only-widen-verdicts
+//! invariant of the batch drivers carries over: no fault, injected or
+//! real, can flip a clean verdict, only widen it.
+//!
+//! Clean verdicts are stored in the content-addressed [`VerdictStore`],
+//! so identical (design fingerprint, knobs) jobs are answered from cache
+//! without re-solving, and a restarted daemon replays the journal and
+//! answers byte for byte identically.
+
+use crate::proto::{ev_done, ev_error, ev_progress, Op, Request};
+use crate::store::{fnv, VerdictStore};
+use jsonio::Json;
+use mc::{CancelToken, FaultPlan, ServeFault};
+use mupath::{
+    design_fingerprint, synthesize_isa_with, ContextMode, EngineOptions, RobustOptions, SynthConfig,
+};
+use sat::ClientBudgets;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use synthlc::{synthesize_leakage, LeakConfig, TxKind};
+use uarch::Design;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads; `0` selects [`mc::default_threads`].
+    pub workers: usize,
+    /// Bounded-queue capacity; submissions past it are shed.
+    pub queue_cap: usize,
+    /// Retry budget per job before its degraded verdict stands.
+    pub retries: u32,
+    /// Per-job watchdog deadline.
+    pub deadline_secs: Option<u64>,
+    /// Serve-phase fault injection (chaos testing).
+    pub faults: FaultPlan,
+    /// Base of the seeded exponential retry backoff.
+    pub backoff_ms: u64,
+    /// Per-client conflict-budget cap (`None` = accounting only).
+    pub client_budget: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_cap: 32,
+            retries: 2,
+            deadline_secs: None,
+            faults: FaultPlan::disabled(),
+            backoff_ms: 10,
+            client_budget: None,
+        }
+    }
+}
+
+/// The synchronous answer to a submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Submit {
+    /// Queued at this position (the `accepted` event was already sent).
+    Accepted(usize),
+    /// Shed: the queue is at capacity.
+    Overloaded,
+    /// Refused: the daemon is draining for shutdown.
+    ShuttingDown,
+}
+
+struct Job {
+    seq: u64,
+    req: Request,
+    tx: Sender<Json>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    pending: VecDeque<Job>,
+    in_flight: usize,
+    shutdown: bool,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    retried: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    panics_caught: AtomicU64,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    store: Option<Arc<VerdictStore>>,
+    budgets: ClientBudgets,
+    state: Mutex<QueueState>,
+    work_cv: Condvar,
+    idle_cv: Condvar,
+    seq: AtomicU64,
+    counters: Counters,
+}
+
+/// The daemon's scheduling core: a bounded queue, supervised workers,
+/// per-job event streams. Transport-agnostic — the TCP layer in
+/// [`crate::net`] and the in-process tests drive the same object.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Starts the worker pool.
+    pub fn start(cfg: ServeConfig, store: Option<Arc<VerdictStore>>) -> Server {
+        let workers = if cfg.workers == 0 {
+            mc::default_threads()
+        } else {
+            cfg.workers
+        };
+        let inner = Arc::new(Inner {
+            budgets: ClientBudgets::new(cfg.client_budget),
+            cfg,
+            store,
+            state: Mutex::new(QueueState::default()),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            seq: AtomicU64::new(0),
+            counters: Counters::default(),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server {
+            inner,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Submits one job. On acceptance the `accepted` event is sent on
+    /// `tx` *before* any worker event, so clients always see
+    /// `accepted` → (`progress`)* → `done` in order.
+    pub fn submit(&self, req: Request, tx: Sender<Json>) -> Submit {
+        let inner = &self.inner;
+        let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.shutdown {
+            return Submit::ShuttingDown;
+        }
+        if st.pending.len() >= inner.cfg.queue_cap {
+            inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return Submit::Overloaded;
+        }
+        let pos = st.pending.len();
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let _ = tx.send(crate::proto::ev_accepted(&req.id, pos));
+        st.pending.push_back(Job { seq, req, tx });
+        drop(st);
+        inner.work_cv.notify_one();
+        Submit::Accepted(pos)
+    }
+
+    /// Stops accepting work and wakes every worker; queued jobs still run
+    /// to completion (graceful drain).
+    pub fn shutdown(&self) {
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.shutdown = true;
+        drop(st);
+        self.inner.work_cv.notify_all();
+    }
+
+    /// Blocks until the queue is empty and no job is in flight.
+    pub fn drain(&self) {
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !st.pending.is_empty() || st.in_flight > 0 {
+            st = self
+                .inner
+                .idle_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Shuts down, drains, and joins the workers.
+    pub fn join(&self) {
+        self.shutdown();
+        self.drain();
+        let handles: Vec<_> = {
+            let mut w = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+            w.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// The `stats` event: counters, cache reuse, per-client budgets.
+    pub fn stats_json(&self) -> Json {
+        let c = &self.inner.counters;
+        let mut fields = vec![
+            ("ev".to_owned(), Json::str("stats")),
+            (
+                "submitted".to_owned(),
+                Json::Int(c.submitted.load(Ordering::Relaxed)),
+            ),
+            (
+                "completed".to_owned(),
+                Json::Int(c.completed.load(Ordering::Relaxed)),
+            ),
+            (
+                "retried".to_owned(),
+                Json::Int(c.retried.load(Ordering::Relaxed)),
+            ),
+            (
+                "degraded".to_owned(),
+                Json::Int(c.degraded.load(Ordering::Relaxed)),
+            ),
+            ("shed".to_owned(), Json::Int(c.shed.load(Ordering::Relaxed))),
+            (
+                "panics_caught".to_owned(),
+                Json::Int(c.panics_caught.load(Ordering::Relaxed)),
+            ),
+        ];
+        if let Some(store) = &self.inner.store {
+            fields.push(("cache_hits".into(), Json::Int(store.hits())));
+            fields.push(("cache_size".into(), Json::Int(store.len() as u64)));
+            fields.push(("torn_writes".into(), Json::Int(store.torn_writes())));
+        }
+        let clients: Vec<Json> = self
+            .inner
+            .budgets
+            .totals()
+            .into_iter()
+            .map(|(name, conflicts, propagations)| {
+                Json::obj([
+                    ("name", Json::str(name)),
+                    ("conflicts", Json::Int(conflicts)),
+                    ("propagations", Json::Int(propagations)),
+                ])
+            })
+            .collect();
+        fields.push(("clients".into(), Json::Arr(clients)));
+        Json::Obj(fields)
+    }
+
+    /// Degraded-job count so far (tests).
+    pub fn degraded(&self) -> u64 {
+        self.inner.counters.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Retry-attempt count so far (tests).
+    pub fn retried(&self) -> u64 {
+        self.inner.counters.retried.load(Ordering::Relaxed)
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = st.pending.pop_front() {
+                    st.in_flight += 1;
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = inner.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // The whole job — including our own orchestration — runs under
+        // catch_unwind so a worker thread can never die and strand the
+        // queue.
+        let _ = catch_unwind(AssertUnwindSafe(|| process(inner, &job)));
+        let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.in_flight -= 1;
+        drop(st);
+        inner.idle_cv.notify_all();
+    }
+}
+
+/// Everything about a job resolved before the attempt loop: design,
+/// opcode, effective knobs, and the verdict-store key.
+struct Prep {
+    design: Option<Design>,
+    opcode: Option<isa::Opcode>,
+    bound: usize,
+    budget: u64,
+    key: Option<String>,
+}
+
+fn prepare(req: &Request) -> Result<Prep, String> {
+    match req.op {
+        Op::Paths | Op::Leak => {
+            let spec = req.design.as_deref().expect("validated by Request::parse");
+            let design = load_design(spec)?;
+            let iname = req.instr.as_deref().expect("validated by Request::parse");
+            let opcode = design
+                .isa
+                .iter()
+                .copied()
+                .find(|o| o.mnemonic().eq_ignore_ascii_case(iname))
+                .ok_or_else(|| format!("`{iname}` is not implemented by {}", design.name))?;
+            let bound = req.bound.unwrap_or(design.max_latency.min(16) + 8);
+            let budget = req.budget.unwrap_or(2_000_000);
+            let fp = design_fingerprint(&design);
+            let key = format!(
+                "serve:{}:{fp:016x}:{:?}:{bound}:{budget}",
+                req.op.label(),
+                opcode
+            );
+            Ok(Prep {
+                design: Some(design),
+                opcode: Some(opcode),
+                bound,
+                budget,
+                key: Some(key),
+            })
+        }
+        Op::Check => {
+            let source = req.source.as_deref().expect("validated by Request::parse");
+            Ok(Prep {
+                design: None,
+                opcode: None,
+                bound: 0,
+                budget: 0,
+                key: Some(format!("serve:check:{:016x}", fnv(source.as_bytes()))),
+            })
+        }
+        Op::Fuzz => Ok(Prep {
+            design: None,
+            opcode: None,
+            bound: 0,
+            budget: 0,
+            key: Some(format!("serve:fuzz:{}:{}", req.seed, req.cases)),
+        }),
+        Op::Stats | Op::Shutdown => Err(format!(
+            "op `{}` is answered inline, not queued",
+            req.op.label()
+        )),
+    }
+}
+
+fn design_by_name(name: &str) -> Option<Design> {
+    Some(match name {
+        "minicva6" => uarch::build_core(&uarch::CoreConfig::default()),
+        "minicva6-mul" => uarch::build_core(&uarch::CoreConfig::cva6_mul()),
+        "minicva6-op" => uarch::build_core(&uarch::CoreConfig::cva6_op()),
+        "hardened" => uarch::build_core(&uarch::CoreConfig::hardened()),
+        "tinycore" => uarch::build_tiny(),
+        "minicache" => uarch::cache::build_cache(),
+        _ => return None,
+    })
+}
+
+fn load_design(spec: &str) -> Result<Design, String> {
+    if !spec.ends_with(".nl") && !std::path::Path::new(spec).is_file() {
+        return design_by_name(spec)
+            .ok_or_else(|| format!("unknown design `{spec}` (not a built-in, not a file)"));
+    }
+    let src = std::fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+    let (design, result) = uarch::frontend::parse_design(&src, spec);
+    design.ok_or_else(|| format!("{spec}: {}", result.report.summary()))
+}
+
+fn process(inner: &Inner, job: &Job) {
+    let req = &job.req;
+    let prep = match prepare(req) {
+        Ok(p) => p,
+        Err(msg) => {
+            let _ = job.tx.send(ev_error(&req.id, &msg));
+            return;
+        }
+    };
+    // Content-addressed reuse: identical (design fingerprint, knobs) jobs
+    // are answered from the verdict store without re-solving. Provenance
+    // goes in an advisory `progress` event, never in the verdict, so a
+    // cached answer is byte-identical to a freshly computed one.
+    if let (Some(store), Some(key)) = (&inner.store, &prep.key) {
+        if let Some(rec) = store.get(key) {
+            if let Ok(result) = Json::parse(&rec) {
+                let _ = job
+                    .tx
+                    .send(ev_progress(&req.id, "served from verdict store"));
+                let _ = job.tx.send(ev_done(&req.id, result));
+                inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+    let mut last_degraded: Option<Json> = None;
+    for attempt in 0..=inner.cfg.retries {
+        let fault = inner
+            .cfg
+            .faults
+            .serve_fault_for("serve-worker", job.seq as usize, attempt);
+        if attempt > 0 {
+            inner.counters.retried.fetch_add(1, Ordering::Relaxed);
+            let _ = job
+                .tx
+                .send(ev_progress(&req.id, &format!("retry attempt {attempt}")));
+            backoff_sleep(inner, job.seq, attempt);
+        }
+        if fault == Some(ServeFault::QueueStall) {
+            // A stall only adds latency; the attempt then runs clean.
+            let _ = job
+                .tx
+                .send(ev_progress(&req.id, "injected fault: queue stall"));
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            execute(inner, req, &prep, job.seq, attempt, fault)
+        }));
+        match run {
+            Err(_) => {
+                inner.counters.panics_caught.fetch_add(1, Ordering::Relaxed);
+                let _ = job
+                    .tx
+                    .send(ev_progress(&req.id, "worker panic caught by supervisor"));
+            }
+            Ok(Err(msg)) => {
+                let _ = job.tx.send(ev_error(&req.id, &msg));
+                return;
+            }
+            Ok(Ok((payload, degraded))) => {
+                if !degraded {
+                    if let (Some(store), Some(key)) = (&inner.store, &prep.key) {
+                        if fault == Some(ServeFault::TornJournalWrite) {
+                            let _ = job
+                                .tx
+                                .send(ev_progress(&req.id, "injected fault: torn journal write"));
+                            store.put_torn(key, &payload.render_compact());
+                        } else {
+                            store.put(key, &payload.render_compact());
+                        }
+                    }
+                    let _ = job.tx.send(ev_done(&req.id, payload));
+                    inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                let _ = job
+                    .tx
+                    .send(ev_progress(&req.id, &format!("attempt {attempt} degraded")));
+                last_degraded = Some(payload);
+            }
+        }
+    }
+    // Retry budget exhausted: the verdict stands, widened to
+    // undetermined — never flipped. Degraded verdicts are not cached, so
+    // a later identical job (or a restarted daemon) can still converge to
+    // the clean answer.
+    inner.counters.degraded.fetch_add(1, Ordering::Relaxed);
+    let payload = last_degraded.unwrap_or_else(|| {
+        Json::obj([
+            ("op", Json::str(req.op.label())),
+            ("status", Json::str("undetermined")),
+            ("reason", Json::str("job panicked on every attempt")),
+            ("exit", Json::Int(2)),
+        ])
+    });
+    let _ = job.tx.send(ev_done(&req.id, payload));
+    inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Seeded exponential backoff: deterministic per (seed, job, attempt), so
+/// chaos runs replay their timing envelope from the fault seed alone.
+fn backoff_sleep(inner: &Inner, seq: u64, attempt: u32) {
+    if inner.cfg.backoff_ms == 0 {
+        return;
+    }
+    let base = inner.cfg.backoff_ms << (attempt.min(6) - 1);
+    let mut rng = prng::Rng::new(
+        inner.cfg.faults.seed() ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ attempt as u64,
+    );
+    let jitter = rng.range(0, base.max(1));
+    std::thread::sleep(Duration::from_millis(base + jitter));
+}
+
+fn execute(
+    inner: &Inner,
+    req: &Request,
+    prep: &Prep,
+    seq: u64,
+    attempt: u32,
+    fault: Option<ServeFault>,
+) -> Result<(Json, bool), String> {
+    // The watchdog: every attempt runs under its own deadline token. An
+    // injected DeadlineExpired fault is an already-expired watchdog.
+    let watchdog: Option<Arc<CancelToken>> = if fault == Some(ServeFault::DeadlineExpired) {
+        Some(Arc::new(CancelToken::deadline_in(Duration::ZERO)))
+    } else {
+        inner
+            .cfg
+            .deadline_secs
+            .map(|s| Arc::new(CancelToken::deadline_in(Duration::from_secs(s))))
+    };
+    if fault == Some(ServeFault::WorkerPanic) {
+        panic!("injected serve fault: worker panic (job {seq}, attempt {attempt})");
+    }
+    let robust = RobustOptions {
+        cancel: watchdog.clone(),
+        faults: FaultPlan::disabled(),
+        journal: None,
+        retries: 0,
+    };
+    let budget_pool = inner.budgets.pool_for(&req.client);
+    match req.op {
+        Op::Paths => {
+            let design = prep.design.as_ref().expect("prepared");
+            let op = prep.opcode.expect("prepared");
+            let cfg = SynthConfig {
+                slots: vec![0, 1],
+                context: default_context(design),
+                bound: prep.bound,
+                conflict_budget: Some(prep.budget),
+                max_shapes: 64,
+            };
+            let opts = EngineOptions {
+                threads: 1,
+                budget_pool: Some(budget_pool),
+                robust,
+            };
+            let isa_synth = synthesize_isa_with(design, &[op], &cfg, &opts);
+            let r = &isa_synth.instrs[0];
+            let degraded = isa_synth.degraded_jobs > 0 || isa_synth.stats.degraded() > 0;
+            let payload = Json::obj([
+                ("op", Json::str("paths")),
+                ("design", Json::str(&design.name)),
+                ("instr", Json::str(op.mnemonic())),
+                ("mupaths", Json::Int(r.paths.len() as u64)),
+                ("complete", Json::Bool(r.complete)),
+                ("properties", Json::Int(isa_synth.stats.properties)),
+                ("undetermined", Json::Int(isa_synth.stats.undetermined)),
+                ("exit", Json::Int(if degraded { 2 } else { 0 })),
+            ]);
+            Ok((payload, degraded))
+        }
+        Op::Leak => {
+            let design = prep.design.as_ref().expect("prepared");
+            let op = prep.opcode.expect("prepared");
+            let cfg = LeakConfig {
+                mupath: SynthConfig {
+                    slots: vec![0, 1],
+                    context: default_context(design),
+                    bound: prep.bound,
+                    conflict_budget: Some(prep.budget),
+                    max_shapes: 64,
+                },
+                transmitters: design
+                    .isa
+                    .iter()
+                    .copied()
+                    .filter(|t| {
+                        matches!(
+                            t,
+                            isa::Opcode::Add
+                                | isa::Opcode::Mul
+                                | isa::Opcode::Div
+                                | isa::Opcode::Lw
+                                | isa::Opcode::Sw
+                                | isa::Opcode::Beq
+                                | isa::Opcode::Jalr
+                        )
+                    })
+                    .collect(),
+                kinds: vec![
+                    TxKind::Intrinsic,
+                    TxKind::DynamicOlder,
+                    TxKind::DynamicYounger,
+                    TxKind::Static,
+                ],
+                bound: prep.bound,
+                conflict_budget: Some(prep.budget),
+                threads: 1,
+                slot_base: 0,
+                max_sources: Some(3),
+                coi: true,
+                static_prune: true,
+                budget_pool: Some(budget_pool),
+                robust,
+            };
+            let report = synthesize_leakage(design, &[op], &cfg);
+            let mut stats = report.mupath_stats;
+            stats.absorb(&report.ift_stats);
+            let degraded = report.degraded_jobs > 0 || stats.degraded() > 0;
+            let signatures: Vec<Json> = report
+                .signatures
+                .iter()
+                .map(|s| Json::str(s.render()))
+                .collect();
+            let payload = Json::obj([
+                ("op", Json::str("leak")),
+                ("design", Json::str(&design.name)),
+                ("instr", Json::str(op.mnemonic())),
+                ("signatures", Json::Arr(signatures)),
+                ("transponder", Json::Bool(report.transponders.contains(&op))),
+                ("properties", Json::Int(stats.properties)),
+                ("undetermined", Json::Int(stats.undetermined)),
+                ("exit", Json::Int(if degraded { 2 } else { 0 })),
+            ]);
+            Ok((payload, degraded))
+        }
+        Op::Check => {
+            let source = req.source.as_deref().expect("prepared");
+            let result = netlist::text::check(source, "<serve>");
+            let code = result.report.exit_code(false);
+            let payload = Json::obj([
+                ("op", Json::str("check")),
+                ("summary", Json::str(result.report.summary())),
+                ("exit", Json::Int(code as u64)),
+            ]);
+            Ok((payload, false))
+        }
+        Op::Fuzz => {
+            let mut cfg = fuzz::FuzzConfig {
+                seed: req.seed,
+                cases: req.cases,
+                ..Default::default()
+            };
+            if let Some(b) = req.bound {
+                cfg.bound = b;
+            }
+            cfg.deadline = watchdog;
+            let report = fuzz::run_fuzz(&cfg);
+            let degraded = !report.completed;
+            let exit = if report.has_mismatches() {
+                1
+            } else if degraded {
+                2
+            } else {
+                0
+            };
+            let payload = Json::obj([
+                ("op", Json::str("fuzz")),
+                ("seed", Json::Int(report.seed)),
+                ("cases", Json::Int(req.cases)),
+                ("mismatches", Json::Int(report.mismatches.len() as u64)),
+                ("completed", Json::Bool(report.completed)),
+                ("exit", Json::Int(exit)),
+            ]);
+            Ok((payload, degraded))
+        }
+        Op::Stats | Op::Shutdown => Err("not a queued op".into()),
+    }
+}
+
+fn default_context(design: &Design) -> ContextMode {
+    if design.type_values.is_empty() {
+        ContextMode::NoControlFlow
+    } else {
+        ContextMode::Any
+    }
+}

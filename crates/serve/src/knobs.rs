@@ -1,0 +1,95 @@
+//! Shared validation for the robustness knobs every front end parses
+//! (`synthlc-cli paths/leak/fuzz/serve/client`). A zero, negative, or NaN
+//! value for these knobs is always a mistake — a zero deadline expires
+//! every query instantly, a zero fault rate plans nothing (omit the flag),
+//! and NaN compares false with everything, silently disabling whatever
+//! range check it meets — so they are rejected up front with a diagnostic
+//! that says what the knob means, not just "bad value".
+
+/// Parses a `--deadline-secs` value: a positive whole number of seconds.
+pub fn parse_deadline_secs(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    if let Ok(f) = t.parse::<f64>() {
+        if f.is_nan() {
+            return Err(
+                "--deadline-secs must be a positive whole number of seconds, got NaN".to_owned(),
+            );
+        }
+        if f <= 0.0 {
+            return Err(format!(
+                "--deadline-secs must be positive, got `{s}` \
+                 (a zero or negative deadline would expire every query instantly)"
+            ));
+        }
+    }
+    t.parse::<u64>().map_err(|_| {
+        format!("--deadline-secs must be a positive whole number of seconds, got `{s}`")
+    })
+}
+
+/// Parses a `--fault-rate` value: a probability in `(0, 1]`.
+pub fn parse_fault_rate(s: &str) -> Result<f64, String> {
+    let t = s.trim();
+    let f: f64 = t
+        .parse()
+        .map_err(|_| format!("--fault-rate must be a probability in (0, 1], got `{s}`"))?;
+    if f.is_nan() {
+        return Err("--fault-rate must be a probability in (0, 1], got NaN".to_owned());
+    }
+    if f <= 0.0 {
+        return Err(format!(
+            "--fault-rate must be positive, got `{s}` \
+             (a zero or negative rate plans no faults; omit the flag instead)"
+        ));
+    }
+    if f > 1.0 {
+        return Err(format!("--fault-rate must be at most 1, got `{s}`"));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_accepts_positive_integers() {
+        assert_eq!(parse_deadline_secs("1"), Ok(1));
+        assert_eq!(parse_deadline_secs(" 45 "), Ok(45));
+        assert_eq!(parse_deadline_secs("86400"), Ok(86400));
+    }
+
+    #[test]
+    fn deadline_rejects_zero_negative_nan_and_garbage() {
+        for bad in ["0", "-5", "-0.5", "NaN", "nan", "", "soon", "1.5"] {
+            let err = parse_deadline_secs(bad).expect_err(&format!("`{bad}` must be rejected"));
+            assert!(
+                err.contains("--deadline-secs"),
+                "diagnostic for `{bad}` must name the flag: {err}"
+            );
+        }
+        // The zero/negative diagnostic explains the consequence.
+        assert!(parse_deadline_secs("0").unwrap_err().contains("expire"));
+        assert!(parse_deadline_secs("-3").unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn fault_rate_accepts_probabilities() {
+        assert_eq!(parse_fault_rate("0.5"), Ok(0.5));
+        assert_eq!(parse_fault_rate("1"), Ok(1.0));
+        assert_eq!(parse_fault_rate(" 0.01 "), Ok(0.01));
+    }
+
+    #[test]
+    fn fault_rate_rejects_zero_negative_nan_and_out_of_range() {
+        for bad in ["0", "0.0", "-0.5", "-1", "NaN", "nan", "1.5", "2", "", "x"] {
+            let err = parse_fault_rate(bad).expect_err(&format!("`{bad}` must be rejected"));
+            assert!(
+                err.contains("--fault-rate"),
+                "diagnostic for `{bad}` must name the flag: {err}"
+            );
+        }
+        assert!(parse_fault_rate("0").unwrap_err().contains("omit the flag"));
+        assert!(parse_fault_rate("NaN").unwrap_err().contains("NaN"));
+    }
+}

@@ -331,6 +331,7 @@ mod tests {
             ift_stats: CheckStats::default(),
             degraded_jobs: 0,
             resumed_jobs: 0,
+            retried_jobs: 0,
         }
     }
 

@@ -647,7 +647,12 @@ impl LeakHarness {
     /// decisions beforehand).
     pub fn decision_covers(&self, decisions: &[Decision]) -> (Netlist, Vec<SignalId>) {
         let (nl, mut covers) = self.decision_covers_multi(std::slice::from_ref(&decisions));
-        (nl, covers.pop().expect("one decision set in, one cover set out"))
+        (
+            nl,
+            covers
+                .pop()
+                .expect("one decision set in, one cover set out"),
+        )
     }
 
     /// Like [`LeakHarness::decision_covers`], but merges the decision

@@ -2,7 +2,10 @@
 //! of completed job verdicts, one compact JSON record per line, fsync'd
 //! per record so a kill at any instant loses at most the record being
 //! written — and that torn tail is detected and dropped on resume, never
-//! treated as fatal.
+//! treated as fatal. Every line carries an FNV checksum of its key and
+//! record, so even a tear that splices two appends into one
+//! still-parseable line (out-of-order block persistence) is detected and
+//! dropped together with everything after it.
 //!
 //! Records are keyed by stable job fingerprints (design hash + job kind +
 //! indices + the config knobs that can change the verdict), so a journal
@@ -99,17 +102,46 @@ impl Journal {
     pub fn hits(&self) -> u64 {
         self.inner.lock().unwrap_or_else(|e| e.into_inner()).hits
     }
+
+    /// Appends raw bytes at the journal's write position without admitting
+    /// any record — the chaos-injection hook behind the serve daemon's
+    /// torn-write fault. The bytes model a kill mid-append; the next
+    /// [`Journal::resume`] must treat them as a torn tail and drop them
+    /// together with everything written after.
+    pub fn append_raw(&self, bytes: &[u8]) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = inner
+            .file
+            .write_all(bytes)
+            .and_then(|()| inner.file.sync_data());
+    }
 }
 
-/// One journal line: `{"k": <key>, "r": <record>}` with the record kept as
-/// an escaped string so `get` round-trips it untouched.
+/// One journal line: `{"k": <key>, "r": <record>, "c": <checksum>}` with
+/// the record kept as an escaped string so `get` round-trips it untouched.
+/// The checksum covers key and record: a crash that tears writes *across*
+/// two appends (out-of-order block persistence splicing the prefix of one
+/// record onto the suffix of another) can leave a line that still parses
+/// as JSON — only the checksum unmasks it as torn.
 fn parse_record(line: &str) -> Option<(String, String)> {
     let line = line.strip_suffix('\n')?;
     let j = jsonio::Json::parse(line).ok()?;
-    Some((
-        j.field("k")?.as_str()?.to_owned(),
-        j.field("r")?.as_str()?.to_owned(),
-    ))
+    let key = j.field("k")?.as_str()?.to_owned();
+    let record = j.field("r")?.as_str()?.to_owned();
+    if j.field("c")?.as_u64()? != record_checksum(&key, &record) {
+        return None;
+    }
+    Some((key, record))
+}
+
+/// FNV-1a over `key NUL record` — the integrity tag appended to every
+/// journal line.
+fn record_checksum(key: &str, record: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key.as_bytes().iter().chain(&[0u8]).chain(record.as_bytes()) {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl JobStore for Journal {
@@ -130,6 +162,7 @@ impl JobStore for Journal {
         let line = jsonio::Json::Obj(vec![
             ("k".into(), jsonio::Json::str(key)),
             ("r".into(), jsonio::Json::str(record)),
+            ("c".into(), jsonio::Json::Int(record_checksum(key, record))),
         ])
         .render_compact();
         // Append + flush + fsync before admitting the record to the map:
@@ -224,6 +257,71 @@ mod tests {
         let j2 = Journal::resume(&path).unwrap();
         assert_eq!(j2.len(), 2);
         assert_eq!(j2.get("b").as_deref(), Some("2-again"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn splice_torn_across_two_appends_drops_exactly_the_torn_suffix() {
+        // A kill mid-fsync can persist appends out of order: the tail of a
+        // later record lands while the head of an earlier one doesn't,
+        // splicing the prefix of record `b` onto the suffix of record `c`.
+        // The spliced line still *parses* as JSON — only the checksum
+        // reveals the tear. Recovery must keep `a`, and drop exactly the
+        // torn suffix: the splice AND everything after it (`d`), even
+        // though `d` itself is intact.
+        let path = tmp("splice");
+        {
+            let j = Journal::create(&path).unwrap();
+            j.put("a", "alpha");
+            j.put("b", "bravo-long-record-payload");
+            j.put("c", "charlie");
+            j.put("d", "delta");
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Splice: b's bytes up to mid-payload + c's bytes from the same
+        // distance-to-end, picked so the result is valid JSON with b's key
+        // and a hybrid record/checksum.
+        let b_line = lines[1];
+        let c_line = lines[2];
+        let cut = b_line.find("bravo").unwrap() + 3;
+        let tail_len = c_line.len() - c_line.find("charlie").unwrap();
+        let spliced = format!("{}{}", &b_line[..cut], &c_line[c_line.len() - tail_len..]);
+        jsonio::Json::parse(&spliced).expect("the spliced line must parse — that's the trap");
+        let torn = format!("{}\n{}\n{}\n", lines[0], spliced, lines[3]);
+        std::fs::write(&path, torn).unwrap();
+
+        let j = Journal::resume(&path).unwrap();
+        assert_eq!(j.len(), 1, "only the record before the tear survives");
+        assert_eq!(j.get("a").as_deref(), Some("alpha"));
+        assert_eq!(j.get("b"), None, "the spliced record must not replay");
+        assert_eq!(j.get("d"), None, "records after the tear are dropped too");
+        // The file was truncated to the good prefix and appends cleanly.
+        j.put("b", "bravo-again");
+        drop(j);
+        let j2 = Journal::resume(&path).unwrap();
+        assert_eq!(j2.len(), 2);
+        assert_eq!(j2.get("b").as_deref(), Some("bravo-again"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_checksum_counts_as_torn() {
+        let path = tmp("cksum");
+        {
+            let j = Journal::create(&path).unwrap();
+            j.put("a", "1");
+            j.put("b", "2");
+        }
+        // Flip one digit of b's record without breaking the JSON shape.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let flipped = text.replacen("\"r\":\"2\"", "\"r\":\"3\"", 1);
+        assert_ne!(text, flipped);
+        std::fs::write(&path, flipped).unwrap();
+        let j = Journal::resume(&path).unwrap();
+        assert_eq!(j.len(), 1, "a record failing its checksum must be dropped");
+        assert_eq!(j.get("b"), None);
         std::fs::remove_file(path).unwrap();
     }
 

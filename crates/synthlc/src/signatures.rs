@@ -105,6 +105,9 @@ pub struct LeakageReport {
     pub degraded_jobs: u64,
     /// Jobs replayed from the checkpoint journal instead of running.
     pub resumed_jobs: u64,
+    /// Retry attempts (across both phases) spent recovering transiently
+    /// failed jobs ([`RobustOptions::retries`]).
+    pub retried_jobs: u64,
 }
 
 impl LeakageReport {
@@ -421,6 +424,7 @@ pub fn synthesize_leakage(
     let mupath_stats = isa_synth.stats;
     let mut degraded_jobs = isa_synth.degraded_jobs;
     let mut resumed_jobs = isa_synth.resumed_jobs;
+    let mut retried_jobs = isa_synth.retried_jobs;
 
     // Phase 2: symbolic IFT per candidate transponder.
     struct Work {
@@ -501,27 +505,28 @@ pub fn synthesize_leakage(
         elab: Arc<Elab>,
         coi: Option<Arc<mc::CoiSlice>>,
     }
-    let cover_nets: Vec<CoverNet> = mc::run_jobs((0..pairings.len()).collect(), threads, |_, pi| {
-        let works: Vec<&[Decision]> = work.iter().map(|w| w.decisions.as_slice()).collect();
-        let (netlist, covers) = harnesses[pi].decision_covers_multi(&works);
-        let elab = Arc::new(Elab::new(&netlist));
-        // The slice must keep every signal a query can reference: all
-        // transponders' covers plus the full assume universe of the
-        // harness (harness signal ids are preserved by the cover-netlist
-        // extension).
-        let coi = cfg.coi.then(|| {
-            let mut targets: Vec<netlist::SignalId> =
-                covers.iter().flatten().copied().collect();
-            targets.extend(harnesses[pi].assume_signal_universe());
-            Arc::new(mc::CoiSlice::compute(&netlist, &targets))
+    let cover_nets: Vec<CoverNet> =
+        mc::run_jobs((0..pairings.len()).collect(), threads, |_, pi| {
+            let works: Vec<&[Decision]> = work.iter().map(|w| w.decisions.as_slice()).collect();
+            let (netlist, covers) = harnesses[pi].decision_covers_multi(&works);
+            let elab = Arc::new(Elab::new(&netlist));
+            // The slice must keep every signal a query can reference: all
+            // transponders' covers plus the full assume universe of the
+            // harness (harness signal ids are preserved by the cover-netlist
+            // extension).
+            let coi = cfg.coi.then(|| {
+                let mut targets: Vec<netlist::SignalId> =
+                    covers.iter().flatten().copied().collect();
+                targets.extend(harnesses[pi].assume_signal_universe());
+                Arc::new(mc::CoiSlice::compute(&netlist, &targets))
+            });
+            CoverNet {
+                netlist,
+                covers,
+                elab,
+                coi,
+            }
         });
-        CoverNet {
-            netlist,
-            covers,
-            elab,
-            coi,
-        }
-    });
 
     // Phase 2c: the query jobs — one per (transponder, arrangement,
     // typing), all of an arrangement sharing its pooled checker.
@@ -580,10 +585,12 @@ pub fn synthesize_leakage(
             })
         })
         .collect();
-    let cached_groups: Vec<Option<Vec<(Vec<Tag>, CheckStats)>>> = (0..pairings.len())
+    // One replayed IFT unit: its leaking tag set plus the query stats.
+    type IftUnitRecord = (Vec<Tag>, CheckStats);
+    let cached_groups: Vec<Option<Vec<IftUnitRecord>>> = (0..pairings.len())
         .map(|pi| {
             let journal = cfg.robust.journal.as_deref()?;
-            let group: Option<Vec<(Vec<Tag>, CheckStats)>> = units
+            let group: Option<Vec<IftUnitRecord>> = units
                 .iter()
                 .enumerate()
                 .filter(|&(_, &(_, upi, _))| upi == pi)
@@ -599,15 +606,13 @@ pub fn synthesize_leakage(
         })
         .collect();
     let pool = mc::SolverPool::new();
-    let supervised = mc::run_jobs_supervised(units.clone(), threads, |ix, (wi, pi, kind)| {
-        if let Some(group) = &cached_groups[pi] {
-            // `tickets[ix]` is exactly this unit's rank within its
-            // pairing, i.e. its index into the replayed group.
-            return group[tickets[ix]].clone();
-        }
-        let fault = cfg.robust.faults.fault_for("ift", ix);
+    // The per-unit body, shared by the parallel batch (ticket =
+    // `tickets[ix]`, attempt 0) and by sequential coordinator-thread
+    // retries (continuation tickets, attempt ≥ 1).
+    let run_unit = |ix: usize, wi: usize, pi: usize, kind: TxKind, ticket: usize, attempt: u32| {
+        let fault = cfg.robust.faults.fault_for_attempt("ift", ix, attempt);
         let cn = &cover_nets[pi];
-        let mut ctx = pool.checkout(keys[pi], tickets[ix], cfg.bound, || {
+        let mut ctx = pool.checkout(keys[pi], ticket, cfg.bound, || {
             let mut c = Checker::with_coi(
                 &cn.netlist,
                 McConfig {
@@ -652,13 +657,64 @@ pub fn synthesize_leakage(
         // Only clean verdicts are journaled (degraded jobs rerun on
         // resume), so a resumed run converges to the uninterrupted result.
         if fault.is_none() && r.1.degraded() == 0 {
-            if let (Some(j), Some(k)) = (cfg.robust.journal.as_deref(), unit_keys[ix].as_deref())
-            {
+            if let (Some(j), Some(k)) = (cfg.robust.journal.as_deref(), unit_keys[ix].as_deref()) {
                 j.put(k, &encode_ift_record(&r.0, &r.1));
             }
         }
         r
+    };
+    let mut supervised = mc::run_jobs_supervised(units.clone(), threads, |ix, (wi, pi, kind)| {
+        if let Some(group) = &cached_groups[pi] {
+            // `tickets[ix]` is exactly this unit's rank within its
+            // pairing, i.e. its index into the replayed group.
+            return group[tickets[ix]].clone();
+        }
+        run_unit(ix, wi, pi, kind, tickets[ix], 0)
     });
+    // Transient-failure recovery, mirroring the µPATH phase: rerun failed
+    // or degraded units sequentially in job order, each consuming its
+    // pairing's next checkout ticket, so the merged report stays
+    // worker-count independent.
+    if cfg.robust.retries > 0 {
+        let mut next_ticket: Vec<usize> = (0..pairings.len())
+            .map(|pi| {
+                if cached_groups[pi].is_some() {
+                    0
+                } else {
+                    units.iter().filter(|&&(_, upi, _)| upi == pi).count()
+                }
+            })
+            .collect();
+        for (ix, &(wi, pi, kind)) in units.iter().enumerate() {
+            for attempt in 1..=cfg.robust.retries {
+                let needs_retry = match &supervised[ix] {
+                    Ok((_, st)) => st.degraded() > 0,
+                    Err(_) => true,
+                };
+                if !needs_retry {
+                    break;
+                }
+                if cfg.robust.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                    break;
+                }
+                retried_jobs += 1;
+                let ticket = next_ticket[pi];
+                next_ticket[pi] += 1;
+                supervised[ix] = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_unit(ix, wi, pi, kind, ticket, attempt)
+                }))
+                .map_err(|payload| mc::JobFailure {
+                    job_id: ix,
+                    payload_msg: payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into()),
+                    backtrace_hint: format!("panicked again on retry attempt {attempt}"),
+                });
+            }
+        }
+    }
     let results: Vec<(Vec<Tag>, CheckStats)> = supervised
         .into_iter()
         .map(|r| match r {
@@ -764,6 +820,7 @@ pub fn synthesize_leakage(
         ift_stats,
         degraded_jobs,
         resumed_jobs,
+        retried_jobs,
     }
 }
 

@@ -105,6 +105,65 @@ if ! cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
 fi
 echo "fuzz-smoke OK (2 seeds x 64 designs, seven oracles, zero mismatches)"
 
+echo "== serve-smoke (daemon: retry a worker panic, cache hit, drain) =="
+# The daemon leg of the fault-smoke contract. SYNTHLC_FAULT_SEED=209
+# (serve::CI_SMOKE_SEED, pinned by a unit test) at rate 0.5 plans a
+# worker panic for the first job's first attempt and a clean retry, so:
+#   1. `leak minicache lw` must survive its injected panic and exit 0;
+#   2. an identical resubmission must be a cache hit (no re-solve);
+#   3. `stats` must show retried >= 1 and cache_hits >= 1;
+#   4. a client `shutdown` must drain the queue and exit the daemon 0.
+SERVE_JOURNAL=$(mktemp -t synthlc-serve-smoke.XXXXXX)
+SERVE_LOG=$(mktemp -t synthlc-serve-log.XXXXXX)
+trap 'rm -f "$JOURNAL" "$SERVE_JOURNAL" "$SERVE_LOG"; kill "${SERVE_PID:-}" 2>/dev/null || true' EXIT
+rm -f "$SERVE_JOURNAL"
+SYNTHLC_FAULT_SEED=209 cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
+  serve --port 0 --workers 1 --retries 2 --fault-rate 0.5 \
+  --journal "$SERVE_JOURNAL" > "$SERVE_LOG" &
+SERVE_PID=$!
+SERVE_ADDR=""
+for _ in $(seq 1 100); do
+  SERVE_ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
+  [ -n "$SERVE_ADDR" ] && break
+  sleep 0.2
+done
+if [ -z "$SERVE_ADDR" ]; then
+  echo "serve-smoke: daemon never printed its address" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+fi
+# Leg 1: the first job draws the planned worker panic, retries, exits 0.
+cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
+  client "$SERVE_ADDR" leak minicache lw --id smoke1 > /dev/null
+# Leg 2: identical job again — must be answered from the verdict store.
+cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
+  client "$SERVE_ADDR" leak minicache lw --id smoke2 > /dev/null
+STATS=$(cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
+  client "$SERVE_ADDR" stats)
+for WANT in '"retried":' '"cache_hits":'; do
+  if ! printf '%s' "$STATS" | grep -q "$WANT"; then
+    echo "serve-smoke: stats lack $WANT: $STATS" >&2
+    exit 1
+  fi
+done
+RETRIED=$(printf '%s' "$STATS" | sed -n 's/.*"retried":\([0-9]*\).*/\1/p')
+HITS=$(printf '%s' "$STATS" | sed -n 's/.*"cache_hits":\([0-9]*\).*/\1/p')
+if [ "${RETRIED:-0}" -lt 1 ] || [ "${HITS:-0}" -lt 1 ]; then
+  echo "serve-smoke: expected retried>=1 and cache_hits>=1, got $STATS" >&2
+  exit 1
+fi
+# Leg 3: graceful shutdown drains and the daemon exits 0.
+cargo run -q --release "${OFFLINE[@]}" --bin synthlc-cli -- \
+  client "$SERVE_ADDR" shutdown > /dev/null
+SERVE_EXIT=0
+wait "$SERVE_PID" || SERVE_EXIT=$?
+if [ "$SERVE_EXIT" != 0 ]; then
+  echo "serve-smoke: daemon exited $SERVE_EXIT after graceful shutdown" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+fi
+echo "serve-smoke OK (panic retried to exit 0, cache hit, graceful drain)"
+
 echo "== sat-regression (DIMACS corpus + solver knob sweep) =="
 # Every corpus file encodes its brute-force-verified status in its name;
 # the CLI must reproduce it through the SAT-competition exit codes

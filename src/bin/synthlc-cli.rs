@@ -9,6 +9,8 @@
 //! synthlc-cli fuzz   [opts]                   # differential-oracle fuzzing
 //! synthlc-cli sat    <file.cnf>... [--stats]  # solve DIMACS formulas
 //!                    [--incremental]          # ...through one pooled solver
+//! synthlc-cli serve  [opts]                   # JSONL verification daemon (§13)
+//! synthlc-cli client <addr|port> <op> [args]  # submit one job to the daemon
 //! synthlc-cli designs                         # list available designs
 //!
 //! designs: minicva6 | minicva6-mul | minicva6-op | hardened | tinycore | minicache
@@ -17,7 +19,7 @@
 //! (parse, resolve, typecheck, lint) before synthesis.
 //! options: --slots 0,1   --bound N   --context any|nocf|solo   --budget N   --jobs N
 //!          --deadline-secs N   --journal PATH   --resume PATH   --fault-rate F
-//!          --fail-on-undetermined   --lint   --deny-warnings
+//!          --retries N   --fail-on-undetermined   --lint   --deny-warnings
 //!
 //! Every synthesis command lints its design first and aborts on error-level
 //! findings (`--deny-warnings` makes warnings fatal too; `--lint` prints the
@@ -138,6 +140,7 @@ struct Opts {
     journal: Option<String>,
     resume: Option<String>,
     fault_rate: f64,
+    retries: u32,
     fail_on_undetermined: bool,
 }
 
@@ -158,6 +161,7 @@ fn parse_opts(args: &[String], design: &Design) -> Result<Opts, String> {
         journal: None,
         resume: None,
         fault_rate: 0.0,
+        retries: 0,
         fail_on_undetermined: false,
     };
     let mut it = args.iter();
@@ -192,21 +196,17 @@ fn parse_opts(args: &[String], design: &Design) -> Result<Opts, String> {
             "--lint" => o.lint = true,
             "--deny-warnings" => o.deny_warnings = true,
             "--deadline-secs" => {
-                o.deadline_secs = Some(
-                    val("--deadline-secs")?
-                        .parse()
-                        .map_err(|_| "bad --deadline-secs".to_owned())?,
-                );
+                o.deadline_secs = Some(serve::parse_deadline_secs(&val("--deadline-secs")?)?);
             }
             "--journal" => o.journal = Some(val("--journal")?),
             "--resume" => o.resume = Some(val("--resume")?),
             "--fault-rate" => {
-                o.fault_rate = val("--fault-rate")?
+                o.fault_rate = serve::parse_fault_rate(&val("--fault-rate")?)?;
+            }
+            "--retries" => {
+                o.retries = val("--retries")?
                     .parse()
-                    .map_err(|_| "bad --fault-rate".to_owned())?;
-                if !(0.0..=1.0).contains(&o.fault_rate) {
-                    return Err("--fault-rate must be in [0, 1]".to_owned());
-                }
+                    .map_err(|_| "bad --retries".to_owned())?;
             }
             "--fail-on-undetermined" => o.fail_on_undetermined = true,
             "--context" => {
@@ -254,6 +254,7 @@ fn robust_opts(o: &Opts) -> Result<RobustOptions, String> {
             .map(|s| Arc::new(CancelToken::deadline_in(Duration::from_secs(s)))),
         faults: FaultPlan::new(FaultPlan::env_seed(), o.fault_rate),
         journal,
+        retries: o.retries,
     })
 }
 
@@ -266,11 +267,12 @@ fn degradation_exit(
     stats: &CheckStats,
     degraded_jobs: u64,
     resumed_jobs: u64,
+    retried_jobs: u64,
 ) -> ExitCode {
-    if degraded_jobs > 0 || resumed_jobs > 0 || stats.undetermined > 0 {
+    if degraded_jobs > 0 || resumed_jobs > 0 || retried_jobs > 0 || stats.undetermined > 0 {
         println!(
             "degraded: {degraded_jobs} job(s) [budget={} deadline={} panicked={} fault={}], \
-             resumed: {resumed_jobs} job(s)",
+             resumed: {resumed_jobs} job(s), retried: {retried_jobs} attempt(s)",
             stats.undet_budget, stats.undet_deadline, stats.undet_panicked, stats.undet_fault
         );
     }
@@ -470,6 +472,7 @@ fn cmd_paths(design: &Design, op: isa::Opcode, o: &Opts) -> Result<ExitCode, Str
         &isa_synth.stats,
         isa_synth.degraded_jobs,
         isa_synth.resumed_jobs,
+        isa_synth.retried_jobs,
     ))
 }
 
@@ -513,7 +516,13 @@ fn cmd_leak(design: &Design, op: isa::Opcode, o: &Opts) -> Result<ExitCode, Stri
     let mut stats = report.mupath_stats;
     stats.absorb(&report.ift_stats);
     println!("{}", solver_summary(&stats));
-    let exit = degradation_exit(o, &stats, report.degraded_jobs, report.resumed_jobs);
+    let exit = degradation_exit(
+        o,
+        &stats,
+        report.degraded_jobs,
+        report.resumed_jobs,
+        report.retried_jobs,
+    );
     if report.signatures.is_empty() {
         println!("{op}: no leakage signatures (not a transponder, or no tagged decisions)");
         return Ok(exit);
@@ -563,9 +572,7 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
                     .map_err(|_| "bad --bound".to_owned())?;
             }
             "--deadline-secs" => {
-                let secs: u64 = val("--deadline-secs")?
-                    .parse()
-                    .map_err(|_| "bad --deadline-secs".to_owned())?;
+                let secs = serve::parse_deadline_secs(&val("--deadline-secs")?)?;
                 cfg.deadline = Some(Arc::new(CancelToken::deadline_in(Duration::from_secs(
                     secs,
                 ))));
@@ -761,6 +768,186 @@ fn sat_incremental(
     Ok(sat_exit_code(last))
 }
 
+/// Parses and runs the `serve` subcommand: the long-lived verification
+/// daemon (DESIGN.md §13). Blocks until SIGINT/SIGTERM or a client
+/// `shutdown` request, then drains the queue and exits.
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = serve::ServeConfig::default();
+    let mut port = 0u16;
+    let mut journal: Option<String> = None;
+    let mut resume: Option<String> = None;
+    let mut fault_rate = 0.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--port" => {
+                port = val("--port")?
+                    .parse()
+                    .map_err(|_| "bad --port".to_owned())?;
+            }
+            "--workers" => {
+                cfg.workers = val("--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers".to_owned())?;
+            }
+            "--queue-cap" => {
+                cfg.queue_cap = val("--queue-cap")?
+                    .parse()
+                    .map_err(|_| "bad --queue-cap".to_owned())?;
+                if cfg.queue_cap == 0 {
+                    return Err("--queue-cap must be at least 1 (a zero-capacity \
+                                queue sheds every job)"
+                        .into());
+                }
+            }
+            "--retries" => {
+                cfg.retries = val("--retries")?
+                    .parse()
+                    .map_err(|_| "bad --retries".to_owned())?;
+            }
+            "--deadline-secs" => {
+                cfg.deadline_secs = Some(serve::parse_deadline_secs(&val("--deadline-secs")?)?);
+            }
+            "--fault-rate" => {
+                fault_rate = serve::parse_fault_rate(&val("--fault-rate")?)?;
+            }
+            "--backoff-ms" => {
+                cfg.backoff_ms = val("--backoff-ms")?
+                    .parse()
+                    .map_err(|_| "bad --backoff-ms".to_owned())?;
+            }
+            "--client-budget" => {
+                cfg.client_budget = Some(
+                    val("--client-budget")?
+                        .parse()
+                        .map_err(|_| "bad --client-budget".to_owned())?,
+                );
+            }
+            "--journal" => journal = Some(val("--journal")?),
+            "--resume" => resume = Some(val("--resume")?),
+            other => return Err(format!("unknown serve option `{other}`")),
+        }
+    }
+    if fault_rate > 0.0 {
+        cfg.faults = mc::FaultPlan::new(mc::FaultPlan::env_seed(), fault_rate);
+    }
+    if journal.is_some() && resume.is_some() {
+        return Err("--journal and --resume are exclusive: --resume replays an \
+                    existing verdict journal, --journal starts a fresh one"
+            .into());
+    }
+    let store = match (journal, resume) {
+        (Some(p), None) => Some(Arc::new(
+            serve::VerdictStore::create(&p)
+                .map_err(|e| format!("cannot create journal {p}: {e}"))?,
+        )),
+        (None, Some(p)) => Some(Arc::new(
+            serve::VerdictStore::resume(&p)
+                .map_err(|e| format!("cannot resume journal {p}: {e}"))?,
+        )),
+        (None, None) => None,
+        (Some(_), Some(_)) => unreachable!("rejected above"),
+    };
+    let code = serve::serve_tcp(cfg, store, port).map_err(|e| format!("serve failed: {e}"))?;
+    Ok(ExitCode::from(code))
+}
+
+/// Parses and runs the `client` subcommand: submits one job (or a
+/// `stats`/`shutdown` control request) to a running daemon and streams
+/// its events to stdout. Exit code is the job's verdict exit.
+fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
+    let addr_arg = args
+        .first()
+        .ok_or("`client` needs a daemon address (HOST:PORT, or a bare PORT for 127.0.0.1)")?;
+    let addr = if addr_arg.contains(':') {
+        addr_arg.clone()
+    } else {
+        format!("127.0.0.1:{addr_arg}")
+    };
+    let op_label = args
+        .get(1)
+        .ok_or("`client` needs an op (paths leak check fuzz stats shutdown)")?;
+    let mut req = serve::Request::new(match op_label.as_str() {
+        "paths" => serve::Op::Paths,
+        "leak" => serve::Op::Leak,
+        "check" => serve::Op::Check,
+        "fuzz" => serve::Op::Fuzz,
+        "stats" => serve::Op::Stats,
+        "shutdown" => serve::Op::Shutdown,
+        other => {
+            return Err(format!(
+                "unknown op `{other}` (known: paths leak check fuzz stats shutdown)"
+            ))
+        }
+    });
+    let mut rest = &args[2..];
+    // `paths`/`leak` take positional <design> <instr> before flags.
+    if matches!(req.op, serve::Op::Paths | serve::Op::Leak) {
+        let design = rest
+            .first()
+            .ok_or_else(|| format!("`client {op_label}` needs a design name"))?;
+        let instr = rest
+            .get(1)
+            .ok_or_else(|| format!("`client {op_label}` needs an instruction mnemonic"))?;
+        req.design = Some(design.clone());
+        req.instr = Some(instr.clone());
+        rest = &rest[2..];
+    }
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--id" => req.id = val("--id")?,
+            "--client" => req.client = val("--client")?,
+            "--bound" => {
+                req.bound = Some(
+                    val("--bound")?
+                        .parse()
+                        .map_err(|_| "bad --bound".to_owned())?,
+                );
+            }
+            "--budget" => {
+                req.budget = Some(
+                    val("--budget")?
+                        .parse()
+                        .map_err(|_| "bad --budget".to_owned())?,
+                );
+            }
+            "--seed" => {
+                req.seed = val("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_owned())?;
+            }
+            "--cases" => {
+                req.cases = val("--cases")?
+                    .parse()
+                    .map_err(|_| "bad --cases".to_owned())?;
+            }
+            "--source-file" => {
+                let p = val("--source-file")?;
+                req.source =
+                    Some(std::fs::read_to_string(&p).map_err(|e| format!("cannot read {p}: {e}"))?);
+            }
+            other => return Err(format!("unknown client option `{other}`")),
+        }
+    }
+    if req.op == serve::Op::Check && req.source.is_none() {
+        return Err("`client check` needs --source-file <file.nl>".into());
+    }
+    let code = serve::run_client(&addr, &[req])
+        .map_err(|e| format!("cannot reach daemon at {addr}: {e}"))?;
+    Ok(ExitCode::from(code))
+}
+
 fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
@@ -804,6 +991,8 @@ fn run() -> Result<ExitCode, String> {
         "check" => cmd_check(&args[1..]),
         "fuzz" => cmd_fuzz(&args[1..]),
         "sat" => cmd_sat(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "client" => cmd_client(&args[1..]),
         "pls" | "paths" | "leak" => {
             let dname = args
                 .get(1)
@@ -841,13 +1030,20 @@ fn run() -> Result<ExitCode, String> {
                  synthlc-cli pls <design> [opts]\n  \
                  synthlc-cli paths <design> <instr> [opts]\n  synthlc-cli leak <design> <instr> [opts]\n  \
                  synthlc-cli fuzz [--seed S] [--cases N] [--max-cells N] [--bound N] [--deadline-secs N] [--knob-sweep] [--oracles a,b]\n  \
-                 synthlc-cli sat <file.cnf>... [--incremental] [--stats] [--budget N]  (exit 10 SAT / 20 UNSAT / 0 unknown)\n\
+                 synthlc-cli sat <file.cnf>... [--incremental] [--stats] [--budget N]  (exit 10 SAT / 20 UNSAT / 0 unknown)\n  \
+                 synthlc-cli serve [--port P] [--workers N] [--queue-cap N] [--retries N]\n      \
+                 [--deadline-secs N] [--fault-rate F] [--backoff-ms N] [--client-budget N]\n      \
+                 [--journal PATH | --resume PATH]  (JSONL daemon; SIGINT drains and exits)\n  \
+                 synthlc-cli client <addr|port> <op> [<design> <instr>] [--id I] [--client C]\n      \
+                 [--bound N] [--budget N] [--seed S] [--cases N] [--source-file F.nl]\n      \
+                 (ops: paths leak check fuzz stats shutdown; exit 75 = shed, resubmit)\n\
                  \ndesigns: minicva6 minicva6-mul minicva6-op hardened tinycore minicache\n\
                  (a <design> may also be a path to a .nl netlist file)\n\
                  opts: --slots 0,1  --bound N  --context any|nocf|solo  --budget N  --jobs N\n      \
                  --deadline-secs N (degrade, don't hang, past the wall clock)\n      \
                  --journal PATH (checkpoint verdicts)  --resume PATH (replay a journal)\n      \
                  --fault-rate F (inject faults, seed SYNTHLC_FAULT_SEED)\n      \
+                 --retries N (re-run degraded jobs up to N times before the verdict stands)\n      \
                  --fail-on-undetermined (exit 2 on any undetermined outcome)\n      \
                  --lint (print lint report)  --deny-warnings (lint warnings are fatal)\n\
                  \nexit codes: 0 all decided; 2 degraded/undetermined; 1 hard error\n\

@@ -97,7 +97,7 @@ fn in_tree_designs_extend_stably() {
 
 #[test]
 fn fuzz_generated_netlists_extend_stably() {
-    let mut rng = Rng::new(0x5eed_11);
+    let mut rng = Rng::new(0x5eed11);
     for case in 0..40 {
         let genome = sample_genome(&mut rng, &GenConfig::default());
         let d = build(&genome);
@@ -115,7 +115,7 @@ fn fuzz_generated_netlists_extend_stably() {
 /// bound — the verdict-level face of the same stability property.
 #[test]
 fn grown_checker_agrees_with_fresh_checker() {
-    let mut rng = Rng::new(0x5eed_22);
+    let mut rng = Rng::new(0x5eed22);
     let (shallow, deep) = (3usize, 7usize);
     let mut covered = 0u32;
     for _ in 0..60 {
