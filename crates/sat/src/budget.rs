@@ -85,6 +85,13 @@ impl BudgetPool {
 /// per-client conflict cap. A client that exhausts its own cap degrades
 /// only its own queries; other clients' pools are untouched. All methods
 /// take `&self` and are safe to call from concurrent workers.
+///
+/// Client names arrive verbatim from an untrusted wire field, so the
+/// ledger is bounded: at most [`ClientBudgets::MAX_CLIENTS`] named
+/// accounts are ever created, and every name past the cap is folded into
+/// the shared [`ClientBudgets::OVERFLOW_CLIENT`] account — a stream of
+/// unique names cannot grow the map (or a `stats` payload built from it)
+/// without bound.
 #[derive(Debug, Default)]
 pub struct ClientBudgets {
     cap: Option<u64>,
@@ -92,6 +99,14 @@ pub struct ClientBudgets {
 }
 
 impl ClientBudgets {
+    /// Distinct named ledgers before new names fold into
+    /// [`Self::OVERFLOW_CLIENT`] (which gets its own slot on top).
+    pub const MAX_CLIENTS: usize = 64;
+
+    /// The shared account absorbing clients past [`Self::MAX_CLIENTS`].
+    /// A client literally named this shares the overflow pool.
+    pub const OVERFLOW_CLIENT: &'static str = "other";
+
     /// A ledger whose per-client pools each carry `cap` (`None` =
     /// accounting only, never exhausts).
     pub fn new(cap: Option<u64>) -> Self {
@@ -101,12 +116,19 @@ impl ClientBudgets {
         }
     }
 
-    /// The named client's pool, created on first use.
+    /// The named client's pool, created on first use; once
+    /// [`Self::MAX_CLIENTS`] named accounts exist, unseen names share the
+    /// [`Self::OVERFLOW_CLIENT`] pool (so latecomers also share its cap).
     pub fn pool_for(&self, client: &str) -> std::sync::Arc<BudgetPool> {
         let mut pools = self.pools.lock().unwrap_or_else(|e| e.into_inner());
+        let name = if pools.contains_key(client) || pools.len() < Self::MAX_CLIENTS {
+            client
+        } else {
+            Self::OVERFLOW_CLIENT
+        };
         std::sync::Arc::clone(
             pools
-                .entry(client.to_owned())
+                .entry(name.to_owned())
                 .or_insert_with(|| std::sync::Arc::new(BudgetPool::new(self.cap))),
         )
     }
@@ -164,6 +186,33 @@ mod tests {
         assert_eq!(
             ledger.totals(),
             vec![("alice".into(), 10, 100), ("bob".into(), 0, 0)]
+        );
+    }
+
+    #[test]
+    fn ledger_folds_unbounded_client_names_into_overflow_pool() {
+        let ledger = ClientBudgets::new(None);
+        for i in 0..ClientBudgets::MAX_CLIENTS {
+            ledger.pool_for(&format!("client-{i}"));
+        }
+        let spill_a = ledger.pool_for("fresh-name-a");
+        let spill_b = ledger.pool_for("fresh-name-b");
+        assert!(
+            std::sync::Arc::ptr_eq(&spill_a, &spill_b),
+            "names past the cap share the overflow pool"
+        );
+        assert!(
+            std::sync::Arc::ptr_eq(&spill_a, &ledger.pool_for(ClientBudgets::OVERFLOW_CLIENT)),
+            "the overflow pool is the `other` account"
+        );
+        assert!(
+            std::sync::Arc::ptr_eq(&ledger.pool_for("client-0"), &ledger.pool_for("client-0")),
+            "accounts created before the cap keep their own pool"
+        );
+        assert_eq!(
+            ledger.totals().len(),
+            ClientBudgets::MAX_CLIENTS + 1,
+            "the map is bounded: named accounts plus one overflow slot"
         );
     }
 

@@ -344,13 +344,21 @@ fn prepare(req: &Request) -> Result<Prep, String> {
                 key: Some(format!("serve:check:{:016x}", fnv(source.as_bytes()))),
             })
         }
-        Op::Fuzz => Ok(Prep {
-            design: None,
-            opcode: None,
-            bound: 0,
-            budget: 0,
-            key: Some(format!("serve:fuzz:{}:{}", req.seed, req.cases)),
-        }),
+        Op::Fuzz => {
+            // The effective bound is verdict-relevant (a clean bound-4 run
+            // says nothing about bound 12), so it must be part of the key
+            // even when the client left it defaulted.
+            let bound = req
+                .bound
+                .unwrap_or_else(|| fuzz::FuzzConfig::default().bound);
+            Ok(Prep {
+                design: None,
+                opcode: None,
+                bound,
+                budget: 0,
+                key: Some(format!("serve:fuzz:{}:{}:{bound}", req.seed, req.cases)),
+            })
+        }
         Op::Stats | Op::Shutdown => Err(format!(
             "op `{}` is answered inline, not queued",
             req.op.label()
@@ -632,11 +640,11 @@ fn execute(
             let mut cfg = fuzz::FuzzConfig {
                 seed: req.seed,
                 cases: req.cases,
+                // Resolved in prepare() so the verdict-store key and the
+                // run always agree on the effective bound.
+                bound: prep.bound,
                 ..Default::default()
             };
-            if let Some(b) = req.bound {
-                cfg.bound = b;
-            }
             cfg.deadline = watchdog;
             let report = fuzz::run_fuzz(&cfg);
             let degraded = !report.completed;
@@ -666,5 +674,31 @@ fn default_context(design: &Design) -> ContextMode {
         ContextMode::NoControlFlow
     } else {
         ContextMode::Any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzz_store_key_covers_every_verdict_relevant_knob() {
+        let mut r = Request::new(Op::Fuzz);
+        r.seed = 7;
+        r.cases = 16;
+        let defaulted = prepare(&r).unwrap();
+        r.bound = Some(fuzz::FuzzConfig::default().bound);
+        let explicit_default = prepare(&r).unwrap();
+        assert_eq!(
+            defaulted.key, explicit_default.key,
+            "an explicit bound equal to the default must hit the same entry"
+        );
+        r.bound = Some(12);
+        let deeper = prepare(&r).unwrap();
+        assert_ne!(
+            defaulted.key, deeper.key,
+            "a different BMC bound is a different verdict; keys must differ"
+        );
+        assert_eq!(deeper.bound, 12, "the keyed bound is the bound that runs");
     }
 }

@@ -17,9 +17,10 @@ use crate::proto::{ev_error, ev_overloaded, Op, Request};
 use crate::store::VerdictStore;
 use jsonio::{jsonl, Json};
 use std::io::{BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 static SIGNALLED: AtomicBool = AtomicBool::new(false);
@@ -59,18 +60,28 @@ pub fn serve_tcp(
     listener.set_nonblocking(true)?;
     let server = Arc::new(Server::start(cfg, store));
     let stop = Arc::new(AtomicBool::new(false));
+    // Live connections: a read-half handle (to unblock the reader at
+    // drain time) plus the handler thread (which owns the forwarder and
+    // joins it before exiting). Swept as connections finish so the vec
+    // tracks only live sockets.
+    let mut conns: Vec<(TcpStream, JoinHandle<()>)> = Vec::new();
     loop {
         if SIGNALLED.load(Ordering::SeqCst) || stop.load(Ordering::SeqCst) {
             break;
         }
+        conns.retain(|(_, h)| !h.is_finished());
         match listener.accept() {
             Ok((sock, _)) => {
                 let server = Arc::clone(&server);
                 let stop = Arc::clone(&stop);
-                std::thread::Builder::new()
+                let read_half = sock.try_clone();
+                let handle = std::thread::Builder::new()
                     .name("serve-conn".into())
                     .spawn(move || handle_conn(&server, &stop, sock))
                     .expect("spawn connection handler");
+                if let Ok(read_half) = read_half {
+                    conns.push((read_half, handle));
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(30));
@@ -78,10 +89,19 @@ pub fn serve_tcp(
             Err(_) => break,
         }
     }
-    // Graceful drain: no new work, every accepted job completes and its
-    // events reach the client, workers join, journal already fsync'd per
-    // record.
+    // Graceful drain: no new work, every accepted job completes, workers
+    // join, journal already fsync'd per record.
     server.join();
+    // Every terminal event is now *enqueued*; make sure it is *flushed*
+    // before the process exits. Shutting the read halves unblocks any
+    // handler parked in read_line (an idle client that never closed),
+    // whose exit drops the last event sender; each forwarder then drains
+    // its queue onto the socket and is joined by its handler — so joining
+    // the handlers guarantees drained jobs' events reached their clients.
+    for (read_half, handle) in conns {
+        let _ = read_half.shutdown(Shutdown::Read);
+        let _ = handle.join();
+    }
     // stdout may be a long-gone pipe by now (supervisor died first);
     // a drained daemon still exits 0.
     let _ = writeln!(std::io::stdout(), "drained; bye");

@@ -261,7 +261,11 @@ fn robust_opts(o: &Opts) -> Result<RobustOptions, String> {
 /// Prints the one-line degradation summary and returns the exit code the
 /// run has earned: 2 when any job degraded (or, under
 /// `--fail-on-undetermined`, when any property at all went undetermined),
-/// 0 otherwise.
+/// 0 otherwise. The `degraded:` prefix is reserved for runs that actually
+/// carry a widened verdict — a run whose every retry recovered (and any
+/// resumed-from-journal jobs) reports under a neutral `recovered:`
+/// heading instead, so scripts grepping for `degraded:` see no false
+/// positives.
 fn degradation_exit(
     o: &Opts,
     stats: &CheckStats,
@@ -269,12 +273,14 @@ fn degradation_exit(
     resumed_jobs: u64,
     retried_jobs: u64,
 ) -> ExitCode {
-    if degraded_jobs > 0 || resumed_jobs > 0 || retried_jobs > 0 || stats.undetermined > 0 {
+    if degraded_jobs > 0 || stats.undetermined > 0 {
         println!(
             "degraded: {degraded_jobs} job(s) [budget={} deadline={} panicked={} fault={}], \
              resumed: {resumed_jobs} job(s), retried: {retried_jobs} attempt(s)",
             stats.undet_budget, stats.undet_deadline, stats.undet_panicked, stats.undet_fault
         );
+    } else if resumed_jobs > 0 || retried_jobs > 0 {
+        println!("recovered: {resumed_jobs} resumed job(s), {retried_jobs} retry attempt(s)");
     }
     if stats.degraded() > 0
         || degraded_jobs > 0
